@@ -1,0 +1,119 @@
+//! Circuit switching on the butterfly — the historical context of §1.3.3
+//! (experiment X1).
+//!
+//! Kruskal–Snir: if every input of an `n`-input circuit-switched butterfly
+//! sends to a random output and each edge carries at most one circuit, the
+//! expected number of locked-down paths is `Θ(n/log n)`. Koch: with `B`
+//! circuits per edge the fraction rises to `Θ(n/log^{1/B} n)` — the first
+//! superlinear buffer/bandwidth benefit, which this paper generalizes to
+//! wormhole routing.
+//!
+//! Model: one-shot locking — process messages in random order; a message
+//! locks its unique path iff every edge still has residual capacity, else
+//! it is dropped (no retries, matching the expectation analyses).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use wormhole_topology::butterfly::Butterfly;
+
+use wormhole_core::butterfly::relation::QRelation;
+
+/// Result of a circuit-switching round.
+#[derive(Clone, Debug)]
+pub struct CircuitOutcome {
+    /// Messages that locked a full path.
+    pub succeeded: u32,
+    /// Total messages attempted.
+    pub attempted: u32,
+}
+
+impl CircuitOutcome {
+    /// Success fraction.
+    pub fn fraction(&self) -> f64 {
+        self.succeeded as f64 / self.attempted.max(1) as f64
+    }
+}
+
+/// Attempts to lock circuits for `relation` on `bf` with `b` circuits per
+/// edge, in a random order.
+pub fn lock_circuits(bf: &Butterfly, relation: &QRelation, b: u32, seed: u64) -> CircuitOutcome {
+    assert_eq!(bf.n_inputs(), relation.n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..relation.len() as u32).collect();
+    order.shuffle(&mut rng);
+    let mut load = vec![0u32; bf.graph().num_edges()];
+    let mut succeeded = 0u32;
+    for &m in &order {
+        let (src, dst) = relation.pairs[m as usize];
+        let path = bf.greedy_path(src, dst);
+        if path.edges().iter().all(|e| load[e.idx()] < b) {
+            for e in path.edges() {
+                load[e.idx()] += 1;
+            }
+            succeeded += 1;
+        }
+    }
+    CircuitOutcome {
+        succeeded,
+        attempted: relation.len() as u32,
+    }
+}
+
+/// Koch's prediction for the success count: `Θ(n/log^{1/B} n)` (constant 1).
+pub fn koch_prediction(n: u32, b: u32) -> f64 {
+    let nf = n as f64;
+    nf / nf.log2().max(1.0).powf(1.0 / b as f64)
+}
+
+/// Mean success fraction over `trials` random-destination rounds.
+pub fn mean_success_fraction(k: u32, b: u32, trials: u32, seed: u64) -> f64 {
+    let bf = Butterfly::new(k);
+    let n = 1u32 << k;
+    let mut total = 0f64;
+    for t in 0..trials {
+        let rel = QRelation::random_destinations(n, 1, seed.wrapping_add(t as u64));
+        total += lock_circuits(&bf, &rel, b, seed.wrapping_add(1000 + t as u64)).fraction();
+    }
+    total / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_all_succeed() {
+        let bf = Butterfly::new(4);
+        let rel = QRelation::identity(16);
+        let out = lock_circuits(&bf, &rel, 1, 0);
+        assert_eq!(out.succeeded, 16);
+        assert!((out.fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_permutation_loses_some_at_b1() {
+        let bf = Butterfly::new(7);
+        let rel = QRelation::random_destinations(128, 1, 3);
+        let out = lock_circuits(&bf, &rel, 1, 4);
+        assert!(out.succeeded < 128, "random traffic must collide");
+        assert!(out.succeeded as f64 >= koch_prediction(128, 1) / 4.0);
+    }
+
+    #[test]
+    fn more_circuits_per_edge_help() {
+        let f1 = mean_success_fraction(7, 1, 10, 5);
+        let f2 = mean_success_fraction(7, 2, 10, 5);
+        let f4 = mean_success_fraction(7, 4, 10, 5);
+        assert!(f1 < f2 && f2 < f4, "{f1} {f2} {f4}");
+        assert!(f4 > 0.9, "B=4 should lock nearly everything at n=128");
+    }
+
+    #[test]
+    fn koch_prediction_shape() {
+        // Superlinear benefit: the *loss* n − success shrinks faster than
+        // linearly... at minimum the prediction is monotone in B and n.
+        assert!(koch_prediction(1024, 2) > koch_prediction(1024, 1));
+        assert!(koch_prediction(4096, 1) > koch_prediction(1024, 1));
+    }
+}

@@ -1,0 +1,95 @@
+//! Greedy online wormhole routing — what an unscheduled router does: every
+//! message is released immediately and headers fight for virtual channels.
+//! No theoretical guarantee (this is the regime the paper's lower bounds
+//! bite); used as the "practice" curve in E3/E6 and the one-pass butterfly
+//! router of §3.2's setting.
+
+use wormhole_flitsim::config::{Arbitration, SimConfig};
+use wormhole_flitsim::message::specs_from_paths;
+use wormhole_flitsim::stats::SimResult;
+use wormhole_flitsim::wormhole;
+
+use wormhole_topology::butterfly::Butterfly;
+use wormhole_topology::graph::Graph;
+use wormhole_topology::path::{Path, PathSet};
+
+use wormhole_core::butterfly::relation::QRelation;
+
+/// Routes all `paths` greedily (release 0) with `b` VCs and random
+/// arbitration.
+pub fn greedy_wormhole(graph: &Graph, paths: &PathSet, l: u32, b: u32, seed: u64) -> SimResult {
+    let specs = specs_from_paths(paths, l);
+    let config = SimConfig::new(b)
+        .arbitration(Arbitration::Random)
+        .seed(seed);
+    wormhole::run(graph, &specs, &config)
+}
+
+/// One-pass butterfly routing of a relation: every message takes its unique
+/// greedy path, all released at once — the algorithm class of the §3.2
+/// lower bound. Returns the result plus the paths used.
+pub fn one_pass_butterfly(
+    bf: &Butterfly,
+    relation: &QRelation,
+    l: u32,
+    b: u32,
+    seed: u64,
+) -> (SimResult, PathSet) {
+    assert_eq!(bf.passes(), 1, "one-pass routing wants a one-pass butterfly");
+    assert_eq!(bf.n_inputs(), relation.n);
+    let paths: Vec<Path> = relation
+        .pairs
+        .iter()
+        .map(|&(s, d)| bf.greedy_path(s, d))
+        .collect();
+    let ps = PathSet::new(paths);
+    let r = greedy_wormhole(bf.graph(), &ps, l, b, seed);
+    (r, ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_flitsim::stats::Outcome;
+    use wormhole_topology::random_nets::LeveledNet;
+
+    #[test]
+    fn completes_on_leveled_networks() {
+        // Leveled networks are acyclic: greedy wormhole cannot deadlock.
+        let net = LeveledNet::random(8, 8, 2, 1);
+        let ps = net.random_walk_paths(50, 2);
+        for b in [1, 2, 4] {
+            let r = greedy_wormhole(net.graph(), &ps, 6, b, 3);
+            assert_eq!(r.outcome, Outcome::Completed, "B={b}");
+            assert_eq!(r.delivered(), 50);
+        }
+    }
+
+    #[test]
+    fn more_vcs_never_hurt_much_on_average() {
+        let net = LeveledNet::random(10, 8, 2, 7);
+        let ps = net.random_walk_paths(80, 8);
+        let t1 = greedy_wormhole(net.graph(), &ps, 8, 1, 1).total_steps;
+        let t4 = greedy_wormhole(net.graph(), &ps, 8, 4, 1).total_steps;
+        assert!(t4 <= t1, "B=4 ({t4}) should beat B=1 ({t1}) here");
+    }
+
+    #[test]
+    fn one_pass_butterfly_routes_permutation() {
+        let bf = Butterfly::new(5);
+        let rel = QRelation::random_relation(32, 1, 4);
+        let (r, ps) = one_pass_butterfly(&bf, &rel, 5, 2, 5);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.delivered(), 32);
+        assert_eq!(ps.dilation(), 5);
+    }
+
+    #[test]
+    fn one_pass_respects_min_time() {
+        let bf = Butterfly::new(4);
+        let rel = QRelation::identity(16);
+        let (r, _) = one_pass_butterfly(&bf, &rel, 6, 1, 0);
+        // Identity uses disjoint straight paths: exactly D + L − 1.
+        assert_eq!(r.total_steps, 4 + 6 - 1);
+    }
+}

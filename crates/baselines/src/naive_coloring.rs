@@ -1,0 +1,113 @@
+//! The footnote-5 naive coloring baseline.
+//!
+//! "Construct a graph with a node for each worm and an edge between any two
+//! worms whose paths share an edge. The degree of this graph is at most
+//! `D(C−1)`, [so] the graph can be colored with `D(C−1)+1` colors... route
+//! all worms with color 1, then color 2, and so on. For any color, no two
+//! worms of that color have paths that intersect... any color can be routed
+//! in `L+D−1` flit steps. This gives `O((L+D)(CD))` flit steps."
+//!
+//! Note the classes produced here are *conflict-free* (multiplex size 1),
+//! so the schedule needs no virtual channels at all — that is exactly why
+//! it needs a factor `≈ D` more classes than Theorem 2.1.6 (experiment E9).
+
+use wormhole_topology::graph::Graph;
+use wormhole_topology::path::PathSet;
+
+use wormhole_core::coloring::Coloring;
+use wormhole_core::schedule::ColorSchedule;
+
+/// Greedy coloring of the conflict graph: each message takes the smallest
+/// color absent among its already-colored conflict neighbors. Uses at most
+/// `max_degree + 1 ≤ D(C−1) + 1` colors.
+pub fn naive_coloring(paths: &PathSet, graph: &Graph) -> Coloring {
+    let adj = paths.conflict_graph(graph);
+    let n = paths.len();
+    let mut colors = vec![u32::MAX; n];
+    let mut used: Vec<u32> = Vec::new(); // scratch of neighbor colors
+    let mut num_colors = 0u32;
+    for i in 0..n {
+        used.clear();
+        for &j in &adj[i] {
+            let c = colors[j as usize];
+            if c != u32::MAX {
+                used.push(c);
+            }
+        }
+        used.sort_unstable();
+        used.dedup();
+        // Smallest color not in `used`.
+        let mut c = 0u32;
+        for &u in &used {
+            if u == c {
+                c += 1;
+            } else if u > c {
+                break;
+            }
+        }
+        colors[i] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    Coloring::new(colors, num_colors.max(1))
+}
+
+/// The footnote's degree bound on the class count: `D(C−1)+1`.
+pub fn naive_color_bound(c: u32, d: u32) -> u32 {
+    d * (c.saturating_sub(1)) + 1
+}
+
+/// Builds the full naive schedule (spacing `L+D−1`).
+pub fn naive_schedule(paths: &PathSet, graph: &Graph, l: u32) -> ColorSchedule {
+    let coloring = naive_coloring(paths, graph);
+    ColorSchedule::new(coloring, l, paths.dilation())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_topology::random_nets::{shared_chain_instance, staggered_instance, LeveledNet};
+
+    #[test]
+    fn classes_are_conflict_free() {
+        let net = LeveledNet::random(8, 6, 2, 2);
+        let ps = net.random_walk_paths(40, 3);
+        let col = naive_coloring(&ps, net.graph());
+        // Multiplex size 1: no two same-class worms share an edge.
+        assert_eq!(col.multiplex_size(&ps, net.graph()), 1);
+    }
+
+    #[test]
+    fn class_count_within_degree_bound() {
+        let (g, ps) = staggered_instance(6, 24, 48);
+        let col = naive_coloring(&ps, &g);
+        let c = ps.congestion(&g);
+        let d = ps.dilation();
+        assert!(col.num_colors() <= naive_color_bound(c, d));
+        // And at least C (everyone crossing the hottest edge conflicts).
+        assert!(col.num_colors() >= c);
+    }
+
+    #[test]
+    fn shared_chain_uses_exactly_c_colors() {
+        let (g, ps) = shared_chain_instance(7, 5);
+        let col = naive_coloring(&ps, &g);
+        assert_eq!(col.num_colors(), 7);
+    }
+
+    #[test]
+    fn naive_schedule_executes_with_one_vc() {
+        let (g, ps) = staggered_instance(4, 12, 24);
+        let l = 6;
+        let sched = naive_schedule(&ps, &g, l);
+        // Conflict-free classes block for no B — even B = 1.
+        let r = sched.execute_checked(&g, &ps, l, 1);
+        assert_eq!(r.delivered(), ps.len());
+        assert_eq!(r.total_stalls, 0);
+    }
+
+    #[test]
+    fn bound_formula() {
+        assert_eq!(naive_color_bound(1, 10), 1);
+        assert_eq!(naive_color_bound(5, 10), 41);
+    }
+}

@@ -1,0 +1,49 @@
+//! §3 machinery: the two-pass q-relation algorithm end to end and the
+//! lockstep subround kernel (E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wormhole_core::butterfly::algorithm::{route_q_relation, AlgoParams};
+use wormhole_core::butterfly::fast_sim::run_subround;
+use wormhole_core::butterfly::relation::QRelation;
+use wormhole_topology::butterfly::Butterfly;
+use wormhole_topology::path::Path;
+
+fn bench_qrelation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("butterfly_qrelation");
+    group.sample_size(10);
+    for k in [6u32, 8, 10] {
+        let n = 1u32 << k;
+        let rel = QRelation::random_relation(n, k, 3);
+        for b in [1u32, 2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{}_B", n), b),
+                &b,
+                |bch, &b| bch.iter(|| route_q_relation(k, &rel, &AlgoParams::new(b, k, 5))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_subround(c: &mut Criterion) {
+    let mut group = c.benchmark_group("butterfly_subround");
+    let bf = Butterfly::two_pass(9);
+    let n = 1u32 << 9;
+    let rel = QRelation::random_relation(n, 2, 4);
+    let paths: Vec<Path> = rel
+        .pairs
+        .iter()
+        .map(|&(s, d)| bf.two_pass_path(s, (s * 5 + d) % n, d))
+        .collect();
+    group.bench_function("1024_msgs_2pass", |bch| {
+        let mut rng = StdRng::seed_from_u64(1);
+        bch.iter(|| run_subround(&bf, &paths, 2, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qrelation, bench_subround);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Theorem 2.2.1 machinery: building the subset network and routing it
+//! (E3/E4 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wormhole_baselines::greedy_wormhole::greedy_wormhole;
+use wormhole_topology::lowerbound::build;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowerbound_build");
+    for b in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("B", b), &b, |bch, &b| {
+            bch.iter(|| build(b, 61, 2, false))
+        });
+    }
+    group.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowerbound_route");
+    group.sample_size(10);
+    for b in [1u32, 2] {
+        let net = build(b, 41, 2, false);
+        let l = 2 * net.dilation;
+        group.bench_with_input(BenchmarkId::new("greedy_B", b), &b, |bch, &b| {
+            bch.iter(|| greedy_wormhole(&net.graph, &net.paths, l, b, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_route);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Cost of the scheduling machinery: first-fit, LLL refinement (paper and
+//! adaptive split factors), and naive conflict-graph coloring (E1/E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wormhole_baselines::naive_coloring::naive_coloring;
+use wormhole_core::firstfit::{first_fit, FirstFitOrder};
+use wormhole_core::pipeline::{adaptive_min_colors, run_pipeline, RFactor};
+use wormhole_topology::random_nets::staggered_instance;
+
+fn bench_colorings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring");
+    group.sample_size(10);
+    for msgs in [64u32, 256] {
+        let (g, ps) = staggered_instance(8, 64, msgs);
+        group.bench_with_input(BenchmarkId::new("first_fit", msgs), &msgs, |bch, _| {
+            bch.iter(|| first_fit(&ps, &g, 2, FirstFitOrder::Input))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", msgs), &msgs, |bch, _| {
+            bch.iter(|| naive_coloring(&ps, &g))
+        });
+        group.bench_with_input(BenchmarkId::new("lll_adaptive", msgs), &msgs, |bch, _| {
+            bch.iter(|| adaptive_min_colors(&ps, &g, 2, 7, 64).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lll_paper", msgs), &msgs, |bch, _| {
+            bch.iter(|| run_pipeline(&ps, &g, 2, RFactor::Paper, 7).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_colorings);
+criterion_main!(benches);

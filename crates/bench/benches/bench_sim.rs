@@ -1,0 +1,57 @@
+//! Simulator throughput: flit-level wormhole routing across network sizes
+//! and VC counts (the substrate cost every experiment pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wormhole_bench::butterfly_permutation;
+use wormhole_flitsim::config::{BandwidthModel, SimConfig};
+use wormhole_flitsim::message::specs_from_paths;
+use wormhole_flitsim::wormhole;
+
+fn bench_wormhole_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wormhole_sim");
+    group.sample_size(20);
+    for k in [6u32, 8, 10] {
+        let (bf, paths) = butterfly_permutation(k, 7);
+        let specs = specs_from_paths(&paths, 16);
+        group.bench_with_input(BenchmarkId::new("n", 1u32 << k), &k, |bch, _| {
+            bch.iter(|| wormhole::run_to_completion(bf.graph(), &specs, &SimConfig::new(2)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wormhole_vcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wormhole_sim_vcs");
+    group.sample_size(20);
+    let (bf, paths) = butterfly_permutation(8, 3);
+    let specs = specs_from_paths(&paths, 16);
+    for b in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("B", b), &b, |bch, &b| {
+            bch.iter(|| wormhole::run_to_completion(bf.graph(), &specs, &SimConfig::new(b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_restricted_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wormhole_sim_restricted");
+    group.sample_size(10);
+    let (bf, paths) = butterfly_permutation(7, 5);
+    let specs = specs_from_paths(&paths, 8);
+    for b in [1u32, 2] {
+        group.bench_with_input(BenchmarkId::new("B", b), &b, |bch, &b| {
+            let cfg = SimConfig::new(b).bandwidth(BandwidthModel::OneFlitPerStep);
+            bch.iter(|| wormhole::run_to_completion(bf.graph(), &specs, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wormhole_scaling,
+    bench_wormhole_vcs,
+    bench_restricted_model
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Shared workload builders for the criterion benches.
+#![forbid(unsafe_code)]
+
+use wormhole_core::butterfly::relation::QRelation;
+use wormhole_topology::butterfly::Butterfly;
+use wormhole_topology::path::{Path, PathSet};
+
+/// A random permutation workload on a `2^k`-input butterfly.
+pub fn butterfly_permutation(k: u32, seed: u64) -> (Butterfly, PathSet) {
+    let bf = Butterfly::new(k);
+    let n = 1u32 << k;
+    let rel = QRelation::random_relation(n, 1, seed);
+    let paths: Vec<Path> = rel
+        .pairs
+        .iter()
+        .map(|&(s, d)| bf.greedy_path(s, d))
+        .collect();
+    (bf, PathSet::new(paths))
+}

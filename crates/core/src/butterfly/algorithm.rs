@@ -1,0 +1,270 @@
+//! The §3.1 randomized wormhole routing algorithm for q-relations on the
+//! butterfly.
+//!
+//! The algorithm runs `2·log log(nq) + 1` rounds. In each round every
+//! undelivered message is duplicated (two copies), every copy picks a color
+//! uniformly from `Δ = β·q·log^{1/B} n / B` colors and a uniformly random
+//! intermediate column; the Δ subrounds are pipelined one per `L` flit
+//! steps, each routing its color class through both passes of the butterfly
+//! with *discard-on-delay* semantics. Theorem 3.1.1: all messages are
+//! delivered w.h.p. in `O(L(q+log n)·log^{1/B} n·log log(nq)/B)` flit steps.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use wormhole_topology::butterfly::Butterfly;
+use wormhole_topology::path::Path;
+
+use crate::bounds::{butterfly_delta, butterfly_rounds, butterfly_upper_bound};
+use crate::butterfly::fast_sim::run_subround;
+use crate::butterfly::relation::QRelation;
+
+/// Parameters of the §3.1 algorithm.
+#[derive(Clone, Debug)]
+pub struct AlgoParams {
+    /// Virtual channels `B` (the paper needs
+    /// `B ≤ log log n / log log log n`; larger values still run).
+    pub b: u32,
+    /// Message length `L` in flits.
+    pub msg_len: u32,
+    /// The constant `β` in `Δ = β·q·log^{1/B} n/B` (paper: "sufficiently
+    /// large"; 2 is ample at benchable sizes).
+    pub beta: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cap on copies per original per round (the paper's doubling reaches
+    /// `log²(nq)`; the cap guards memory on adversarial inputs).
+    pub max_copies: u32,
+}
+
+impl AlgoParams {
+    /// Defaults: `β = 2`, copies capped at 4096.
+    pub fn new(b: u32, msg_len: u32, seed: u64) -> Self {
+        Self {
+            b,
+            msg_len,
+            beta: 2.0,
+            seed,
+            max_copies: 4096,
+        }
+    }
+}
+
+/// Per-round telemetry.
+#[derive(Clone, Debug)]
+pub struct RoundStats {
+    /// Copies routed this round (all colors).
+    pub copies: u64,
+    /// Originals first delivered this round.
+    pub newly_delivered: u64,
+    /// Originals still undelivered after the round.
+    pub remaining: u64,
+    /// Max copies held at one input this round (Invariant 3.1.2 watch).
+    pub max_per_input: u32,
+}
+
+/// Result of routing one q-relation.
+#[derive(Clone, Debug)]
+pub struct AlgoResult {
+    /// Whether every original message was delivered.
+    pub all_delivered: bool,
+    /// Per-round stats (length = rounds actually run; the algorithm stops
+    /// early once everything is delivered).
+    pub rounds: Vec<RoundStats>,
+    /// Planned round count `2·log log(nq)+1`.
+    pub planned_rounds: u32,
+    /// Subround colors `Δ`.
+    pub delta: u32,
+    /// Total flit steps charged: `rounds · (Δ·L + 2·log n + L − 1)`.
+    pub flit_steps: u64,
+    /// The Thm 3.1.1 formula value (constant 1) for comparison.
+    pub formula_flit_steps: f64,
+}
+
+/// Routes `relation` on an `2^k`-input two-pass butterfly with the §3.1
+/// algorithm. When `q < log n` the paper pads with duplicates so Θ(log n)
+/// messages leave each input; we instead keep the real messages and size Δ
+/// by `max(q, log n)`, which has the same effect on the time accounting
+/// without synthetic traffic.
+pub fn route_q_relation(k: u32, relation: &QRelation, params: &AlgoParams) -> AlgoResult {
+    assert_eq!(relation.n, 1 << k, "relation size must match butterfly");
+    let bf = Butterfly::two_pass(k);
+    let n = relation.n;
+    let q_eff = relation.q.max(k); // q clamped up to log n per §3.1's closing remark
+    let delta = butterfly_delta(q_eff, n, params.b, params.beta);
+    let planned_rounds = butterfly_rounds(n, relation.q.max(1));
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let total = relation.len();
+    let mut delivered = vec![false; total];
+    let mut undelivered: Vec<u32> = (0..total as u32).collect();
+    let mut copies_per_original: u64 = 1;
+    let mut rounds = Vec::new();
+
+    for round in 0..planned_rounds {
+        if undelivered.is_empty() {
+            break;
+        }
+        // Step 1: duplication (skipped in round 0).
+        if round > 0 {
+            copies_per_original = (copies_per_original * 2).min(params.max_copies as u64);
+        }
+        // Steps 2–3: color + intermediate per copy, then Δ subrounds.
+        // Copies are grouped by color up front; each subround routes one
+        // color class through the two-pass butterfly.
+        let mut per_color: Vec<Vec<(u32, Path)>> = vec![Vec::new(); delta as usize];
+        let mut per_input = vec![0u32; n as usize];
+        let mut copies_total = 0u64;
+        for &orig in &undelivered {
+            let (src, dst) = relation.pairs[orig as usize];
+            per_input[src as usize] += copies_per_original as u32;
+            for _ in 0..copies_per_original {
+                let color = rng.random_range(0..delta);
+                let mid = rng.random_range(0..n);
+                per_color[color as usize].push((orig, bf.two_pass_path(src, mid, dst)));
+                copies_total += 1;
+            }
+        }
+        let mut newly = 0u64;
+        for class in &per_color {
+            if class.is_empty() {
+                continue;
+            }
+            let paths: Vec<Path> = class.iter().map(|(_, p)| p.clone()).collect();
+            let out = run_subround(&bf, &paths, params.b, &mut rng);
+            for &s in &out.survivors {
+                let orig = class[s as usize].0 as usize;
+                if !delivered[orig] {
+                    delivered[orig] = true;
+                    newly += 1;
+                }
+            }
+        }
+        undelivered.retain(|&m| !delivered[m as usize]);
+        rounds.push(RoundStats {
+            copies: copies_total,
+            newly_delivered: newly,
+            remaining: undelivered.len() as u64,
+            max_per_input: per_input.iter().copied().max().unwrap_or(0),
+        });
+    }
+
+    // Time accounting (proof of Thm 3.1.1): subrounds pipeline every L flit
+    // steps; the last subround of a round needs 2·log n + L − 1 more.
+    let per_round =
+        delta as u64 * params.msg_len as u64 + 2 * k as u64 + params.msg_len as u64 - 1;
+    let flit_steps = rounds.len() as u64 * per_round;
+    AlgoResult {
+        all_delivered: undelivered.is_empty(),
+        rounds,
+        planned_rounds,
+        delta,
+        flit_steps,
+        formula_flit_steps: butterfly_upper_bound(params.msg_len, q_eff, n, params.b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_identity_in_one_round() {
+        // Disjoint-ish traffic with generous Δ: everything lands in round 0.
+        let rel = QRelation::identity(16);
+        let res = route_q_relation(4, &rel, &AlgoParams::new(1, 4, 0));
+        assert!(res.all_delivered);
+        assert_eq!(res.rounds.len(), 1);
+        assert_eq!(res.rounds[0].newly_delivered, 16);
+    }
+
+    #[test]
+    fn delivers_random_q_relation_whp() {
+        for seed in 0..5 {
+            let rel = QRelation::random_relation(64, 3, seed);
+            let res = route_q_relation(6, &rel, &AlgoParams::new(1, 6, seed));
+            assert!(
+                res.all_delivered,
+                "seed {seed}: {} remaining after {} rounds",
+                res.rounds.last().unwrap().remaining,
+                res.rounds.len()
+            );
+        }
+    }
+
+    #[test]
+    fn delivers_bit_reverse_permutation() {
+        let rel = QRelation::bit_reverse(6);
+        let res = route_q_relation(6, &rel, &AlgoParams::new(2, 6, 3));
+        assert!(res.all_delivered);
+    }
+
+    #[test]
+    fn higher_b_uses_fewer_subrounds_and_less_time() {
+        let rel = QRelation::random_relation(64, 6, 1);
+        let r1 = route_q_relation(6, &rel, &AlgoParams::new(1, 6, 1));
+        let r2 = route_q_relation(6, &rel, &AlgoParams::new(2, 6, 1));
+        assert!(r1.all_delivered && r2.all_delivered);
+        assert!(r2.delta < r1.delta, "Δ must shrink with B");
+        // Time is rounds·(ΔL + ...): with similar round counts B=2 wins.
+        assert!(
+            r2.flit_steps < r1.flit_steps,
+            "B=2 {} vs B=1 {}",
+            r2.flit_steps,
+            r1.flit_steps
+        );
+    }
+
+    #[test]
+    fn invariant_3_1_2_copies_per_input_stay_bounded() {
+        // The per-input copy count should stay ≤ q (whp) because deliveries
+        // outpace duplication.
+        let q = 4u32;
+        let rel = QRelation::random_relation(128, q, 9);
+        let res = route_q_relation(7, &rel, &AlgoParams::new(1, 7, 9));
+        assert!(res.all_delivered);
+        for (i, r) in res.rounds.iter().enumerate() {
+            assert!(
+                r.max_per_input <= q * 4,
+                "round {i}: {} copies at one input",
+                r.max_per_input
+            );
+        }
+    }
+
+    #[test]
+    fn round_copies_double_for_stragglers() {
+        // With a starved Δ (β tiny) the first rounds fail for many
+        // messages, and copies must double.
+        let rel = QRelation::random_relation(32, 4, 2);
+        let params = AlgoParams {
+            beta: 0.05,
+            ..AlgoParams::new(1, 5, 2)
+        };
+        let res = route_q_relation(5, &rel, &params);
+        if res.rounds.len() >= 2 {
+            let per_orig_r1 = res.rounds[1].copies / res.rounds[1].remaining.max(1).max(1);
+            let _ = per_orig_r1; // copies counted over round-1 inputs:
+            // round 1 routes 2 copies per remaining original.
+            let remaining_after_r0 = res.rounds[0].remaining;
+            assert_eq!(res.rounds[1].copies, remaining_after_r0 * 2);
+        }
+    }
+
+    #[test]
+    fn time_accounting_formula() {
+        let rel = QRelation::identity(8);
+        let params = AlgoParams::new(1, 4, 0);
+        let res = route_q_relation(3, &rel, &params);
+        let per_round = res.delta as u64 * 4 + 2 * 3 + 4 - 1;
+        assert_eq!(res.flit_steps, res.rounds.len() as u64 * per_round);
+        assert!(res.formula_flit_steps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn size_mismatch_rejected() {
+        let rel = QRelation::identity(8);
+        route_q_relation(4, &rel, &AlgoParams::new(1, 4, 0));
+    }
+}

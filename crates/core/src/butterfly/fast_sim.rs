@@ -1,0 +1,165 @@
+//! Exact lockstep simulation of one §3.1 subround.
+//!
+//! Within a subround all messages of one color are injected simultaneously
+//! into a leveled (two-pass) butterfly. Because a delayed message is
+//! *discarded immediately* (step 4 of the algorithm), surviving headers stay
+//! perfectly level-aligned: at flit step `t` every live header crosses a
+//! level-`t` edge. Contention therefore happens exactly once per edge — when
+//! all its users' headers arrive together — and an edge with more than `B`
+//! users keeps `B` random winners and discards the rest. This makes the
+//! subround simulable level-by-level in `O(S·k)` time (`S` = messages in
+//! the subround), which is what lets the experiments run full parameter
+//! sweeps. The general flit simulator (`wormhole_flitsim`) agrees with this
+//! fast path (integration-tested), it is just orders of magnitude slower.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use wormhole_topology::butterfly::Butterfly;
+use wormhole_topology::path::Path;
+
+/// Outcome of one subround.
+#[derive(Clone, Debug)]
+pub struct SubroundOutcome {
+    /// Indices (into the subround's message list) that reached their
+    /// destination.
+    pub survivors: Vec<u32>,
+    /// Indices discarded after losing arbitration at some level.
+    pub discarded: Vec<u32>,
+}
+
+/// Runs one subround: `paths[i]` must be level-aligned paths on `bf` (every
+/// path starts at level 0 and has exactly `bf.num_levels()` edges). At each
+/// level, an edge wanted by more than `b` messages keeps `b` uniform random
+/// winners.
+pub fn run_subround(
+    bf: &Butterfly,
+    paths: &[Path],
+    b: u32,
+    rng: &mut StdRng,
+) -> SubroundOutcome {
+    let levels = bf.num_levels() as usize;
+    for (i, p) in paths.iter().enumerate() {
+        assert_eq!(p.len(), levels, "path {i} is not full-depth");
+    }
+    let mut alive: Vec<u32> = (0..paths.len() as u32).collect();
+    let mut discarded = Vec::new();
+    // Scratch: (edge, msg) pairs for the current level.
+    let mut wants: Vec<(u32, u32)> = Vec::with_capacity(alive.len());
+    for level in 0..levels {
+        wants.clear();
+        for &m in &alive {
+            wants.push((paths[m as usize].edges()[level].0, m));
+        }
+        wants.sort_unstable();
+        alive.clear();
+        let mut start = 0usize;
+        while start < wants.len() {
+            let e = wants[start].0;
+            let mut end = start;
+            while end < wants.len() && wants[end].0 == e {
+                end += 1;
+            }
+            let group = &mut wants[start..end];
+            if group.len() <= b as usize {
+                alive.extend(group.iter().map(|&(_, m)| m));
+            } else {
+                // B random winners; the rest are discarded (the paper
+                // discards any *delayed* message — losers of the VC
+                // arbitration are exactly the delayed ones).
+                group.shuffle(rng);
+                alive.extend(group[..b as usize].iter().map(|&(_, m)| m));
+                discarded.extend(group[b as usize..].iter().map(|&(_, m)| m));
+            }
+            start = end;
+        }
+        if alive.is_empty() {
+            break;
+        }
+    }
+    alive.sort_unstable();
+    discarded.sort_unstable();
+    SubroundOutcome {
+        survivors: alive,
+        discarded,
+    }
+}
+
+/// Flit steps taken by one subround from injection to last delivery when no
+/// survivor is ever delayed: `levels + L − 1`.
+pub fn subround_duration(bf: &Butterfly, msg_len: u32) -> u64 {
+    bf.num_levels() as u64 + msg_len as u64 - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn disjoint_paths_all_survive() {
+        let bf = Butterfly::new(3);
+        // Identity: all straight edges, no sharing.
+        let paths: Vec<Path> = (0..8).map(|i| bf.greedy_path(i, i)).collect();
+        let out = run_subround(&bf, &paths, 1, &mut rng(0));
+        assert_eq!(out.survivors.len(), 8);
+        assert!(out.discarded.is_empty());
+    }
+
+    #[test]
+    fn funnel_to_one_output_keeps_at_most_indegree_times_b() {
+        let bf = Butterfly::new(3);
+        // All 8 inputs to output 0: messages merge pairwise level by level.
+        // Output 0 has in-degree 2, so at most 2·B can survive; with B = 1
+        // exactly 2 do (one per final edge, since every group is a
+        // power-of-two funnel).
+        let paths: Vec<Path> = (0..8).map(|i| bf.greedy_path(i, 0)).collect();
+        for b in 1..=3u32 {
+            let out = run_subround(&bf, &paths, b, &mut rng(b as u64));
+            assert!(out.survivors.len() as u32 <= 2 * b);
+            assert_eq!(out.survivors.len() + out.discarded.len(), 8);
+        }
+        let out = run_subround(&bf, &paths, 1, &mut rng(9));
+        assert_eq!(out.survivors.len(), 2);
+    }
+
+    #[test]
+    fn survivor_count_monotone_in_b_on_average() {
+        let bf = Butterfly::new(4);
+        let paths: Vec<Path> = (0..16).map(|i| bf.greedy_path(i, (i * 7 + 3) % 16)).collect();
+        let avg = |b: u32| -> f64 {
+            (0..20)
+                .map(|s| run_subround(&bf, &paths, b, &mut rng(s)).survivors.len())
+                .sum::<usize>() as f64
+                / 20.0
+        };
+        let (a1, a2, a4) = (avg(1), avg(2), avg(4));
+        assert!(a1 <= a2 + 1e-9 && a2 <= a4 + 1e-9, "{a1} {a2} {a4}");
+        assert_eq!(avg(16), 16.0, "b = n admits everyone");
+    }
+
+    #[test]
+    fn two_pass_paths_supported() {
+        let bf = Butterfly::two_pass(3);
+        let paths: Vec<Path> = (0..8).map(|i| bf.two_pass_path(i, (i + 3) % 8, i)).collect();
+        let out = run_subround(&bf, &paths, 2, &mut rng(1));
+        assert_eq!(out.survivors.len() + out.discarded.len(), 8);
+    }
+
+    #[test]
+    fn duration_formula() {
+        let bf = Butterfly::two_pass(5);
+        assert_eq!(subround_duration(&bf, 8), 10 + 8 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not full-depth")]
+    fn rejects_partial_paths() {
+        let bf = Butterfly::new(3);
+        let p = Path::new(bf.greedy_path(0, 0).edges()[..2].to_vec());
+        run_subround(&bf, &[p], 1, &mut rng(0));
+    }
+}

@@ -1,0 +1,11 @@
+//! Section 3: routing on butterfly networks — the randomized two-pass
+//! q-relation algorithm (§3.1) and the one-pass lower bound (§3.2).
+
+pub mod algorithm;
+pub mod fast_sim;
+pub mod lower_bound;
+pub mod relation;
+
+pub use algorithm::{route_q_relation, AlgoParams, AlgoResult, RoundStats};
+pub use fast_sim::{run_subround, subround_duration, SubroundOutcome};
+pub use relation::QRelation;

@@ -1,0 +1,217 @@
+//! Message colorings and the *multiplex size* of Definition 2.1.4.
+//!
+//! The paper's schedule construction partitions messages into color classes
+//! and releases one class per `L+D−1` window. The quantity controlled by the
+//! refinement (Lemma 2.1.5) is the **multiplex size**: the maximum, over all
+//! edges and color classes, of the number of same-class messages crossing an
+//! edge. Once it is at most `B`, a class routes with zero blocking.
+
+use wormhole_topology::graph::Graph;
+use wormhole_topology::path::PathSet;
+
+/// An assignment of a color to each message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<u32>,
+    num_colors: u32,
+}
+
+impl Coloring {
+    /// All messages in a single class (the refinement's starting point; its
+    /// multiplex size equals the congestion `C`).
+    pub fn uniform(num_messages: usize) -> Self {
+        Self {
+            colors: vec![0; num_messages],
+            num_colors: 1,
+        }
+    }
+
+    /// Builds from explicit colors; `num_colors` must dominate every entry.
+    pub fn new(colors: Vec<u32>, num_colors: u32) -> Self {
+        assert!(
+            colors.iter().all(|&c| c < num_colors),
+            "color out of range"
+        );
+        assert!(num_colors >= 1 || colors.is_empty());
+        Self { colors, num_colors }
+    }
+
+    /// Number of color classes.
+    #[inline]
+    pub fn num_colors(&self) -> u32 {
+        self.num_colors
+    }
+
+    /// Number of messages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// `true` if no messages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Color of message `i`.
+    #[inline]
+    pub fn color(&self, i: usize) -> u32 {
+        self.colors[i]
+    }
+
+    /// All colors, indexed by message.
+    #[inline]
+    pub fn colors(&self) -> &[u32] {
+        &self.colors
+    }
+
+    /// Messages per class.
+    pub fn class_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.num_colors as usize];
+        for &c in &self.colors {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Number of classes actually used (non-empty).
+    pub fn used_colors(&self) -> u32 {
+        self.class_sizes().iter().filter(|&&s| s > 0).count() as u32
+    }
+
+    /// Renumbers classes densely (dropping empty ones), preserving order.
+    pub fn compact(&self) -> Coloring {
+        let sizes = self.class_sizes();
+        let mut remap = vec![u32::MAX; sizes.len()];
+        let mut next = 0u32;
+        for (c, &s) in sizes.iter().enumerate() {
+            if s > 0 {
+                remap[c] = next;
+                next += 1;
+            }
+        }
+        Coloring {
+            colors: self.colors.iter().map(|&c| remap[c as usize]).collect(),
+            num_colors: next.max(1),
+        }
+    }
+
+    /// The multiplex size (Definition 2.1.4): max over `(edge, class)` of
+    /// same-class messages crossing the edge. Runs in `O(P log P)` where `P`
+    /// is the total path length.
+    pub fn multiplex_size(&self, paths: &PathSet, _g: &Graph) -> u32 {
+        assert_eq!(paths.len(), self.colors.len(), "paths/coloring mismatch");
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(paths.total_path_length() as usize);
+        for (i, p) in paths.paths().iter().enumerate() {
+            let c = self.colors[i];
+            for &e in p.edges() {
+                pairs.push((e.0, c));
+            }
+        }
+        pairs.sort_unstable();
+        let mut best = 0u32;
+        let mut run = 0u32;
+        let mut prev: Option<(u32, u32)> = None;
+        for &p in &pairs {
+            if Some(p) == prev {
+                run += 1;
+            } else {
+                run = 1;
+                prev = Some(p);
+            }
+            best = best.max(run);
+        }
+        best
+    }
+
+    /// The violating `(edge, class)` pairs with more than `limit` messages,
+    /// together with the offending message ids — the "bad events" of
+    /// Lemma 2.1.5. Returns an empty vec iff multiplex size ≤ `limit`.
+    pub fn violations(
+        &self,
+        paths: &PathSet,
+        limit: u32,
+    ) -> Vec<((u32, u32), Vec<u32>)> {
+        let mut triples: Vec<(u32, u32, u32)> =
+            Vec::with_capacity(paths.total_path_length() as usize);
+        for (i, p) in paths.paths().iter().enumerate() {
+            let c = self.colors[i];
+            for &e in p.edges() {
+                triples.push((e.0, c, i as u32));
+            }
+        }
+        triples.sort_unstable();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < triples.len() {
+            let key = (triples[start].0, triples[start].1);
+            let mut end = start;
+            while end < triples.len() && (triples[end].0, triples[end].1) == key {
+                end += 1;
+            }
+            if (end - start) as u32 > limit {
+                out.push((key, triples[start..end].iter().map(|t| t.2).collect()));
+            }
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_topology::random_nets::{shared_chain_instance, staggered_instance};
+
+    #[test]
+    fn uniform_multiplex_equals_congestion() {
+        let (g, ps) = shared_chain_instance(9, 4);
+        let c = Coloring::uniform(ps.len());
+        assert_eq!(c.multiplex_size(&ps, &g), 9);
+        let (g2, ps2) = staggered_instance(6, 24, 48);
+        let c2 = Coloring::uniform(ps2.len());
+        assert_eq!(c2.multiplex_size(&ps2, &g2), ps2.congestion(&g2));
+    }
+
+    #[test]
+    fn perfect_split_halves_multiplex() {
+        let (g, ps) = shared_chain_instance(8, 3);
+        let colors: Vec<u32> = (0..8).map(|i| i % 2).collect();
+        let c = Coloring::new(colors, 2);
+        assert_eq!(c.multiplex_size(&ps, &g), 4);
+    }
+
+    #[test]
+    fn violations_found_and_bounded() {
+        let (_, ps) = shared_chain_instance(5, 2);
+        let c = Coloring::uniform(5);
+        let v = c.violations(&ps, 3);
+        assert_eq!(v.len(), 2, "both chain edges violate");
+        assert_eq!(v[0].1.len(), 5);
+        assert!(c.violations(&ps, 5).is_empty());
+    }
+
+    #[test]
+    fn class_sizes_and_compaction() {
+        let c = Coloring::new(vec![0, 3, 3, 0, 3], 5);
+        assert_eq!(c.class_sizes(), vec![2, 0, 0, 3, 0]);
+        assert_eq!(c.used_colors(), 2);
+        let cc = c.compact();
+        assert_eq!(cc.num_colors(), 2);
+        assert_eq!(cc.colors(), &[0, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn empty_coloring() {
+        let c = Coloring::uniform(0);
+        assert!(c.is_empty());
+        assert_eq!(c.used_colors(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "color out of range")]
+    fn out_of_range_rejected() {
+        Coloring::new(vec![0, 2], 2);
+    }
+}

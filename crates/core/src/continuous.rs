@@ -1,0 +1,168 @@
+//! Open-loop (continuous-injection) workloads — the setting of Dally's
+//! virtual-channel throughput studies ([16], paper §1.3.4) and of the
+//! Scheideler–Vöcking continuous-routing result quoted in §1.3.1 (the same
+//! `D^{1/B}` factor shows up in sustainable injection rates).
+//!
+//! Each input of a butterfly injects messages by an independent Bernoulli
+//! process at `rate` messages per flit step over a `window` of steps, with
+//! uniformly random destinations. The batch simulator then routes the
+//! whole arrival trace; latency–throughput curves against offered load
+//! show the saturation point rising with the VC count `B`.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use wormhole_flitsim::config::{Arbitration, SimConfig};
+use wormhole_flitsim::message::MessageSpec;
+use wormhole_flitsim::stats::Outcome;
+use wormhole_flitsim::wormhole;
+use wormhole_topology::butterfly::Butterfly;
+
+/// A Bernoulli arrival trace on a one-pass butterfly: at each flit step in
+/// `0..window`, each input independently injects a message with probability
+/// `rate`, destined to a uniform random output along its greedy path.
+pub fn bernoulli_workload(
+    bf: &Butterfly,
+    rate: f64,
+    window: u64,
+    msg_len: u32,
+    seed: u64,
+) -> Vec<MessageSpec> {
+    assert!((0.0..=1.0).contains(&rate), "rate is a probability per step");
+    assert_eq!(bf.passes(), 1, "throughput workload uses a one-pass butterfly");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = bf.n_inputs();
+    let mut specs = Vec::new();
+    for t in 0..window {
+        for src in 0..n {
+            if rng.random_bool(rate) {
+                let dst = rng.random_range(0..n);
+                specs.push(MessageSpec::new(bf.greedy_path(src, dst), msg_len).release_at(t));
+            }
+        }
+    }
+    specs
+}
+
+/// One latency–throughput measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputPoint {
+    /// Offered load: messages per input per flit step.
+    pub offered: f64,
+    /// Messages injected over the window.
+    pub injected: usize,
+    /// Mean delivery latency (flit steps from release to last flit).
+    pub mean_latency: f64,
+    /// 95th-percentile latency.
+    pub p95_latency: u64,
+    /// Sustained throughput: delivered flits per input per flit step,
+    /// measured over the full drain time.
+    pub throughput: f64,
+}
+
+/// Routes a Bernoulli trace at `rate` on a `2^k`-input butterfly with `b`
+/// VCs and returns the measurement. Panics if the run does not complete
+/// (open-loop traces on the acyclic butterfly always drain).
+pub fn measure_throughput(
+    k: u32,
+    rate: f64,
+    window: u64,
+    msg_len: u32,
+    b: u32,
+    seed: u64,
+) -> ThroughputPoint {
+    let bf = Butterfly::new(k);
+    let specs = bernoulli_workload(&bf, rate, window, msg_len, seed);
+    if specs.is_empty() {
+        return ThroughputPoint {
+            offered: rate,
+            injected: 0,
+            mean_latency: 0.0,
+            p95_latency: 0,
+            throughput: 0.0,
+        };
+    }
+    let config = SimConfig::new(b)
+        .arbitration(Arbitration::Random)
+        .seed(seed ^ 0x5eed);
+    let result = wormhole::run(bf.graph(), &specs, &config);
+    assert_eq!(result.outcome, Outcome::Completed, "trace failed to drain");
+    let mut latencies: Vec<u64> = result
+        .messages
+        .iter()
+        .zip(&specs)
+        .map(|(m, s)| m.finished.expect("all delivered") - s.release)
+        .collect();
+    latencies.sort_unstable();
+    let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+    let p95 = latencies[(latencies.len() * 95 / 100).min(latencies.len() - 1)];
+    let flits = specs.len() as u64 * msg_len as u64;
+    let throughput = flits as f64 / (result.total_steps as f64 * bf.n_inputs() as f64);
+    ThroughputPoint {
+        offered: rate,
+        injected: specs.len(),
+        mean_latency: mean,
+        p95_latency: p95,
+        throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_rate_matches_expectation() {
+        let bf = Butterfly::new(5);
+        let specs = bernoulli_workload(&bf, 0.1, 1000, 4, 7);
+        // E[count] = 32 * 1000 * 0.1 = 3200; allow ±15%.
+        let count = specs.len() as f64;
+        assert!((2720.0..=3680.0).contains(&count), "count {count}");
+        // Releases spread over the window.
+        assert!(specs.iter().any(|s| s.release < 100));
+        assert!(specs.iter().any(|s| s.release > 800));
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        let bf = Butterfly::new(4);
+        assert!(bernoulli_workload(&bf, 0.0, 100, 4, 1).is_empty());
+        let p = measure_throughput(4, 0.0, 100, 4, 1, 1);
+        assert_eq!(p.injected, 0);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let low = measure_throughput(5, 0.02, 400, 4, 1, 3);
+        let high = measure_throughput(5, 0.25, 400, 4, 1, 3);
+        assert!(low.injected > 0 && high.injected > low.injected);
+        assert!(
+            high.mean_latency > low.mean_latency,
+            "latency must rise with load: {} vs {}",
+            high.mean_latency,
+            low.mean_latency
+        );
+    }
+
+    #[test]
+    fn more_vcs_cut_latency_under_heavy_load() {
+        let rate = 0.25;
+        let b1 = measure_throughput(5, rate, 400, 4, 1, 5);
+        let b4 = measure_throughput(5, rate, 400, 4, 4, 5);
+        assert!(
+            b4.mean_latency < b1.mean_latency,
+            "B=4 should cut saturated latency: {} vs {}",
+            b4.mean_latency,
+            b1.mean_latency
+        );
+        assert!(b4.throughput >= b1.throughput * 0.99);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = measure_throughput(4, 0.1, 200, 4, 2, 9);
+        let b = measure_throughput(4, 0.1, 200, 4, 2, 9);
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.p95_latency, b.p95_latency);
+    }
+}

@@ -1,0 +1,144 @@
+//! The Theorem 2.2.1 experiment: instantiate the subset network, route it,
+//! and check every measured schedule respects the `(L−D)·M/B` progress
+//! bound (experiments E3/E4).
+
+use wormhole_flitsim::config::SimConfig;
+use wormhole_flitsim::message::specs_from_paths;
+use wormhole_flitsim::stats::Outcome;
+use wormhole_flitsim::wormhole;
+
+use wormhole_topology::lowerbound::{build, LowerBoundNet};
+
+use crate::firstfit::{first_fit, FirstFitOrder};
+use crate::schedule::ColorSchedule;
+
+/// Measurements from one lower-bound instance.
+#[derive(Clone, Debug)]
+pub struct LowerBoundRun {
+    /// Virtual channels `B`.
+    pub b: u32,
+    /// Base messages `M'`.
+    pub m_prime: u32,
+    /// Congestion `C = replication·(B+1)`.
+    pub congestion: u32,
+    /// Dilation `D`.
+    pub dilation: u32,
+    /// Total messages `M`.
+    pub messages: u32,
+    /// Message length `L` in flits.
+    pub msg_len: u32,
+    /// Makespan of greedy (unscheduled) wormhole routing with `B` VCs.
+    pub greedy_steps: u64,
+    /// Makespan of the first-fit B-bounded color schedule.
+    pub scheduled_steps: u64,
+    /// The exact progress bound `(L−D)·M/B` every schedule must respect.
+    pub progress_bound: u64,
+    /// The asymptotic form `L·C·D^{1/B}/B` (constant 1) for reporting.
+    pub asymptotic_bound: f64,
+}
+
+impl LowerBoundRun {
+    /// Both measured schedules respect the paper's bound.
+    pub fn bound_respected(&self) -> bool {
+        self.greedy_steps >= self.progress_bound && self.scheduled_steps >= self.progress_bound
+    }
+}
+
+/// Builds the Theorem 2.2.1 instance for `b` VCs with dilation `target_d`
+/// and `replication` copies per base message, then routes it with
+/// `L = l_factor · D` flits per message (the paper requires
+/// `L = (1+Ω(1))·D`; use `l_factor = 2`).
+pub fn run_experiment(
+    b: u32,
+    target_d: u32,
+    replication: u32,
+    l_factor: f64,
+    seed: u64,
+) -> LowerBoundRun {
+    assert!(l_factor > 1.0, "Theorem 2.2.1 needs L = (1+Ω(1))·D");
+    let net = build(b, target_d, replication, false);
+    measure(&net, (net.dilation as f64 * l_factor).round() as u32, seed)
+}
+
+/// Routes an already-built instance with messages of `msg_len` flits.
+pub fn measure(net: &LowerBoundNet, msg_len: u32, seed: u64) -> LowerBoundRun {
+    // Greedy, unscheduled: every message released at time 0. The network is
+    // acyclic (ranks only increase along paths) so greedy cannot deadlock.
+    debug_assert!(net.graph.is_acyclic());
+    let specs = specs_from_paths(&net.paths, msg_len);
+    let config = SimConfig::new(net.b).seed(seed);
+    let greedy = wormhole::run(&net.graph, &specs, &config);
+    assert_eq!(greedy.outcome, Outcome::Completed, "greedy run failed");
+
+    // Scheduled: first-fit B-bounded coloring + paper spacing.
+    let coloring = first_fit(&net.paths, &net.graph, net.b, FirstFitOrder::Input);
+    let sched = ColorSchedule::new(coloring, msg_len, net.dilation);
+    let scheduled = sched.execute_checked(&net.graph, &net.paths, msg_len, net.b);
+
+    LowerBoundRun {
+        b: net.b,
+        m_prime: net.m_prime,
+        congestion: net.congestion(),
+        dilation: net.dilation,
+        messages: net.num_messages(),
+        msg_len,
+        greedy_steps: greedy.total_steps,
+        scheduled_steps: scheduled.total_steps,
+        progress_bound: net.progress_lower_bound(msg_len),
+        asymptotic_bound: net.asymptotic_lower_bound(msg_len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_respected_b1() {
+        let run = run_experiment(1, 21, 1, 2.0, 0);
+        assert!(run.bound_respected(), "{run:?}");
+        assert_eq!(run.congestion, 2);
+        assert!(run.msg_len > run.dilation);
+    }
+
+    #[test]
+    fn bound_respected_b2_with_replication() {
+        let run = run_experiment(2, 25, 2, 2.0, 1);
+        assert!(run.bound_respected(), "{run:?}");
+        assert_eq!(run.congestion, 6);
+    }
+
+    #[test]
+    fn bound_respected_b3() {
+        let run = run_experiment(3, 25, 1, 2.0, 2);
+        assert!(run.bound_respected(), "{run:?}");
+        assert_eq!(run.b, 3);
+    }
+
+    #[test]
+    fn greedy_no_better_than_progress_bound_by_much_at_b1() {
+        // At B=1 the instance forces near-serialization: the measured greedy
+        // time must be within a small constant of (L−D)·M (it cannot beat
+        // it, and shouldn't exceed it wildly on this topology).
+        let run = run_experiment(1, 31, 1, 2.0, 3);
+        assert!(run.greedy_steps >= run.progress_bound);
+        assert!(
+            run.greedy_steps <= 8 * run.progress_bound.max(1),
+            "greedy {} vs bound {}",
+            run.greedy_steps,
+            run.progress_bound
+        );
+    }
+
+    #[test]
+    fn network_is_acyclic() {
+        let net = build(2, 30, 1, false);
+        assert!(net.graph.is_acyclic());
+    }
+
+    #[test]
+    #[should_panic(expected = "1+")]
+    fn rejects_short_messages() {
+        run_experiment(1, 15, 1, 1.0, 0);
+    }
+}

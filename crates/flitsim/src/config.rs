@@ -1,0 +1,168 @@
+//! Simulator configuration: the model knobs of §1.1 and §1.4.
+
+/// How much traffic a physical channel moves per flit step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BandwidthModel {
+    /// The paper's primary model (footnote 4): with `B` virtual channels, a
+    /// flit step transmits one flit on *each* VC — `B` flits per physical
+    /// channel per step.
+    BFlitsPerStep,
+    /// The restricted model of the §1.4 Remarks: buffering is still `B`
+    /// flits per edge, but each physical channel transmits at most **one**
+    /// flit per step. The paper's algorithms emulate here with a factor-`B`
+    /// slowdown.
+    OneFlitPerStep,
+}
+
+/// Which message wins when several headers contend for the free virtual
+/// channels of an edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arbitration {
+    /// Uniformly random among contenders (seeded; deterministic per seed).
+    Random,
+    /// Lowest message id first.
+    FifoById,
+    /// Earliest release time first (ties by id).
+    OldestFirst,
+    /// Lowest [`crate::message::MessageSpec::priority`] first (ties by id) —
+    /// used to favor earlier color classes when schedules overlap.
+    PriorityRank,
+}
+
+/// Whether crossing a message's final edge requires a virtual channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FinalEdgePolicy {
+    /// Physical (Dally-style) behaviour: the last edge is an edge like any
+    /// other; its flits are removed into the delivery buffer immediately
+    /// after crossing, but a VC must still be held while the worm streams.
+    RequiresVc,
+    /// Idealized reading of §1.1 ("as soon as a flit reaches its destination
+    /// node, the flit is removed"): delivery absorbs flits without consuming
+    /// a VC on the final edge.
+    Unlimited,
+}
+
+/// What happens to a worm whose header cannot advance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockedPolicy {
+    /// Stall in place holding all acquired VCs (ordinary wormhole routing).
+    Stall,
+    /// Discard the message immediately, releasing its VCs — the semantics of
+    /// step 4 of the §3.1 butterfly algorithm ("if a message is delayed at a
+    /// switch, then the message is discarded").
+    Discard,
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Virtual channels per physical channel (`B ≥ 1`).
+    pub vcs: u32,
+    /// Bandwidth model (see [`BandwidthModel`]).
+    pub bandwidth: BandwidthModel,
+    /// Header arbitration policy.
+    pub arbitration: Arbitration,
+    /// Final-edge VC policy.
+    pub final_edge: FinalEdgePolicy,
+    /// Blocked-worm policy.
+    pub blocked: BlockedPolicy,
+    /// Hard step cap: the run aborts with [`crate::stats::Outcome::MaxSteps`]
+    /// if any message is still unfinished after this many flit steps.
+    pub max_steps: u64,
+    /// RNG seed (used only by [`Arbitration::Random`]).
+    pub seed: u64,
+    /// When set, the simulator re-verifies VC accounting and flit
+    /// conservation every step (slow; used by tests).
+    pub check_invariants: bool,
+}
+
+impl SimConfig {
+    /// A config with `b` virtual channels and defaults matching the paper's
+    /// primary model.
+    pub fn new(b: u32) -> Self {
+        assert!(b >= 1, "need at least one virtual channel");
+        Self {
+            vcs: b,
+            bandwidth: BandwidthModel::BFlitsPerStep,
+            arbitration: Arbitration::FifoById,
+            final_edge: FinalEdgePolicy::RequiresVc,
+            blocked: BlockedPolicy::Stall,
+            max_steps: 100_000_000,
+            seed: 0,
+            check_invariants: false,
+        }
+    }
+
+    /// Sets the bandwidth model.
+    pub fn bandwidth(mut self, m: BandwidthModel) -> Self {
+        self.bandwidth = m;
+        self
+    }
+
+    /// Sets the arbitration policy.
+    pub fn arbitration(mut self, a: Arbitration) -> Self {
+        self.arbitration = a;
+        self
+    }
+
+    /// Sets the final-edge policy.
+    pub fn final_edge(mut self, p: FinalEdgePolicy) -> Self {
+        self.final_edge = p;
+        self
+    }
+
+    /// Sets the blocked-worm policy.
+    pub fn blocked(mut self, p: BlockedPolicy) -> Self {
+        self.blocked = p;
+        self
+    }
+
+    /// Sets the step cap.
+    pub fn max_steps(mut self, s: u64) -> Self {
+        self.max_steps = s;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Enables per-step invariant checking (slow).
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.check_invariants = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::new(3)
+            .bandwidth(BandwidthModel::OneFlitPerStep)
+            .arbitration(Arbitration::Random)
+            .final_edge(FinalEdgePolicy::Unlimited)
+            .blocked(BlockedPolicy::Discard)
+            .max_steps(10)
+            .seed(7)
+            .check_invariants(true);
+        assert_eq!(c.vcs, 3);
+        assert_eq!(c.bandwidth, BandwidthModel::OneFlitPerStep);
+        assert_eq!(c.arbitration, Arbitration::Random);
+        assert_eq!(c.final_edge, FinalEdgePolicy::Unlimited);
+        assert_eq!(c.blocked, BlockedPolicy::Discard);
+        assert_eq!(c.max_steps, 10);
+        assert_eq!(c.seed, 7);
+        assert!(c.check_invariants);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one virtual channel")]
+    fn rejects_zero_vcs() {
+        SimConfig::new(0);
+    }
+}

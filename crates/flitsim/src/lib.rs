@@ -1,0 +1,44 @@
+//! Flit-level network simulators for the Cole–Maggs–Sitaraman reproduction.
+//!
+//! Three routing disciplines, all cycle-accurate at flit granularity:
+//!
+//! * [`wormhole`] — the paper's model (§1.1): `B` virtual channels per
+//!   physical channel, one-flit buffers, rigid worms, configurable
+//!   bandwidth model (`B` flits/step vs. the restricted 1 flit/step of the
+//!   §1.4 Remarks), arbitration and discard policies, deadlock detection;
+//! * [`store_forward`] — the store-and-forward baseline: a switch must hold
+//!   an entire message before forwarding it (time measured in message steps
+//!   = `L` flit steps);
+//! * [`cut_through`] — virtual cut-through with `F`-flit single-message
+//!   buffers per edge (worms can compress behind a blocked header), used by
+//!   the §1.4 fixed-buffer comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use wormhole_flitsim::{config::SimConfig, wormhole};
+//! use wormhole_topology::random_nets::shared_chain_instance;
+//! use wormhole_flitsim::message::specs_from_paths;
+//!
+//! // Two messages share a 5-edge chain; with B = 2 VCs both fit and the
+//! // routing takes exactly D + L − 1 flit steps.
+//! let (graph, paths) = shared_chain_instance(2, 5);
+//! let specs = specs_from_paths(&paths, 4);
+//! let result = wormhole::run_to_completion(&graph, &specs, &SimConfig::new(2));
+//! assert_eq!(result.total_steps, 5 + 4 - 1);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cut_through;
+pub mod events;
+pub mod message;
+pub mod stats;
+pub mod store_forward;
+pub mod wormhole;
+
+pub use config::{Arbitration, BandwidthModel, BlockedPolicy, FinalEdgePolicy, SimConfig};
+pub use events::{DeadlockReport, TraceEvent, WaitFor};
+pub use message::{specs_from_paths, MessageSpec};
+pub use stats::{MessageOutcome, Outcome, SimResult};

@@ -1,0 +1,95 @@
+//! Message descriptions handed to the simulators.
+
+use wormhole_topology::path::{Path, PathSet};
+
+/// One message (worm) to route: a path, a length in flits, a release time,
+/// and an arbitration priority.
+#[derive(Clone, Debug)]
+pub struct MessageSpec {
+    /// The path the message follows (path selection is decoupled from
+    /// scheduling, per §1.1).
+    pub path: Path,
+    /// Message length `L` in flits, header included (`L ≥ 1`).
+    pub length: u32,
+    /// Flit step at which the message becomes available in its injection
+    /// buffer. Scheduling algorithms stagger these.
+    pub release: u64,
+    /// Arbitration rank for [`crate::config::Arbitration::PriorityRank`]
+    /// (lower wins). Schedules set this to the color-class index.
+    pub priority: u32,
+}
+
+impl MessageSpec {
+    /// A message released at time 0 with priority 0.
+    pub fn new(path: Path, length: u32) -> Self {
+        assert!(length >= 1, "a message has at least its header flit");
+        Self {
+            path,
+            length,
+            release: 0,
+            priority: 0,
+        }
+    }
+
+    /// Sets the release time.
+    pub fn release_at(mut self, t: u64) -> Self {
+        self.release = t;
+        self
+    }
+
+    /// Sets the arbitration priority.
+    pub fn with_priority(mut self, p: u32) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Path length (edges) of this message.
+    pub fn hops(&self) -> u32 {
+        self.path.len() as u32
+    }
+
+    /// Minimum completion time if never blocked: `hops + L − 1` flit steps
+    /// after release.
+    pub fn unblocked_time(&self) -> u64 {
+        self.hops() as u64 + self.length as u64 - 1
+    }
+}
+
+/// Converts a [`PathSet`] into uniform-length messages, all released at 0.
+pub fn specs_from_paths(paths: &PathSet, length: u32) -> Vec<MessageSpec> {
+    paths
+        .paths()
+        .iter()
+        .map(|p| MessageSpec::new(p.clone(), length))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_topology::graph::{GraphBuilder, NodeId};
+
+    #[test]
+    fn spec_builders() {
+        let mut b = GraphBuilder::new(3);
+        let e0 = b.add_edge(NodeId(0), NodeId(1));
+        let e1 = b.add_edge(NodeId(1), NodeId(2));
+        let _ = b.build();
+        let m = MessageSpec::new(Path::new(vec![e0, e1]), 4)
+            .release_at(10)
+            .with_priority(2);
+        assert_eq!(m.hops(), 2);
+        assert_eq!(m.release, 10);
+        assert_eq!(m.priority, 2);
+        assert_eq!(m.unblocked_time(), 2 + 4 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "header flit")]
+    fn zero_length_rejected() {
+        let mut b = GraphBuilder::new(2);
+        let e0 = b.add_edge(NodeId(0), NodeId(1));
+        let _ = b.build();
+        MessageSpec::new(Path::new(vec![e0]), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulation results and statistics.
+
+use crate::events::DeadlockReport;
+
+/// How a simulation run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every message finished (or was discarded, under
+    /// [`crate::config::BlockedPolicy::Discard`]).
+    Completed,
+    /// No worm could move and none will ever move again: deadlock. Contains
+    /// the ids of the blocked messages (a wait-for cycle exists among them).
+    Deadlock(Vec<u32>),
+    /// The step cap was reached with unfinished messages.
+    MaxSteps,
+}
+
+/// Per-message result.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MessageOutcome {
+    /// Flit step (end-of-step time) at which the last flit was delivered.
+    pub finished: Option<u64>,
+    /// Flit step at which the header first advanced.
+    pub first_move: Option<u64>,
+    /// Number of steps the worm was blocked wanting to move.
+    pub stalls: u64,
+    /// `true` if the message was discarded after a delay
+    /// ([`crate::config::BlockedPolicy::Discard`]).
+    pub discarded: bool,
+}
+
+impl MessageOutcome {
+    /// Latency from `release` to delivery, if delivered.
+    pub fn latency(&self, release: u64) -> Option<u64> {
+        self.finished.map(|f| f - release)
+    }
+}
+
+/// Aggregate result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Completion status.
+    pub outcome: Outcome,
+    /// Makespan: the end-of-step time of the last delivery (steps simulated
+    /// if the run did not complete).
+    pub total_steps: u64,
+    /// Per-message outcomes, indexed like the input specs.
+    pub messages: Vec<MessageOutcome>,
+    /// Maximum number of VCs simultaneously in use on any edge (≤ B).
+    pub max_vcs_in_use: u32,
+    /// Total blocked-step count across messages.
+    pub total_stalls: u64,
+    /// Total flit-edge crossings performed (a work measure).
+    pub flit_hops: u64,
+    /// On [`Outcome::Deadlock`]: the wait-for post-mortem (who waits on
+    /// which edge held by whom, plus a concrete cycle).
+    pub deadlock: Option<DeadlockReport>,
+}
+
+impl SimResult {
+    /// Number of delivered messages.
+    pub fn delivered(&self) -> usize {
+        self.messages.iter().filter(|m| m.finished.is_some()).count()
+    }
+
+    /// Number of discarded messages.
+    pub fn discarded(&self) -> usize {
+        self.messages.iter().filter(|m| m.discarded).count()
+    }
+
+    /// Largest delivery time, `None` if nothing was delivered.
+    pub fn makespan(&self) -> Option<u64> {
+        self.messages.iter().filter_map(|m| m.finished).max()
+    }
+
+    /// Mean latency over delivered messages, given the release times.
+    pub fn mean_latency(&self, releases: &[u64]) -> Option<f64> {
+        let mut sum = 0u64;
+        let mut cnt = 0u64;
+        for (m, &r) in self.messages.iter().zip(releases) {
+            if let Some(l) = m.latency(r) {
+                sum += l;
+                cnt += 1;
+            }
+        }
+        (cnt > 0).then(|| sum as f64 / cnt as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregations() {
+        let r = SimResult {
+            outcome: Outcome::Completed,
+            total_steps: 30,
+            messages: vec![
+                MessageOutcome {
+                    finished: Some(10),
+                    first_move: Some(1),
+                    stalls: 2,
+                    discarded: false,
+                },
+                MessageOutcome {
+                    finished: None,
+                    first_move: None,
+                    stalls: 0,
+                    discarded: true,
+                },
+                MessageOutcome {
+                    finished: Some(30),
+                    first_move: Some(0),
+                    stalls: 0,
+                    discarded: false,
+                },
+            ],
+            max_vcs_in_use: 2,
+            total_stalls: 2,
+            flit_hops: 99,
+            deadlock: None,
+        };
+        assert_eq!(r.delivered(), 2);
+        assert_eq!(r.discarded(), 1);
+        assert_eq!(r.makespan(), Some(30));
+        let lat = r.mean_latency(&[0, 0, 10]).unwrap();
+        assert!((lat - 15.0).abs() < 1e-9); // (10 + 20)/2
+    }
+
+    #[test]
+    fn latency_of_unfinished_is_none() {
+        let m = MessageOutcome::default();
+        assert_eq!(m.latency(5), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! Store-and-forward routing baseline.
+//!
+//! In a store-and-forward router a switch must buffer an **entire message**
+//! before forwarding it, so a message makes discrete hops; one hop takes a
+//! *message step* = `L` flit steps (paper §1). The Leighton–Maggs–Rao line
+//! of work shows `O(C + D)` message-step schedules exist for any instance;
+//! the paper contrasts this with wormhole routing, which the Thm 2.2.1
+//! instance forces up to `Ω(LCD)` flit steps at `B = 1` (experiment E4).
+//!
+//! The simulator is cycle-accurate at message-step granularity: each edge
+//! forwards at most one message per step, and each edge's head-of-edge
+//! buffer holds at most `buffer_capacity` messages (`None` = unbounded, the
+//! setting of the classic analyses). Moves are decided from start-of-step
+//! state, so results are independent of iteration order; a buffer slot freed
+//! in step `t` is usable at `t+1`.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use wormhole_topology::graph::Graph;
+use wormhole_topology::path::PathSet;
+
+use crate::stats::Outcome;
+
+/// Priority rule when several messages want the same edge in one step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SfArbitration {
+    /// Lowest message id wins.
+    Fifo,
+    /// Uniformly random winner (seeded).
+    Random,
+    /// The message with the most remaining hops wins (a classic greedy
+    /// heuristic that keeps long paths moving).
+    FarthestFirst,
+}
+
+/// Store-and-forward configuration.
+#[derive(Clone, Debug)]
+pub struct SfConfig {
+    /// Per-edge message buffer capacity; `None` = unbounded.
+    pub buffer_capacity: Option<u32>,
+    /// Contention policy.
+    pub arbitration: SfArbitration,
+    /// RNG seed (for [`SfArbitration::Random`]).
+    pub seed: u64,
+    /// Step cap (message steps).
+    pub max_steps: u64,
+}
+
+impl Default for SfConfig {
+    fn default() -> Self {
+        Self {
+            buffer_capacity: None,
+            arbitration: SfArbitration::Fifo,
+            seed: 0,
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// Result of a store-and-forward run. Times are in **message steps**;
+/// multiply by `L` (e.g. via [`SfResult::flit_steps`]) to compare against
+/// wormhole runs.
+#[derive(Clone, Debug)]
+pub struct SfResult {
+    /// Completion status.
+    pub outcome: Outcome,
+    /// Makespan in message steps.
+    pub message_steps: u64,
+    /// Per-message completion times (message steps, end-of-step).
+    pub finished: Vec<Option<u64>>,
+    /// Total blocked-step count.
+    pub total_stalls: u64,
+    /// Maximum messages ever resident in one edge buffer.
+    pub max_buffer_occupancy: u32,
+}
+
+impl SfResult {
+    /// Makespan converted to flit steps for messages of length `l`.
+    pub fn flit_steps(&self, l: u32) -> u64 {
+        self.message_steps * l as u64
+    }
+}
+
+/// Runs store-and-forward routing of `paths` over `graph`; `releases[i]`
+/// (message steps) gates injection of message `i` (pass an empty slice for
+/// all-at-zero).
+pub fn run(graph: &Graph, paths: &PathSet, releases: &[u64], config: &SfConfig) -> SfResult {
+    assert!(
+        releases.is_empty() || releases.len() == paths.len(),
+        "releases must be empty or one per message"
+    );
+    let n = paths.len();
+    let rel = |i: usize| -> u64 {
+        if releases.is_empty() {
+            0
+        } else {
+            releases[i]
+        }
+    };
+    // Position of each message: number of edges crossed so far; `u32::MAX`
+    // marks finished. A message that has crossed `j ≥ 1` edges occupies the
+    // buffer at the head of its `j`-th path edge.
+    let mut pos = vec![0u32; n];
+    let mut finished: Vec<Option<u64>> = vec![None; n];
+    let mut buffer_count = vec![0u32; graph.num_edges()];
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&i| (rel(i as usize), i));
+    let mut next_pending = 0usize;
+    let mut active: Vec<u32> = Vec::new();
+
+    // Scratch: contenders per edge.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); graph.num_edges()];
+    let mut touched: Vec<u32> = Vec::new();
+
+    let mut t: u64 = 0;
+    let mut total_stalls = 0u64;
+    let mut max_occ = 0u32;
+    let mut unfinished = n;
+    let outcome = loop {
+        if unfinished == 0 {
+            break Outcome::Completed;
+        }
+        if t >= config.max_steps {
+            break Outcome::MaxSteps;
+        }
+        if active.is_empty() {
+            match order.get(next_pending) {
+                Some(&m) => t = t.max(rel(m as usize)),
+                None => break Outcome::Completed,
+            }
+        }
+        while let Some(&m) = order.get(next_pending) {
+            if rel(m as usize) <= t {
+                active.push(m);
+                next_pending += 1;
+            } else {
+                break;
+            }
+        }
+
+        // Phase 1: every active message wants to cross its next edge.
+        for &m in &active {
+            let p = paths.path(m as usize);
+            let e = p.edges()[pos[m as usize] as usize].idx();
+            if buckets[e].is_empty() {
+                touched.push(e as u32);
+            }
+            buckets[e].push(m);
+        }
+        // Phase 2: per edge, one winner (bandwidth), subject to downstream
+        // buffer space at start of step.
+        let mut movers: Vec<u32> = Vec::new();
+        for &e in &touched {
+            let contenders = &mut buckets[e as usize];
+            // Downstream space: the winner lands in the buffer of edge `e`
+            // itself (head-of-edge buffer).
+            let has_space = config
+                .buffer_capacity
+                .is_none_or(|cap| buffer_count[e as usize] < cap);
+            if has_space {
+                let winner = match config.arbitration {
+                    SfArbitration::Fifo => *contenders.iter().min().unwrap(),
+                    SfArbitration::Random => {
+                        contenders[rng.random_range(0..contenders.len())]
+                    }
+                    SfArbitration::FarthestFirst => *contenders
+                        .iter()
+                        .min_by_key(|&&m| {
+                            let remaining =
+                                paths.path(m as usize).len() as u32 - pos[m as usize];
+                            (u32::MAX - remaining, m)
+                        })
+                        .unwrap(),
+                };
+                movers.push(winner);
+                total_stalls += contenders.len() as u64 - 1;
+            } else {
+                total_stalls += contenders.len() as u64;
+            }
+            contenders.clear();
+        }
+        touched.clear();
+        // Phase 3: apply moves.
+        let moved = !movers.is_empty();
+        for m in movers {
+            let mi = m as usize;
+            let p = paths.path(mi);
+            let crossing = pos[mi] as usize; // edge index being crossed
+            let e_new = p.edges()[crossing].idx();
+            if pos[mi] >= 1 {
+                let e_old = p.edges()[crossing - 1].idx();
+                buffer_count[e_old] -= 1;
+            }
+            pos[mi] += 1;
+            if pos[mi] as usize == p.len() {
+                finished[mi] = Some(t + 1);
+                unfinished -= 1;
+                pos[mi] = u32::MAX;
+                // Delivered: leaves the network immediately (delivery
+                // buffers are external and unbounded).
+            } else {
+                buffer_count[e_new] += 1;
+                max_occ = max_occ.max(buffer_count[e_new]);
+            }
+        }
+        active.retain(|&m| pos[m as usize] != u32::MAX);
+        if !moved && !active.is_empty() {
+            break Outcome::Deadlock(active.clone());
+        }
+        t += 1;
+    };
+
+    let message_steps = match outcome {
+        Outcome::Completed => finished.iter().filter_map(|&f| f).max().unwrap_or(0),
+        _ => t,
+    };
+    SfResult {
+        outcome,
+        message_steps,
+        finished,
+        total_stalls,
+        max_buffer_occupancy: max_occ,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_topology::graph::{GraphBuilder, NodeId};
+    use wormhole_topology::path::Path;
+    use wormhole_topology::random_nets::shared_chain_instance;
+
+    #[test]
+    fn lone_message_takes_d_message_steps() {
+        let (g, ps) = shared_chain_instance(1, 7);
+        let r = run(&g, &ps, &[], &SfConfig::default());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.message_steps, 7);
+        assert_eq!(r.flit_steps(4), 28);
+    }
+
+    #[test]
+    fn c_messages_on_one_chain_pipeline_to_c_plus_d() {
+        // With unbounded buffers, greedy store-and-forward on a shared chain
+        // is a pipeline: makespan = C + D − 1 message steps.
+        let (c, d) = (5u32, 9u32);
+        let (g, ps) = shared_chain_instance(c, d);
+        let r = run(&g, &ps, &[], &SfConfig::default());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.message_steps, (c + d - 1) as u64);
+    }
+
+    #[test]
+    fn bounded_buffers_still_complete_on_acyclic_chain() {
+        let (g, ps) = shared_chain_instance(6, 5);
+        let config = SfConfig {
+            buffer_capacity: Some(1),
+            ..SfConfig::default()
+        };
+        let r = run(&g, &ps, &[], &config);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.max_buffer_occupancy <= 1);
+        // Slower than unbounded but still pipelined.
+        assert!(r.message_steps >= 10);
+    }
+
+    #[test]
+    fn releases_delay_injection() {
+        let (g, ps) = shared_chain_instance(1, 4);
+        let r = run(&g, &ps, &[10], &SfConfig::default());
+        assert_eq!(r.message_steps, 14);
+    }
+
+    #[test]
+    fn farthest_first_prefers_long_paths() {
+        // Two messages contend for the first edge; the longer one wins
+        // under FarthestFirst.
+        let mut b = GraphBuilder::new(4);
+        let e0 = b.add_edge(NodeId(0), NodeId(1));
+        let e1 = b.add_edge(NodeId(1), NodeId(2));
+        let e2 = b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        let ps = PathSet::new(vec![
+            Path::new(vec![e0]),
+            Path::new(vec![e0, e1, e2]),
+        ]);
+        let config = SfConfig {
+            arbitration: SfArbitration::FarthestFirst,
+            ..SfConfig::default()
+        };
+        let r = run(&g, &ps, &[], &config);
+        assert_eq!(r.finished[1], Some(3), "long message goes first");
+        assert_eq!(r.finished[0], Some(2), "short one follows");
+    }
+
+    #[test]
+    fn random_arbitration_deterministic_per_seed() {
+        let (g, ps) = shared_chain_instance(8, 6);
+        let config = SfConfig {
+            arbitration: SfArbitration::Random,
+            seed: 3,
+            ..SfConfig::default()
+        };
+        let a = run(&g, &ps, &[], &config);
+        let b = run(&g, &ps, &[], &config);
+        assert_eq!(a.finished, b.finished);
+    }
+
+    #[test]
+    fn max_steps_aborts() {
+        let (g, ps) = shared_chain_instance(100, 3);
+        let config = SfConfig {
+            max_steps: 2,
+            ..SfConfig::default()
+        };
+        let r = run(&g, &ps, &[], &config);
+        assert_eq!(r.outcome, Outcome::MaxSteps);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (g, _) = shared_chain_instance(1, 2);
+        let r = run(&g, &PathSet::new(vec![]), &[], &SfConfig::default());
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.message_steps, 0);
+    }
+}

@@ -1,0 +1,1010 @@
+//! The flit-level wormhole simulator with virtual channels.
+//!
+//! Implements the model of §1.1 exactly (see DESIGN.md §3):
+//!
+//! * each directed edge carries `B` virtual channels, each owning a one-flit
+//!   buffer at the head of the edge;
+//! * a worm holds one VC on every edge its flits currently occupy; the VC is
+//!   acquired when the header crosses the edge and released when the tail
+//!   flit leaves its buffer;
+//! * with one-flit buffers the worm is **rigid**: either the header advances
+//!   and every trailing flit moves into the slot just vacated, or the whole
+//!   worm stalls ("the flits following the header must stall");
+//! * flits reaching the destination are removed into an unbounded delivery
+//!   buffer, so a worm whose header has arrived drains one flit per step.
+//!
+//! Because the worm is rigid, its entire configuration is captured by a
+//! single *advance count* `A`: flit `k` (header = 0) has crossed
+//! `max(0, A − k)` edges. The worm holds VCs on (1-based) edges
+//! `[max(1, A−L+1), min(A, d)]` and finishes at `A = d + L − 1`. An
+//! unblocked worm therefore completes in `d + L − 1` flit steps — the
+//! `D + L − 1` of the paper.
+//!
+//! A VC released during step `t` becomes available to other worms at step
+//! `t+1` (arbitration reads start-of-step state), which removes any
+//! dependence on message iteration order. Scheduled executions with at most
+//! `B` same-class messages per edge never block under this convention
+//! (proof: a worm acquiring an edge is itself one of the ≤ B users, so at
+//! most `B−1` others ever hold it simultaneously).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use wormhole_topology::graph::Graph;
+
+use crate::config::{Arbitration, BandwidthModel, BlockedPolicy, FinalEdgePolicy, SimConfig};
+use crate::events::{DeadlockReport, TraceEvent, WaitFor};
+use crate::message::MessageSpec;
+use crate::stats::{MessageOutcome, Outcome, SimResult};
+
+/// Restricted-model flit position: not yet injected.
+const FLIT_UNINJECTED: u32 = 0;
+/// Restricted-model flit position: delivered.
+const FLIT_DELIVERED: u32 = u32::MAX;
+
+struct Worm {
+    /// Edges crossed by the (virtual) header pipeline; see module docs.
+    advance: u32,
+    hops: u32,
+    length: u32,
+}
+
+impl Worm {
+    #[inline]
+    fn done(&self) -> bool {
+        self.advance == self.hops + self.length - 1
+    }
+
+    /// 1-based range of path edges on which this worm currently holds a VC.
+    #[inline]
+    fn held_range(&self) -> (u32, u32) {
+        if self.advance == 0 {
+            return (1, 0); // empty
+        }
+        let lo = (self.advance + 1).saturating_sub(self.length).max(1);
+        let hi = self.advance.min(self.hops);
+        (lo, hi)
+    }
+
+    /// Number of flits that cross an edge when the worm advances once.
+    #[inline]
+    fn crossing_width(&self) -> u32 {
+        let next = self.advance + 1;
+        let lo = (next + 1).saturating_sub(self.length).max(1);
+        let hi = next.min(self.hops);
+        hi - lo + 1
+    }
+}
+
+/// Runs the wormhole simulation of `specs` over `graph` under `config`.
+///
+/// Panics if any spec has an empty path or an invalid edge id.
+pub fn run(graph: &Graph, specs: &[MessageSpec], config: &SimConfig) -> SimResult {
+    Sim::new(graph, specs, config, false).run_inner().0
+}
+
+/// Runs and asserts the routing completed (no deadlock / step-cap abort).
+pub fn run_to_completion(graph: &Graph, specs: &[MessageSpec], config: &SimConfig) -> SimResult {
+    let r = run(graph, specs, config);
+    assert_eq!(r.outcome, Outcome::Completed, "simulation did not complete");
+    r
+}
+
+/// Runs with event tracing: every VC acquisition, blocked attempt (full
+/// bandwidth model), delivery, and discard is recorded. Traces grow with
+/// `O(steps · messages)` in the worst case — use on instances you intend
+/// to inspect.
+pub fn run_traced(
+    graph: &Graph,
+    specs: &[MessageSpec],
+    config: &SimConfig,
+) -> (SimResult, Vec<TraceEvent>) {
+    Sim::new(graph, specs, config, true).run_inner()
+}
+
+struct Sim<'a> {
+    specs: &'a [MessageSpec],
+    config: &'a SimConfig,
+    worms: Vec<Worm>,
+    outcomes: Vec<MessageOutcome>,
+    /// VCs currently held per edge.
+    holders: Vec<u16>,
+    /// Message ids contending for each edge this step (scratch).
+    buckets: Vec<Vec<u32>>,
+    touched: Vec<u32>,
+    active: Vec<u32>,
+    /// Message ids sorted by release time; `next_pending` indexes into it.
+    release_order: Vec<u32>,
+    next_pending: usize,
+    movers: Vec<u32>,
+    blocked: Vec<u32>,
+    rng: StdRng,
+    max_vcs: u16,
+    flit_hops: u64,
+    last_finish: u64,
+    unfinished: usize,
+    /// Bandwidth tokens per edge (restricted model scratch).
+    tokens_used: Vec<bool>,
+    token_touched: Vec<u32>,
+    /// Restricted model: per-worm flit positions (`FLIT_UNINJECTED`,
+    /// buffer index `1..d`, or `FLIT_DELIVERED`). Empty under the full
+    /// bandwidth model.
+    flit_pos: Vec<Vec<u32>>,
+    /// Restricted model: delivered flit counts.
+    rdelivered: Vec<u32>,
+    num_edges: usize,
+    tracing: bool,
+    trace: Vec<TraceEvent>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(graph: &Graph, specs: &'a [MessageSpec], config: &'a SimConfig, tracing: bool) -> Self {
+        for (i, s) in specs.iter().enumerate() {
+            assert!(!s.path.is_empty(), "message {i} has an empty path");
+            for &e in s.path.edges() {
+                assert!(e.idx() < graph.num_edges(), "message {i}: bad edge id");
+            }
+        }
+        let worms = specs
+            .iter()
+            .map(|s| Worm {
+                advance: 0,
+                hops: s.hops(),
+                length: s.length,
+            })
+            .collect();
+        let mut release_order: Vec<u32> = (0..specs.len() as u32).collect();
+        release_order.sort_by_key(|&i| (specs[i as usize].release, i));
+        let flit_pos = if config.bandwidth == BandwidthModel::OneFlitPerStep {
+            specs
+                .iter()
+                .map(|s| vec![FLIT_UNINJECTED; s.length as usize])
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            specs,
+            config,
+            worms,
+            outcomes: vec![MessageOutcome::default(); specs.len()],
+            holders: vec![0; graph.num_edges()],
+            buckets: vec![Vec::new(); graph.num_edges()],
+            touched: Vec::new(),
+            active: Vec::new(),
+            release_order,
+            next_pending: 0,
+            movers: Vec::new(),
+            blocked: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            max_vcs: 0,
+            flit_hops: 0,
+            last_finish: 0,
+            unfinished: specs.len(),
+            tokens_used: vec![false; graph.num_edges()],
+            token_touched: Vec::new(),
+            flit_pos,
+            rdelivered: vec![0; specs.len()],
+            num_edges: graph.num_edges(),
+            tracing,
+            trace: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn needs_vc(&self, worm: &Worm, edge_1based: u32) -> bool {
+        edge_1based < worm.hops || self.config.final_edge == FinalEdgePolicy::RequiresVc
+    }
+
+    #[inline]
+    fn path_edge(&self, msg: u32, edge_1based: u32) -> usize {
+        self.specs[msg as usize].path.edges()[edge_1based as usize - 1].idx()
+    }
+
+    fn run_inner(mut self) -> (SimResult, Vec<TraceEvent>) {
+        let mut t: u64 = 0;
+        let mut deadlock_report = None;
+        let outcome = loop {
+            if self.unfinished == 0 {
+                break Outcome::Completed;
+            }
+            if t >= self.config.max_steps {
+                break Outcome::MaxSteps;
+            }
+            // Fast-forward over idle gaps in sparse schedules.
+            if self.active.is_empty() {
+                match self.release_order.get(self.next_pending) {
+                    Some(&m) => t = t.max(self.specs[m as usize].release),
+                    None => break Outcome::Completed, // discarded remainder
+                }
+            }
+            while let Some(&m) = self.release_order.get(self.next_pending) {
+                if self.specs[m as usize].release <= t {
+                    self.active.push(m);
+                    self.next_pending += 1;
+                } else {
+                    break;
+                }
+            }
+
+            let moved = match self.config.bandwidth {
+                BandwidthModel::BFlitsPerStep => self.step_full_bandwidth(t),
+                BandwidthModel::OneFlitPerStep => self.step_restricted(t),
+            };
+
+            if !moved && !self.active.is_empty() && self.config.blocked == BlockedPolicy::Stall {
+                // Static state: every active worm is blocked on a held VC
+                // and releases only come from moves. Future arrivals cannot
+                // free anything. Deadlock.
+                deadlock_report = Some(self.build_deadlock_report());
+                break Outcome::Deadlock(self.active.clone());
+            }
+            if self.config.check_invariants {
+                self.validate();
+            }
+            t += 1;
+        };
+
+        let total_steps = match outcome {
+            Outcome::Completed => self.last_finish,
+            _ => t,
+        };
+        let total_stalls = self.outcomes.iter().map(|o| o.stalls).sum();
+        (
+            SimResult {
+                outcome,
+                total_steps,
+                messages: self.outcomes,
+                max_vcs_in_use: self.max_vcs as u32,
+                total_stalls,
+                flit_hops: self.flit_hops,
+                deadlock: deadlock_report,
+            },
+            self.trace,
+        )
+    }
+
+    /// Reconstructs the wait-for relation at the moment of deadlock: per
+    /// blocked worm, the edge it wants and that edge's current holders.
+    fn build_deadlock_report(&self) -> DeadlockReport {
+        // Holder lists per edge, from the live occupancy.
+        let mut holders_of: std::collections::HashMap<usize, Vec<u32>> = Default::default();
+        for &m in &self.active {
+            let mi = m as usize;
+            let w = &self.worms[mi];
+            let (lo, hi) = if self.config.bandwidth == BandwidthModel::BFlitsPerStep {
+                w.held_range()
+            } else {
+                let pos = &self.flit_pos[mi];
+                let head = match pos[0] {
+                    FLIT_UNINJECTED => 0,
+                    FLIT_DELIVERED => w.hops,
+                    p => p,
+                };
+                let tail = match pos[pos.len() - 1] {
+                    FLIT_UNINJECTED => 0,
+                    FLIT_DELIVERED => w.hops,
+                    p => p - 1,
+                };
+                (tail + 1, head)
+            };
+            for j in lo..=hi {
+                if self.needs_vc(w, j) {
+                    holders_of.entry(self.path_edge(m, j)).or_default().push(m);
+                }
+            }
+        }
+        let mut waits = Vec::new();
+        for &m in &self.active {
+            let mi = m as usize;
+            let w = &self.worms[mi];
+            let wanted = if self.config.bandwidth == BandwidthModel::BFlitsPerStep {
+                w.advance + 1
+            } else {
+                match self.flit_pos[mi][0] {
+                    FLIT_UNINJECTED => 1,
+                    FLIT_DELIVERED => continue, // draining; not head-blocked
+                    p => p + 1,
+                }
+            };
+            if wanted > w.hops {
+                continue;
+            }
+            let e = self.path_edge(m, wanted);
+            waits.push(WaitFor {
+                message: m,
+                edge: e as u32,
+                holders: holders_of.get(&e).cloned().unwrap_or_default(),
+            });
+        }
+        waits.sort_by_key(|w| w.message);
+        DeadlockReport::from_waits(waits)
+    }
+
+    /// One step under the paper's primary model: every VC moves one flit.
+    /// Returns whether any worm advanced.
+    fn step_full_bandwidth(&mut self, t: u64) -> bool {
+        self.movers.clear();
+        self.blocked.clear();
+        // Phase 1: classify worms into drains, contenders, free movers.
+        for i in 0..self.active.len() {
+            let m = self.active[i];
+            let w = &self.worms[m as usize];
+            if w.advance >= w.hops {
+                self.movers.push(m); // draining into the delivery buffer
+            } else {
+                let next = w.advance + 1;
+                if self.needs_vc(w, next) {
+                    let e = self.path_edge(m, next);
+                    if self.buckets[e].is_empty() {
+                        self.touched.push(e as u32);
+                    }
+                    self.buckets[e].push(m);
+                } else {
+                    self.movers.push(m);
+                }
+            }
+        }
+        // Phase 2: per-edge arbitration using start-of-step holder counts.
+        for ti in 0..self.touched.len() {
+            let e = self.touched[ti] as usize;
+            let free = (self.config.vcs as usize).saturating_sub(self.holders[e] as usize);
+            // Move contenders out to appease the borrow checker cheaply.
+            let mut contenders = std::mem::take(&mut self.buckets[e]);
+            if contenders.len() > free {
+                self.order_contenders(&mut contenders);
+                for &m in &contenders[free..] {
+                    self.blocked.push(m);
+                }
+                contenders.truncate(free);
+            }
+            self.movers.extend_from_slice(&contenders);
+            contenders.clear();
+            self.buckets[e] = contenders; // return allocation
+        }
+        self.touched.clear();
+        // Phase 3: apply.
+        let moved = !self.movers.is_empty();
+        for i in 0..self.movers.len() {
+            let m = self.movers[i];
+            self.apply_advance(m, t);
+        }
+        for i in 0..self.blocked.len() {
+            let m = self.blocked[i];
+            self.outcomes[m as usize].stalls += 1;
+            if self.tracing {
+                let wanted = self.worms[m as usize].advance + 1;
+                let edge = self.path_edge(m, wanted) as u32;
+                self.trace.push(TraceEvent::Blocked { t, msg: m, edge });
+            }
+            if self.config.blocked == BlockedPolicy::Discard {
+                self.discard(m, t);
+            }
+        }
+        self.retire_finished();
+        moved
+    }
+
+    /// One step under the restricted model: each physical edge transmits at
+    /// most **one flit** per step, and flits advance *individually* (the
+    /// buffering is still `B` one-flit VC buffers per edge, but the shared
+    /// wire forces time-multiplexing). This per-flit semantics is what makes
+    /// the paper's factor-`B` emulation hold: worms sharing one edge only
+    /// contend on that edge's token, not on their entire pipelines.
+    ///
+    /// Flits of a worm are processed head-to-tail with current-state gap
+    /// checks, so an unobstructed worm still advances every flit each step
+    /// (completing in `d + L − 1`); cross-worm contention is resolved by the
+    /// per-edge token in rotating worm order.
+    fn step_restricted(&mut self, t: u64) -> bool {
+        assert_eq!(
+            self.config.blocked,
+            BlockedPolicy::Stall,
+            "Discard is not supported under the restricted bandwidth model"
+        );
+        for &e in &self.token_touched {
+            self.tokens_used[e as usize] = false;
+        }
+        self.token_touched.clear();
+        let n_active = self.active.len();
+        let start = if n_active == 0 { 0 } else { (t as usize) % n_active };
+        let mut any_moved = false;
+        for off in 0..n_active {
+            let m = self.active[(start + off) % n_active];
+            let mi = m as usize;
+            let d = self.worms[mi].hops;
+            let length = self.worms[mi].length as usize;
+            let mut worm_moved = false;
+            for k in 0..length {
+                let p = self.flit_pos[mi][k];
+                if p == FLIT_DELIVERED {
+                    continue;
+                }
+                let target = if p == FLIT_UNINJECTED { 1 } else { p + 1 };
+                if target > d {
+                    continue; // defensive; crossing edge d delivers
+                }
+                if k > 0 {
+                    // The slot ahead (buffer of `target`) must be free of the
+                    // predecessor flit; processed head-first, a predecessor
+                    // that moved this step already vacated it.
+                    let pred = self.flit_pos[mi][k - 1];
+                    if pred != FLIT_DELIVERED && pred <= target {
+                        continue;
+                    }
+                } else {
+                    // Head flit: acquires a VC on the edge it crosses.
+                    if self.needs_vc(&self.worms[mi], target)
+                        && (self.holders[self.path_edge(m, target)] as u32) >= self.config.vcs
+                    {
+                        continue;
+                    }
+                }
+                let e = self.path_edge(m, target);
+                if self.tokens_used[e] {
+                    continue;
+                }
+                // Apply the crossing.
+                self.tokens_used[e] = true;
+                self.token_touched.push(e as u32);
+                self.flit_hops += 1;
+                let delivered = target == d;
+                self.flit_pos[mi][k] = if delivered { FLIT_DELIVERED } else { target };
+                if k == 0 {
+                    if self.needs_vc(&self.worms[mi], target) {
+                        self.holders[e] += 1;
+                        debug_assert!(self.holders[e] as u32 <= self.config.vcs);
+                        self.max_vcs = self.max_vcs.max(self.holders[e]);
+                        if self.tracing {
+                            self.trace.push(TraceEvent::Acquire {
+                                t,
+                                msg: m,
+                                edge: e as u32,
+                            });
+                        }
+                    }
+                    if self.outcomes[mi].first_move.is_none() {
+                        self.outcomes[mi].first_move = Some(t);
+                    }
+                }
+                if k == length - 1 {
+                    // Tail: releases the buffer it left and, on delivery,
+                    // the final edge's VC.
+                    if p != FLIT_UNINJECTED && self.needs_vc(&self.worms[mi], p) {
+                        let e_old = self.path_edge(m, p);
+                        self.holders[e_old] -= 1;
+                    }
+                    if delivered && self.needs_vc(&self.worms[mi], d) {
+                        self.holders[e] -= 1;
+                    }
+                }
+                if delivered {
+                    self.rdelivered[mi] += 1;
+                    if self.rdelivered[mi] as usize == length {
+                        self.outcomes[mi].finished = Some(t + 1);
+                        self.last_finish = self.last_finish.max(t + 1);
+                        self.unfinished -= 1;
+                        if self.tracing {
+                            self.trace.push(TraceEvent::Finish { t: t + 1, msg: m });
+                        }
+                    }
+                }
+                worm_moved = true;
+            }
+            if worm_moved {
+                any_moved = true;
+            } else {
+                self.outcomes[mi].stalls += 1;
+            }
+        }
+        let outcomes = &self.outcomes;
+        self.active.retain(|&m| outcomes[m as usize].finished.is_none());
+        any_moved
+    }
+
+    fn apply_advance(&mut self, m: u32, t: u64) {
+        let (hops, length, width) = {
+            let w = &self.worms[m as usize];
+            (w.hops, w.length, w.crossing_width())
+        };
+        self.flit_hops += width as u64;
+        let out = &mut self.outcomes[m as usize];
+        if out.first_move.is_none() {
+            out.first_move = Some(t);
+        }
+        self.worms[m as usize].advance += 1;
+        let a = self.worms[m as usize].advance;
+        // Acquire the newly crossed edge.
+        if a <= hops && self.needs_vc(&self.worms[m as usize], a) {
+            let e = self.path_edge(m, a);
+            self.holders[e] += 1;
+            debug_assert!(self.holders[e] as u32 <= self.config.vcs, "VC oversubscribed");
+            self.max_vcs = self.max_vcs.max(self.holders[e]);
+            if self.tracing {
+                self.trace.push(TraceEvent::Acquire {
+                    t,
+                    msg: m,
+                    edge: e as u32,
+                });
+            }
+        }
+        // Release the edge the tail just left.
+        if a > length {
+            let rel = a - length; // 1-based; always ≤ hops − 1 here
+            if self.needs_vc(&self.worms[m as usize], rel) {
+                let e = self.path_edge(m, rel);
+                self.holders[e] -= 1;
+            }
+        }
+        if self.worms[m as usize].done() {
+            // The final edge's VC is released on completion.
+            if self.needs_vc(&self.worms[m as usize], hops) {
+                let e = self.path_edge(m, hops);
+                self.holders[e] -= 1;
+            }
+            let out = &mut self.outcomes[m as usize];
+            out.finished = Some(t + 1);
+            self.last_finish = self.last_finish.max(t + 1);
+            self.unfinished -= 1;
+            if self.tracing {
+                self.trace.push(TraceEvent::Finish { t: t + 1, msg: m });
+            }
+        }
+    }
+
+    fn discard(&mut self, m: u32, t: u64) {
+        let (lo, hi) = self.worms[m as usize].held_range();
+        for j in lo..=hi {
+            if self.needs_vc(&self.worms[m as usize], j) {
+                let e = self.path_edge(m, j);
+                self.holders[e] -= 1;
+            }
+        }
+        self.outcomes[m as usize].discarded = true;
+        self.unfinished -= 1;
+        if self.tracing {
+            self.trace.push(TraceEvent::Discard { t, msg: m });
+        }
+        // Removal from the active list happens in retire_finished via the
+        // discarded flag.
+    }
+
+    fn retire_finished(&mut self) {
+        let outcomes = &self.outcomes;
+        let worms = &self.worms;
+        self.active
+            .retain(|&m| !worms[m as usize].done() && !outcomes[m as usize].discarded);
+    }
+
+    fn order_contenders(&mut self, contenders: &mut [u32]) {
+        match self.config.arbitration {
+            Arbitration::FifoById => contenders.sort_unstable(),
+            Arbitration::OldestFirst => {
+                contenders.sort_unstable_by_key(|&m| (self.specs[m as usize].release, m));
+            }
+            Arbitration::PriorityRank => {
+                contenders.sort_unstable_by_key(|&m| (self.specs[m as usize].priority, m));
+            }
+            Arbitration::Random => contenders.shuffle(&mut self.rng),
+        }
+    }
+
+    /// Recomputes VC holder counts from scratch and checks all invariants.
+    fn validate(&self) {
+        if self.config.bandwidth == BandwidthModel::OneFlitPerStep {
+            self.validate_restricted();
+            return;
+        }
+        let mut expect = vec![0u16; self.num_edges];
+        for &m in &self.active {
+            let w = &self.worms[m as usize];
+            let (lo, hi) = w.held_range();
+            for j in lo..=hi {
+                if self.needs_vc(w, j) {
+                    expect[self.path_edge(m, j)] += 1;
+                }
+            }
+        }
+        assert_eq!(expect, self.holders, "VC accounting mismatch");
+        for (e, &h) in self.holders.iter().enumerate() {
+            assert!(
+                h as u32 <= self.config.vcs,
+                "edge {e} holds {h} > B VCs"
+            );
+        }
+        // Flit conservation per worm: injected − delivered == in-network.
+        for &m in &self.active {
+            let w = &self.worms[m as usize];
+            let injected = w.advance.min(w.length);
+            let delivered = (w.advance + 1).saturating_sub(w.hops).min(w.length);
+            let in_net = (w.held_range().1 + 1).saturating_sub(w.held_range().0);
+            let expected = injected - delivered;
+            // The held-edge count equals the in-network flit count, except
+            // that once the header has arrived (advance ≥ hops) the
+            // destination edge's buffer clears instantly while its VC is
+            // still held — exactly one extra held edge.
+            let slack = u32::from(w.advance >= w.hops);
+            assert!(
+                in_net == expected + slack,
+                "flit conservation violated for message {m}: in_net={in_net} injected={injected} delivered={delivered}"
+            );
+        }
+    }
+
+    /// Invariant checks for the restricted (per-flit) model.
+    fn validate_restricted(&self) {
+        let mut expect = vec![0u16; self.num_edges];
+        for &m in &self.active {
+            let mi = m as usize;
+            let w = &self.worms[mi];
+            let d = w.hops;
+            let pos = &self.flit_pos[mi];
+            // Flit positions are strictly ordered head-to-tail.
+            for k in 1..pos.len() {
+                let (a, b) = (pos[k - 1], pos[k]);
+                if b != FLIT_UNINJECTED && a != FLIT_DELIVERED {
+                    assert!(a > b, "flit order violated for message {m}: {a} !> {b}");
+                }
+            }
+            // Held VC range: (tail_released, head_acquired].
+            let head_acq = match pos[0] {
+                FLIT_UNINJECTED => 0,
+                FLIT_DELIVERED => d,
+                p => p,
+            };
+            let tail_rel = match pos[pos.len() - 1] {
+                FLIT_UNINJECTED => 0,
+                FLIT_DELIVERED => d,
+                p => p - 1,
+            };
+            for j in tail_rel + 1..=head_acq {
+                if self.needs_vc(w, j) {
+                    expect[self.path_edge(m, j)] += 1;
+                }
+            }
+            // Conservation: injected − delivered flits sit in buffers.
+            let in_buffers = pos
+                .iter()
+                .filter(|&&p| p != FLIT_UNINJECTED && p != FLIT_DELIVERED)
+                .count() as u32;
+            let delivered = self.rdelivered[mi];
+            let uninjected = pos.iter().filter(|&&p| p == FLIT_UNINJECTED).count() as u32;
+            assert_eq!(
+                in_buffers + delivered + uninjected,
+                w.length,
+                "flit conservation violated for message {m}"
+            );
+        }
+        assert_eq!(expect, self.holders, "restricted VC accounting mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::specs_from_paths;
+    use wormhole_topology::graph::{GraphBuilder, NodeId};
+    use wormhole_topology::path::{Path, PathSet};
+    use wormhole_topology::random_nets::shared_chain_instance;
+
+    fn chain(n: u32) -> (Graph, Vec<wormhole_topology::graph::EdgeId>) {
+        let mut b = GraphBuilder::new(n as usize);
+        let edges = (0..n - 1)
+            .map(|i| b.add_edge(NodeId(i), NodeId(i + 1)))
+            .collect();
+        (b.build(), edges)
+    }
+
+    fn cfg(b: u32) -> SimConfig {
+        SimConfig::new(b).check_invariants(true)
+    }
+
+    #[test]
+    fn single_worm_takes_d_plus_l_minus_1() {
+        for (d, l) in [(1u32, 1u32), (1, 5), (5, 1), (7, 3), (3, 7), (10, 10)] {
+            let (g, edges) = chain(d + 1);
+            let spec = MessageSpec::new(Path::new(edges), l);
+            let r = run_to_completion(&g, &[spec], &cfg(2));
+            assert_eq!(
+                r.total_steps,
+                (d + l - 1) as u64,
+                "d={d} l={l}: unblocked worm must take d+L−1 steps"
+            );
+            assert_eq!(r.messages[0].finished, Some((d + l - 1) as u64));
+            assert_eq!(r.messages[0].stalls, 0);
+            assert_eq!(r.flit_hops, (d as u64) * (l as u64));
+        }
+    }
+
+    #[test]
+    fn release_time_shifts_completion() {
+        let (g, edges) = chain(4);
+        let spec = MessageSpec::new(Path::new(edges), 2).release_at(10);
+        let r = run_to_completion(&g, &[spec], &cfg(1));
+        assert_eq!(r.total_steps, 10 + 3 + 2 - 1);
+    }
+
+    #[test]
+    fn b_worms_share_an_edge_without_blocking() {
+        // B identical messages over one chain: all fit on separate VCs and
+        // finish together in d+L−1.
+        for b in 1..=4u32 {
+            let (g, ps) = shared_chain_instance(b, 6);
+            let specs = specs_from_paths(&ps, 4);
+            let r = run_to_completion(&g, &specs, &cfg(b));
+            assert_eq!(r.total_steps, 6 + 4 - 1);
+            assert_eq!(r.max_vcs_in_use, b);
+            assert_eq!(r.total_stalls, 0);
+        }
+    }
+
+    #[test]
+    fn b_plus_one_worms_serialize_behind_b_vcs() {
+        // C = B+1 identical worms: one must wait for a VC to free. The
+        // freed VC appears when a finishing worm's tail leaves the first
+        // edge, i.e. after L steps; so the last worm finishes later.
+        let b = 2u32;
+        let (g, ps) = shared_chain_instance(b + 1, 5);
+        let specs = specs_from_paths(&ps, 4);
+        let r = run_to_completion(&g, &specs, &cfg(b));
+        assert!(r.total_steps > 5 + 4 - 1, "third worm must have waited");
+        assert!(r.total_stalls > 0);
+        assert_eq!(r.max_vcs_in_use, b);
+    }
+
+    #[test]
+    fn full_serialization_when_b_is_1() {
+        // C worms over a chain with B=1 serialize: worm i+1 grabs the first
+        // edge's VC one step after worm i's tail leaves it (the release
+        // lands at the end of step t, so acquisition happens at t+1).
+        // Makespan = (C−1)·(L+1) + D + L − 1.
+        let (c, d, l) = (4u32, 6u32, 3u32);
+        let (g, ps) = shared_chain_instance(c, d);
+        let specs = specs_from_paths(&ps, l);
+        let r = run_to_completion(&g, &specs, &cfg(1));
+        assert_eq!(r.total_steps, ((c - 1) * (l + 1) + d + l - 1) as u64);
+    }
+
+    #[test]
+    fn deadlock_detected_on_two_cycle() {
+        // Two worms chasing each other around a 4-cycle with B=1 and L
+        // long enough that each holds its first edge while wanting the
+        // other's: a → b → a. Classic wormhole deadlock.
+        let mut bld = GraphBuilder::new(4);
+        let e01 = bld.add_edge(NodeId(0), NodeId(1));
+        let e12 = bld.add_edge(NodeId(1), NodeId(2));
+        let e23 = bld.add_edge(NodeId(2), NodeId(3));
+        let e30 = bld.add_edge(NodeId(3), NodeId(0));
+        let g = bld.build();
+        // Worm A: 0→1→2, worm B: 2→3→0→1. With L=3 and B=1, A holds e01
+        // and wants e12... build mutual waits:
+        let a = MessageSpec::new(Path::new(vec![e01, e12, e23]), 8);
+        let bmsg = MessageSpec::new(Path::new(vec![e23, e30, e01]), 8);
+        let r = run(&g, &[a, bmsg], &cfg(1));
+        match r.outcome {
+            Outcome::Deadlock(ids) => {
+                assert_eq!(ids.len(), 2);
+            }
+            o => panic!("expected deadlock, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn discard_policy_drops_blocked_worms() {
+        let (g, ps) = shared_chain_instance(3, 5);
+        let specs = specs_from_paths(&ps, 4);
+        let config = cfg(1).blocked(BlockedPolicy::Discard);
+        let r = run(&g, &specs, &config);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.delivered(), 1, "only one worm fits; others discarded");
+        assert_eq!(r.discarded(), 2);
+        assert_eq!(r.total_steps, 5 + 4 - 1);
+    }
+
+    #[test]
+    fn max_steps_aborts() {
+        let (g, ps) = shared_chain_instance(4, 5);
+        let specs = specs_from_paths(&ps, 4);
+        let config = cfg(1).max_steps(3);
+        let r = run(&g, &specs, &config);
+        assert_eq!(r.outcome, Outcome::MaxSteps);
+    }
+
+    #[test]
+    fn arbitration_priority_rank_orders_winners() {
+        // Two worms contend for one VC; the one with lower priority value
+        // must win regardless of id.
+        let (g, edges) = chain(5);
+        let p = Path::new(edges);
+        let m0 = MessageSpec::new(p.clone(), 3).with_priority(5);
+        let m1 = MessageSpec::new(p, 3).with_priority(1);
+        let config = cfg(1).arbitration(Arbitration::PriorityRank);
+        let r = run_to_completion(&g, &[m0, m1], &config);
+        assert!(
+            r.messages[1].finished.unwrap() < r.messages[0].finished.unwrap(),
+            "higher-priority (lower value) worm must finish first"
+        );
+    }
+
+    #[test]
+    fn random_arbitration_is_deterministic_per_seed() {
+        let (g, ps) = shared_chain_instance(6, 8);
+        let specs = specs_from_paths(&ps, 5);
+        let c1 = cfg(2).arbitration(Arbitration::Random).seed(42);
+        let r1 = run_to_completion(&g, &specs, &c1);
+        let r2 = run_to_completion(&g, &specs, &c1);
+        for (a, b) in r1.messages.iter().zip(&r2.messages) {
+            assert_eq!(a.finished, b.finished);
+        }
+    }
+
+    #[test]
+    fn restricted_model_single_worm_is_unslowed() {
+        // One worm alone: it crosses ≤ min(L, d) edges per step but that
+        // needs only its own tokens, so it still advances every step.
+        let (g, edges) = chain(6);
+        let spec = MessageSpec::new(Path::new(edges), 4);
+        let config = cfg(2).bandwidth(BandwidthModel::OneFlitPerStep);
+        let r = run_to_completion(&g, &[spec], &config);
+        assert_eq!(r.total_steps, 5 + 4 - 1);
+    }
+
+    #[test]
+    fn restricted_model_b_worms_timeshare() {
+        // B worms on one chain under the restricted model: the shared edges
+        // have 1 flit/step of bandwidth, so B worms take ≈ B times longer
+        // than under the full-bandwidth model.
+        let b = 3u32;
+        let (g, ps) = shared_chain_instance(b, 8);
+        let specs = specs_from_paths(&ps, 6);
+        let full = run_to_completion(&g, &specs, &cfg(b));
+        let restricted = run_to_completion(
+            &g,
+            &specs,
+            &cfg(b).bandwidth(BandwidthModel::OneFlitPerStep),
+        );
+        assert!(
+            restricted.total_steps >= (b as u64 - 1) * full.total_steps / 2,
+            "restricted {} vs full {}",
+            restricted.total_steps,
+            full.total_steps
+        );
+        assert!(restricted.total_steps >= full.total_steps);
+    }
+
+    #[test]
+    fn unlimited_final_edge_allows_oversubscription_at_sink() {
+        // Many single-edge messages into one sink: with Unlimited they all
+        // finish in L steps (no VC constraint on the final edge).
+        let (g, edges) = chain(2);
+        let specs: Vec<_> = (0..5)
+            .map(|_| MessageSpec::new(Path::new(edges.clone()), 3))
+            .collect();
+        let config = cfg(1).final_edge(FinalEdgePolicy::Unlimited);
+        let r = run_to_completion(&g, &specs, &config);
+        assert_eq!(r.total_steps, 1 + 3 - 1);
+        // Whereas under RequiresVc they serialize.
+        let r2 = run_to_completion(&g, &specs, &cfg(1));
+        assert!(r2.total_steps > r.total_steps);
+    }
+
+    #[test]
+    fn staggered_releases_pipeline_cleanly() {
+        // Two worms on the same chain, second released one step after the
+        // first's tail frees the first edge (release during step L−1+... the
+        // first edge frees during step L, usable at L+1): no stalls.
+        let (g, edges) = chain(6);
+        let l = 4u32;
+        let m0 = MessageSpec::new(Path::new(edges.clone()), l);
+        let m1 = MessageSpec::new(Path::new(edges), l).release_at(l as u64 + 1);
+        let r = run_to_completion(&g, &[m0, m1], &cfg(1));
+        assert_eq!(r.total_stalls, 0);
+        assert_eq!(
+            r.messages[1].finished,
+            Some((l + 1) as u64 + 5 + l as u64 - 1)
+        );
+    }
+
+    #[test]
+    fn empty_spec_list_completes_instantly() {
+        let (g, _) = chain(3);
+        let r = run(&g, &[], &cfg(1));
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.total_steps, 0);
+    }
+
+    #[test]
+    fn flit_hops_counts_total_work() {
+        let (g, ps) = shared_chain_instance(2, 4);
+        let specs = specs_from_paths(&ps, 3);
+        let r = run_to_completion(&g, &specs, &cfg(2));
+        assert_eq!(r.flit_hops, 2 * 4 * 3);
+    }
+
+    #[test]
+    fn worms_with_different_lengths_and_paths() {
+        let (g, edges) = chain(8);
+        let specs = vec![
+            MessageSpec::new(Path::new(edges[0..3].to_vec()), 2),
+            MessageSpec::new(Path::new(edges[2..7].to_vec()), 9),
+            MessageSpec::new(Path::new(edges[5..6].to_vec()), 1),
+        ];
+        let r = run_to_completion(&g, &specs, &cfg(2));
+        assert_eq!(r.delivered(), 3);
+        for (i, m) in r.messages.iter().enumerate() {
+            let lb = specs[i].unblocked_time();
+            assert!(m.finished.unwrap() >= lb);
+        }
+    }
+
+    #[test]
+    fn trace_records_acquisitions_and_finish() {
+        let (g, edges) = chain(5);
+        let spec = MessageSpec::new(Path::new(edges), 3);
+        let (r, trace) = run_traced(&g, &[spec], &cfg(1));
+        assert_eq!(r.outcome, Outcome::Completed);
+        let acquires = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Acquire { .. }))
+            .count();
+        assert_eq!(acquires, 4, "one acquisition per path edge");
+        assert!(matches!(
+            trace.last(),
+            Some(TraceEvent::Finish { t: 6, msg: 0 })
+        ));
+    }
+
+    #[test]
+    fn trace_records_blocks_and_discards() {
+        let (g, ps) = shared_chain_instance(2, 4);
+        let specs = specs_from_paths(&ps, 3);
+        let config = cfg(1).blocked(BlockedPolicy::Discard);
+        let (r, trace) = run_traced(&g, &specs, &config);
+        assert_eq!(r.discarded(), 1);
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Blocked { t: 0, msg: 1, .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Discard { t: 0, msg: 1 })));
+    }
+
+    #[test]
+    fn deadlock_report_names_the_cycle() {
+        let mut bld = GraphBuilder::new(4);
+        let e01 = bld.add_edge(NodeId(0), NodeId(1));
+        let e12 = bld.add_edge(NodeId(1), NodeId(2));
+        let e23 = bld.add_edge(NodeId(2), NodeId(3));
+        let e30 = bld.add_edge(NodeId(3), NodeId(0));
+        let g = bld.build();
+        let a = MessageSpec::new(Path::new(vec![e01, e12, e23]), 8);
+        let bmsg = MessageSpec::new(Path::new(vec![e23, e30, e01]), 8);
+        let r = run(&g, &[a, bmsg], &cfg(1));
+        let rep = r.deadlock.expect("deadlock report present");
+        assert_eq!(rep.cycle.len(), 2, "mutual wait: {rep:?}");
+        // Worm 0 waits on e23 (held by 1), worm 1 waits on e01 (held by 0).
+        let w0 = rep.waits.iter().find(|w| w.message == 0).unwrap();
+        assert_eq!(w0.edge, e23.0);
+        assert_eq!(w0.holders, vec![1]);
+        let w1 = rep.waits.iter().find(|w| w.message == 1).unwrap();
+        assert_eq!(w1.edge, e01.0);
+        assert_eq!(w1.holders, vec![0]);
+    }
+
+    #[test]
+    fn completed_runs_have_no_deadlock_report() {
+        let (g, edges) = chain(3);
+        let r = run_to_completion(&g, &[MessageSpec::new(Path::new(edges), 2)], &cfg(1));
+        assert!(r.deadlock.is_none());
+    }
+
+    #[test]
+    fn pathset_helper_roundtrip() {
+        let (g, edges) = chain(4);
+        let ps = PathSet::new(vec![Path::new(edges.clone()), Path::new(edges)]);
+        let specs = specs_from_paths(&ps, 7);
+        assert_eq!(specs.len(), 2);
+        let r = run_to_completion(&g, &specs, &cfg(2));
+        assert_eq!(r.delivered(), 2);
+    }
+}

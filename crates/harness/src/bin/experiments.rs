@@ -1,0 +1,49 @@
+//! CLI that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments all            # every experiment, full-size sweeps
+//! experiments e1 e3          # selected experiments
+//! experiments --fast all     # reduced sweeps (CI-sized)
+//! ```
+
+use std::time::Instant;
+
+use wormhole_harness::experiments::{all_ids, run_by_id};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--fast").collect();
+    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        all_ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+
+    println!("# Wormhole virtual-channel reproduction — experiment report");
+    println!(
+        "\nMode: {} | seeds fixed | times in flit steps unless noted\n",
+        if fast { "fast" } else { "full" }
+    );
+    let t0 = Instant::now();
+    for id in &ids {
+        let started = Instant::now();
+        match run_by_id(id, fast) {
+            Some((preamble, tables)) => {
+                println!("\n---\n\n## Experiment {}\n", id.to_uppercase());
+                if !preamble.is_empty() {
+                    println!("{preamble}");
+                }
+                for t in &tables {
+                    println!("{}", t.render());
+                }
+                eprintln!("[{id}] done in {:.1?}", started.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("total: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,96 @@
+//! E2 — §1.4: adding `B` virtual channels can speed wormhole routing up by
+//! a **superlinear** factor.
+//!
+//! The instance is the Theorem 2.2.1 worst case built for `B=1` (every pair
+//! of base messages shares a primary edge), which forces `Ω(LCD)` at one
+//! VC. The same network and messages are then routed with more VCs, both
+//! greedily and with the adaptive LLL schedule. The speedup
+//! `T(1)/T(B)` is compared against the linear reference `B` and the paper's
+//! `B·D^{1−1/B}`.
+
+use wormhole_core::bounds::superlinear_speedup;
+use wormhole_core::firstfit::{first_fit, FirstFitOrder};
+use wormhole_core::pipeline::adaptive_min_colors;
+use wormhole_core::schedule::ColorSchedule;
+
+use wormhole_baselines::greedy_wormhole::greedy_wormhole;
+use wormhole_topology::lowerbound::build;
+
+use crate::cells;
+use crate::table::{fnum, Table};
+
+/// Runs E2.
+pub fn run(fast: bool) -> Vec<Table> {
+    let (target_d, reps) = if fast { (21u32, 2u32) } else { (61, 2) };
+    let net = build(1, target_d, reps, false);
+    let d = net.dilation;
+    let l = 2 * d;
+    let c = net.congestion();
+
+    let mut t = Table::new(
+        format!(
+            "E2 — superlinear speedup on the B=1 worst case (C={c}, D={d}, L={l}, M={})",
+            net.num_messages()
+        ),
+        &[
+            "router B",
+            "greedy T",
+            "scheduled T",
+            "speedup (sched)",
+            "linear ref B",
+            "paper B·D^(1-1/B)",
+        ],
+    );
+    let bs: &[u32] = if fast { &[1, 2, 4] } else { &[1, 2, 3, 4, 6] };
+    let mut t1_sched = 0u64;
+    for &b in bs {
+        let greedy = greedy_wormhole(&net.graph, &net.paths, l, b, 7).total_steps;
+        let coloring = {
+            let ff = first_fit(&net.paths, &net.graph, b, FirstFitOrder::Input);
+            match adaptive_min_colors(&net.paths, &net.graph, b, 11 + b as u64, 64) {
+                Some(rep) if rep.coloring.num_colors() < ff.num_colors() => rep.coloring,
+                _ => ff,
+            }
+        };
+        let sched = ColorSchedule::new(coloring, l, d);
+        let scheduled = sched
+            .execute_checked(&net.graph, &net.paths, l, b)
+            .total_steps;
+        if b == 1 {
+            t1_sched = scheduled;
+        }
+        t.row(&cells!(
+            b,
+            greedy,
+            scheduled,
+            fnum(t1_sched as f64 / scheduled as f64),
+            b,
+            fnum(superlinear_speedup(d, b))
+        ));
+    }
+    t.note("Speedup beyond the `linear ref B` column demonstrates the paper's headline claim R3.");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_speedup_is_superlinear() {
+        let tables = run(true);
+        let s = tables[0].render();
+        // Extract the B=4 data row (first cell == "4") and check that the
+        // speedup column exceeds the linear reference 4.
+        let row4 = s
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .find(|l| {
+                l.split('|').nth(1).map(str::trim) == Some("4")
+            })
+            .expect("B=4 row present");
+        let cols: Vec<&str> = row4.split('|').map(str::trim).collect();
+        let speedup: f64 = cols[4].parse().expect("speedup cell numeric");
+        assert!(speedup > 4.0, "expected superlinear speedup, got {speedup}");
+    }
+}

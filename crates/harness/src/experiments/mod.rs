@@ -1,0 +1,72 @@
+//! The per-experiment runners (see DESIGN.md §5 for the index).
+
+pub mod e1_upper_bound;
+pub mod e2_superlinear;
+pub mod e3_lower_bound;
+pub mod e4_store_forward;
+pub mod e5_butterfly;
+pub mod e6_butterfly_lb;
+pub mod e7_cut_through;
+pub mod e8_restricted;
+pub mod e9_naive;
+pub mod figures;
+pub mod x1_circuit;
+pub mod x2_dateline;
+pub mod x3_throughput;
+pub mod x4_valiant;
+pub mod x5_arbitration;
+pub mod x6_waksman;
+
+use crate::table::Table;
+
+/// All experiment ids in report order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "x1", "x2", "x3",
+        "x4", "x5", "x6",
+    ]
+}
+
+/// Runs one experiment by id; returns `(preamble text, tables)`.
+/// Unknown ids return `None`.
+pub fn run_by_id(id: &str, fast: bool) -> Option<(String, Vec<Table>)> {
+    Some(match id {
+        "e1" => (String::new(), e1_upper_bound::run(fast)),
+        "e2" => (String::new(), e2_superlinear::run(fast)),
+        "e3" => (String::new(), e3_lower_bound::run(fast)),
+        "e4" => (String::new(), e4_store_forward::run(fast)),
+        "e5" => (String::new(), e5_butterfly::run(fast)),
+        "e6" => (String::new(), e6_butterfly_lb::run(fast)),
+        "e7" => (String::new(), e7_cut_through::run(fast)),
+        "e8" => (String::new(), e8_restricted::run(fast)),
+        "e9" => (String::new(), e9_naive::run(fast)),
+        "f1" => {
+            let (art, tables) = figures::run_f1(fast);
+            (format!("```\n{art}```\n"), tables)
+        }
+        "f2" => {
+            let (trace, tables) = figures::run_f2(fast);
+            (format!("```\n{trace}```\n"), tables)
+        }
+        "x1" => (String::new(), x1_circuit::run(fast)),
+        "x2" => (String::new(), x2_dateline::run(fast)),
+        "x3" => (String::new(), x3_throughput::run(fast)),
+        "x4" => (String::new(), x4_valiant::run(fast)),
+        "x5" => (String::new(), x5_arbitration::run(fast)),
+        "x6" => (String::new(), x6_waksman::run(fast)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for id in all_ids() {
+            assert!(run_by_id(id, true).is_some(), "id {id} must run");
+        }
+        assert!(run_by_id("nope", true).is_none());
+    }
+}

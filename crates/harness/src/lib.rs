@@ -1,0 +1,15 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (DESIGN.md §5 maps experiment ids to claims).
+//!
+//! Run `cargo run --release -p wormhole-harness --bin experiments -- all`
+//! to print every table; pass an id (`e1`..`e9`, `f1`, `f2`, `x1`) for one.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use experiments::{all_ids, run_by_id};
+pub use table::Table;

@@ -1,0 +1,109 @@
+//! Summary statistics and log–log scaling fits for the experiment tables.
+
+/// Summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n−1` denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice (empty slices produce a zeroed summary).
+    pub fn of(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Least-squares line `y = a + b·x`; returns `(a, b)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    assert!(sxx > 0.0, "x values are constant");
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// Fits `y ≈ c·x^e` by regressing `ln y` on `ln x`; returns the exponent
+/// `e`. All inputs must be positive.
+pub fn power_law_exponent(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
+    linear_fit(&lx, &ly).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (1.0, 4.0));
+    }
+
+    #[test]
+    fn summary_degenerate() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let one = Summary::of(&[7.0]);
+        assert_eq!(one.std, 0.0);
+        assert_eq!(one.mean, 7.0);
+    }
+
+    #[test]
+    fn linear_fit_exact() {
+        let (a, b) = linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let xs = [2.0f64, 4.0, 8.0, 16.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 3.0 * x.powf(1.5)).collect();
+        assert!((power_law_exponent(&xs, &ys) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn fit_rejects_constant_x() {
+        linear_fit(&[1.0, 1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Parallel parameter sweeps using crossbeam scoped threads.
+//!
+//! Experiments evaluate many independent `(parameters, seed)` points; this
+//! helper fans them across cores while keeping results in input order
+//! (determinism of the tables does not depend on thread scheduling).
+
+/// Maps `f` over `inputs` in parallel, preserving order. Spawns at most
+/// `threads` workers (clamped to the input length, min 1).
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return inputs.iter().map(|t| f(t)).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    // Hand each worker exclusive slices via a mutex-free claim of indices:
+    // collect (index, &input) work items behind an atomic cursor and write
+    // into disjoint result slots through a lock guarded by index ownership.
+    let result_cells: Vec<std::sync::Mutex<Option<R>>> =
+        results.drain(..).map(std::sync::Mutex::new).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&inputs[i]);
+                *result_cells[i].lock().unwrap() = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    result_cells
+        .into_iter()
+        .map(|c| c.into_inner().unwrap().expect("slot not filled"))
+        .collect()
+}
+
+/// Default worker count: available parallelism minus one (leave a core for
+/// the harness), at least 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs, 8, |&x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![5], 64, |&x| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain-text tables for the experiment output (also valid Markdown).
+
+use std::fmt::Write as _;
+
+/// A column-aligned table with a title and optional footnotes.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a footnote line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders as a Markdown-compatible aligned table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        out.push('\n');
+        let line = |cells: &[String], width: &[usize], out: &mut String| {
+            out.push('|');
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, " {:>w$} |", c, w = width[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &width, &mut out);
+        out.push('|');
+        for w in &width {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &width, &mut out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+}
+
+/// Formats a float compactly (3 significant-ish digits).
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Builds a row from display-able cells.
+#[macro_export]
+macro_rules! cells {
+    ($($x:expr),* $(,)?) => {
+        vec![$(($x).to_string()),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_is_markdown() {
+        let mut t = Table::new("Demo", &["B", "steps"]);
+        t.row(&cells!(1, 100));
+        t.row(&cells!(2, 42));
+        t.note("measured on seed 0");
+        let s = t.render();
+        assert!(s.contains("### Demo"));
+        assert!(s.contains("| B | steps |"));
+        assert!(s.contains("| 2 |    42 |"));
+        assert!(s.contains("> measured"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&cells!(1));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.14159), "3.142");
+        assert_eq!(fnum(42.4242), "42.4");
+        assert_eq!(fnum(123456.7), "123457");
+    }
+}

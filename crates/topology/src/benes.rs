@@ -1,0 +1,317 @@
+//! Beneš networks and Waksman's permutation-routing algorithm (paper
+//! §1.3.3, [6, 7, 48]).
+//!
+//! A Beneš network is a butterfly followed by a **mirrored** butterfly:
+//! the first `k` edge-levels fix the column bits most-significant-first,
+//! the last `k` fix the destination bits least-significant-first. Beizer
+//! and Beneš showed it realizes **any** permutation with edge-disjoint
+//! paths; Waksman's looping algorithm finds the routing in linear time.
+//! Used for wormhole routing this yields a conflict-free route set: any
+//! permutation of `n` `L`-flit messages finishes in `2·log n + L − 1` flit
+//! steps with *no* virtual channels — the offline, global-knowledge gold
+//! standard the paper contrasts with its online algorithms ("Waksman's
+//! algorithm, however, uses global knowledge of the permutation in order
+//! to set the switches"). Experiment X6 runs it against §3.1.
+//!
+//! Routing is parameterized by the *mid column* `m_i` each message
+//! occupies at the central level. Path disjointness reduces to: for every
+//! recursion depth `r`, messages whose sources agree on their low
+//! `k−r−1` bits (input switch mates) — and likewise messages whose
+//! destinations agree on their low `k−r−1` bits — must receive opposite
+//! values of mid-bit `r+1`. The constraint graph is a disjoint union of
+//! even cycles, 2-colored by the classic looping pass.
+
+use std::collections::HashMap;
+
+use crate::graph::{EdgeId, Graph, GraphBuilder, NodeId};
+use crate::path::{Path, PathSet};
+
+/// A Beneš network over `n = 2^k` terminals (`2k` edge levels).
+#[derive(Clone, Debug)]
+pub struct BenesNetwork {
+    k: u32,
+    graph: Graph,
+}
+
+impl BenesNetwork {
+    /// Builds the Beneš network for `2^k` terminals (`k ≥ 1`).
+    pub fn new(k: u32) -> Self {
+        assert!((1..=16).contains(&k), "k out of range");
+        let n = 1u32 << k;
+        let levels = 2 * k;
+        let mut b = GraphBuilder::new(((levels + 1) * n) as usize);
+        for j in 0..levels {
+            // First pass: MSB-first; mirrored second pass: LSB-first.
+            let mask = if j < k {
+                1u32 << (k - 1 - j)
+            } else {
+                1u32 << (j - k)
+            };
+            for w in 0..n {
+                let src = NodeId(j * n + w);
+                b.add_edge(src, NodeId((j + 1) * n + w));
+                b.add_edge(src, NodeId((j + 1) * n + (w ^ mask)));
+            }
+        }
+        Self { k, graph: b.build() }
+    }
+
+    /// Underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// `log2` of the terminal count.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of terminals.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        1 << self.k
+    }
+
+    /// Input node of terminal `i` (level 0).
+    #[inline]
+    pub fn input(&self, i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Output node of terminal `i` (level `2k`).
+    #[inline]
+    pub fn output(&self, i: u32) -> NodeId {
+        NodeId(2 * self.k * self.n() + i)
+    }
+
+    /// The edge leaving `(col, level)`, straight or cross.
+    #[inline]
+    fn edge(&self, col: u32, level: u32, cross: bool) -> EdgeId {
+        EdgeId(2 * (level * self.n() + col) + cross as u32)
+    }
+
+    /// The full path for one message: `src → mid` over the first pass,
+    /// `mid → dst` over the mirrored second pass.
+    pub fn path(&self, src: u32, mid: u32, dst: u32) -> Path {
+        let k = self.k;
+        let mut edges = Vec::with_capacity(2 * k as usize);
+        let mut col = src;
+        for j in 0..k {
+            let mask = 1u32 << (k - 1 - j);
+            let cross = (col ^ mid) & mask != 0;
+            edges.push(self.edge(col, j, cross));
+            col ^= (col ^ mid) & mask;
+        }
+        debug_assert_eq!(col, mid);
+        for j in k..2 * k {
+            let mask = 1u32 << (j - k);
+            let cross = (col ^ dst) & mask != 0;
+            edges.push(self.edge(col, j, cross));
+            col ^= (col ^ dst) & mask;
+        }
+        debug_assert_eq!(col, dst);
+        Path::new(edges)
+    }
+
+    /// Routes `perm` (message `i`: input `i` → output `perm[i]`) into
+    /// pairwise edge-disjoint paths via Waksman's looping algorithm.
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn route(&self, perm: &[u32]) -> PathSet {
+        let n = self.n();
+        assert_eq!(perm.len() as u32, n, "permutation size mismatch");
+        let mut seen = vec![false; n as usize];
+        for &p in perm {
+            assert!(p < n && !seen[p as usize], "not a permutation");
+            seen[p as usize] = true;
+        }
+        let mids = waksman_mids(self.k, perm);
+        PathSet::new(
+            (0..n)
+                .map(|i| self.path(i, mids[i as usize], perm[i as usize]))
+                .collect(),
+        )
+    }
+}
+
+/// Waksman's looping decomposition for the mirrored Beneš layout: decides
+/// every message's central column. At depth `r` (deciding mid-bit `r+1`,
+/// MSB numbering), messages are grouped by their decided mid prefix;
+/// within a group, input mates (equal low `k−r−1` source bits) and output
+/// mates (equal low destination bits) must take opposite new bits.
+fn waksman_mids(k: u32, perm: &[u32]) -> Vec<u32> {
+    let n = 1u32 << k;
+    let mut mids = vec![0u32; n as usize];
+    let mut stack: Vec<(Vec<u32>, u32)> = vec![((0..n).collect(), 0)];
+    while let Some((group, depth)) = stack.pop() {
+        if depth == k {
+            continue;
+        }
+        let new_bit = 1u32 << (k - 1 - depth);
+        let low_mask = new_bit - 1; // low k−depth−1 bits
+        // Mates: two group members with equal masked source (resp. dest).
+        let mut in_mate: HashMap<u32, [i32; 2]> = HashMap::new();
+        let mut out_mate: HashMap<u32, [i32; 2]> = HashMap::new();
+        for (gi, &m) in group.iter().enumerate() {
+            let e = in_mate.entry(m & low_mask).or_insert([-1, -1]);
+            e[usize::from(e[0] >= 0)] = gi as i32;
+            let e = out_mate.entry(perm[m as usize] & low_mask).or_insert([-1, -1]);
+            e[usize::from(e[0] >= 0)] = gi as i32;
+        }
+        // 2-color the alternating input/output mate cycles.
+        let mut color: Vec<i8> = vec![-1; group.len()];
+        for start in 0..group.len() {
+            if color[start] >= 0 {
+                continue;
+            }
+            let mut cur = start;
+            let c: i8 = 0;
+            loop {
+                debug_assert_eq!(color[cur], -1);
+                color[cur] = c;
+                // Input mate of cur takes the opposite color...
+                let pair = in_mate[&(group[cur] & low_mask)];
+                let mate = if pair[0] as usize == cur { pair[1] } else { pair[0] };
+                if mate < 0 || color[mate as usize] >= 0 {
+                    break;
+                }
+                let mate = mate as usize;
+                color[mate] = 1 - c;
+                // ...then follow the mate's output mate with color c again.
+                let pair = out_mate[&(perm[group[mate] as usize] & low_mask)];
+                let next = if pair[0] as usize == mate { pair[1] } else { pair[0] };
+                if next < 0 || color[next as usize] >= 0 {
+                    break;
+                }
+                cur = next as usize;
+                // c stays: next is the output mate of `mate`, so it must
+                // differ from `mate`'s color = 1−c, i.e. take c.
+            }
+        }
+        let mut upper = Vec::with_capacity(group.len() / 2);
+        let mut lower = Vec::with_capacity(group.len() / 2);
+        for (gi, &m) in group.iter().enumerate() {
+            if color[gi] == 0 {
+                upper.push(m);
+            } else {
+                mids[m as usize] |= new_bit;
+                lower.push(m);
+            }
+        }
+        stack.push((upper, depth + 1));
+        stack.push((lower, depth + 1));
+    }
+    mids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_disjoint(net: &BenesNetwork, perm: &[u32]) {
+        let ps = net.route(perm);
+        ps.validate(net.graph()).unwrap();
+        assert_eq!(
+            ps.congestion(net.graph()),
+            1,
+            "Waksman paths must be edge-disjoint for perm {perm:?}"
+        );
+        for (i, p) in ps.paths().iter().enumerate() {
+            assert_eq!(p.src(net.graph()), net.input(i as u32));
+            assert_eq!(p.dst(net.graph()), net.output(perm[i]));
+            assert_eq!(p.len() as u32, 2 * net.k());
+        }
+    }
+
+    #[test]
+    fn structure() {
+        let net = BenesNetwork::new(3);
+        assert_eq!(net.graph().num_nodes(), 7 * 8);
+        assert_eq!(net.graph().num_edges(), 6 * 16);
+        assert!(net.graph().is_acyclic());
+    }
+
+    #[test]
+    fn identity_and_reversal_disjoint() {
+        let net = BenesNetwork::new(3);
+        check_disjoint(&net, &(0..8).collect::<Vec<_>>());
+        check_disjoint(&net, &(0..8).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn n2_and_n4_exhaustive() {
+        let net2 = BenesNetwork::new(1);
+        check_disjoint(&net2, &[0, 1]);
+        check_disjoint(&net2, &[1, 0]);
+        let net4 = BenesNetwork::new(2);
+        let mut perm = vec![0u32, 1, 2, 3];
+        permutohedron_heaps(&mut perm, &mut |p: &[u32]| check_disjoint(&net4, p));
+    }
+
+    #[test]
+    fn all_permutations_of_8_are_disjoint() {
+        // Exhaustive rearrangeability check for n = 8: all 40320
+        // permutations route edge-disjointly.
+        let net = BenesNetwork::new(3);
+        let mut perm: Vec<u32> = (0..8).collect();
+        permutohedron_heaps(&mut perm, &mut |p: &[u32]| {
+            let ps = net.route(p);
+            assert_eq!(ps.congestion(net.graph()), 1, "perm {p:?}");
+        });
+    }
+
+    /// Minimal Heap's-algorithm enumeration (no external crate).
+    fn permutohedron_heaps(perm: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+        fn rec(perm: &mut Vec<u32>, k: usize, f: &mut impl FnMut(&[u32])) {
+            if k <= 1 {
+                f(perm);
+                return;
+            }
+            for i in 0..k {
+                rec(perm, k - 1, f);
+                if k % 2 == 0 {
+                    perm.swap(i, k - 1);
+                } else {
+                    perm.swap(0, k - 1);
+                }
+            }
+        }
+        let k = perm.len();
+        rec(perm, k, f);
+    }
+
+    #[test]
+    fn random_permutations_larger_sizes() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in [4u32, 5, 6, 7, 8] {
+            let net = BenesNetwork::new(k);
+            let n = 1u32 << k;
+            for _ in 0..8 {
+                let mut perm: Vec<u32> = (0..n).collect();
+                perm.shuffle(&mut rng);
+                check_disjoint(&net, &perm);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_permutation_disjoint() {
+        let k = 6u32;
+        let net = BenesNetwork::new(k);
+        let perm: Vec<u32> = (0..1u32 << k)
+            .map(|i| i.reverse_bits() >> (32 - k))
+            .collect();
+        check_disjoint(&net, &perm);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutation() {
+        let net = BenesNetwork::new(2);
+        net.route(&[0, 0, 1, 2]);
+    }
+}

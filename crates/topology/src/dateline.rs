@@ -1,0 +1,204 @@
+//! Dally–Seitz deadlock avoidance on rings and tori via virtual-channel
+//! *classes* — the original motivation for virtual channels (paper §1,
+//! citation [14]).
+//!
+//! A wrap-around ring's channel-dependency graph is a cycle, so wormhole
+//! routing can deadlock: worms chase each other's tails around the ring.
+//! Dally & Seitz split each physical channel into two virtual channels,
+//! class 0 and class 1, and route each message on class 0 until it crosses
+//! the *dateline* (the wrap edge), then on class 1. The resulting virtual
+//! channel graph is acyclic, so deadlock is impossible — at the price of
+//! one extra VC per physical channel.
+//!
+//! We realize VC classes structurally: each physical edge of the torus
+//! becomes **two parallel edges** in the routing graph (class 0 / class 1).
+//! The flit simulator then needs no special support — its per-edge VCs `B`
+//! apply *per class*, so a physical channel with 2 classes and `b` VCs per
+//! class models a `2b`-VC Dally–Seitz router. The channel-dependency
+//! acyclicity becomes plain graph acyclicity... of the *dependency* graph,
+//! which we expose for verification.
+
+use crate::graph::{EdgeId, Graph, GraphBuilder, NodeId};
+use crate::path::Path;
+
+/// A `radix`-node unidirectional ring (later generalized per dimension)
+/// with two VC classes per physical hop.
+#[derive(Clone, Debug)]
+pub struct DatelineRing {
+    radix: u32,
+    graph: Graph,
+    /// `edge[node][class]` = edge id of the hop leaving `node` on `class`.
+    edges: Vec<[EdgeId; 2]>,
+}
+
+impl DatelineRing {
+    /// Builds the two-class ring. Node `i` links to `(i+1) mod radix` via a
+    /// class-0 and a class-1 edge; the *dateline* is the wrap hop
+    /// `radix−1 → 0`.
+    pub fn new(radix: u32) -> Self {
+        assert!(radix >= 2, "ring needs at least two nodes");
+        let mut b = GraphBuilder::new(radix as usize);
+        let mut edges = Vec::with_capacity(radix as usize);
+        for i in 0..radix {
+            let src = NodeId(i);
+            let dst = NodeId((i + 1) % radix);
+            let c0 = b.add_edge(src, dst);
+            let c1 = b.add_edge(src, dst);
+            edges.push([c0, c1]);
+        }
+        Self {
+            radix,
+            graph: b.build(),
+            edges,
+        }
+    }
+
+    /// The routing graph (2 parallel edges per physical hop).
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Ring size.
+    #[inline]
+    pub fn radix(&self) -> u32 {
+        self.radix
+    }
+
+    /// The class-`c` edge leaving node `i`.
+    #[inline]
+    pub fn hop(&self, i: u32, class: usize) -> EdgeId {
+        self.edges[i as usize][class]
+    }
+
+    /// Dally–Seitz path from `src` to `dst` (always the forward direction):
+    /// class 0 until the dateline hop `radix−1 → 0` is taken, class 1 after.
+    pub fn dally_seitz_path(&self, src: u32, dst: u32) -> Path {
+        assert!(src < self.radix && dst < self.radix && src != dst);
+        let mut edges = Vec::new();
+        let mut cur = src;
+        let mut class = 0usize;
+        while cur != dst {
+            edges.push(self.hop(cur, class));
+            if cur == self.radix - 1 {
+                class = 1; // crossed the dateline
+            }
+            cur = (cur + 1) % self.radix;
+        }
+        Path::new(edges)
+    }
+
+    /// The naive single-class path (all hops on class 0) — deadlock-prone;
+    /// used as the control arm of the experiment.
+    pub fn naive_path(&self, src: u32, dst: u32) -> Path {
+        assert!(src < self.radix && dst < self.radix && src != dst);
+        let mut edges = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            edges.push(self.hop(cur, 0));
+            cur = (cur + 1) % self.radix;
+        }
+        Path::new(edges)
+    }
+
+    /// The channel-dependency graph of a path set: a node per routing edge,
+    /// an arc `e → f` whenever some path uses `f` immediately after `e`.
+    /// Wormhole routing on the paths is deadlock-free if this graph is
+    /// acyclic (Dally–Seitz Theorem 1).
+    pub fn channel_dependency_graph(&self, paths: &[Path]) -> Graph {
+        let m = self.graph.num_edges();
+        let mut b = GraphBuilder::new(m);
+        let mut seen = std::collections::HashSet::new();
+        for p in paths {
+            for w in p.edges().windows(2) {
+                if seen.insert((w[0], w[1])) {
+                    b.add_edge(NodeId(w[0].0), NodeId(w[1].0));
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// All-to-next "rotation" workload on the ring: node `i` sends to
+/// `(i + stride) mod radix` — with `stride = radix − 1` every worm chases
+/// the next one around the full ring, the canonical deadlock scenario.
+pub fn rotation_paths(ring: &DatelineRing, stride: u32, dally_seitz: bool) -> Vec<Path> {
+    let n = ring.radix();
+    assert!(stride >= 1 && stride < n);
+    (0..n)
+        .map(|i| {
+            let dst = (i + stride) % n;
+            if dally_seitz {
+                ring.dally_seitz_path(i, dst)
+            } else {
+                ring.naive_path(i, dst)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let r = DatelineRing::new(6);
+        assert_eq!(r.graph().num_nodes(), 6);
+        assert_eq!(r.graph().num_edges(), 12); // 2 classes per hop
+    }
+
+    #[test]
+    fn paths_valid_and_correct_length() {
+        let r = DatelineRing::new(8);
+        for src in 0..8u32 {
+            for dst in 0..8u32 {
+                if src == dst {
+                    continue;
+                }
+                let p = r.dally_seitz_path(src, dst);
+                p.validate(r.graph()).unwrap();
+                assert_eq!(p.len() as u32, (dst + 8 - src) % 8);
+                let q = r.naive_path(src, dst);
+                q.validate(r.graph()).unwrap();
+                assert_eq!(q.len(), p.len());
+            }
+        }
+    }
+
+    #[test]
+    fn class_switches_exactly_at_dateline() {
+        let r = DatelineRing::new(6);
+        let p = r.dally_seitz_path(4, 2); // crosses 5 -> 0
+        let classes: Vec<usize> = p
+            .edges()
+            .iter()
+            .map(|&e| (e.0 % 2) as usize)
+            .collect();
+        assert_eq!(classes, vec![0, 0, 1, 1]);
+        // Non-wrapping path stays on class 0.
+        let q = r.dally_seitz_path(1, 4);
+        assert!(q.edges().iter().all(|&e| e.0 % 2 == 0));
+    }
+
+    #[test]
+    fn naive_dependency_graph_is_cyclic_dally_seitz_is_acyclic() {
+        let r = DatelineRing::new(6);
+        let naive = rotation_paths(&r, 5, false);
+        let ds = rotation_paths(&r, 5, true);
+        assert!(!r.channel_dependency_graph(&naive).is_acyclic());
+        assert!(r.channel_dependency_graph(&ds).is_acyclic());
+    }
+
+    #[test]
+    fn rotation_covers_all_nodes() {
+        let r = DatelineRing::new(5);
+        let paths = rotation_paths(&r, 2, true);
+        assert_eq!(paths.len(), 5);
+        for (i, p) in paths.iter().enumerate() {
+            assert_eq!(p.src(r.graph()), NodeId(i as u32));
+            assert_eq!(p.dst(r.graph()), NodeId(((i as u32) + 2) % 5));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Network topologies and path analysis for the Cole–Maggs–Sitaraman
+//! wormhole-routing reproduction.
+//!
+//! This crate provides every network substrate the paper touches:
+//!
+//! * a flat CSR [`graph::Graph`] with dense node/edge ids,
+//! * [`path::Path`] / [`path::PathSet`] with the congestion–dilation
+//!   analysis of §1.1,
+//! * [`butterfly::Butterfly`] networks (Fig. 1) including the unrolled
+//!   two-pass variant used by the §3.1 algorithm (Fig. 2),
+//! * the [`lowerbound`] construction of Theorem 2.2.1,
+//! * [`mesh::Mesh`] / [`hypercube::Hypercube`] substrates from the related
+//!   work the paper compares against, and
+//! * [`random_nets`] workload generators with controllable `C` and `D`.
+//!
+//! # Example
+//!
+//! ```
+//! use wormhole_topology::butterfly::Butterfly;
+//!
+//! let bf = Butterfly::new(3); // the 8-input butterfly of Fig. 1
+//! assert_eq!(bf.graph().num_nodes(), 8 * 4);
+//! let path = bf.greedy_path(0b101, 0b010);
+//! assert_eq!(path.len(), 3); // unique input→output path has log n edges
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benes;
+pub mod butterfly;
+pub mod dateline;
+pub mod graph;
+pub mod hypercube;
+pub mod lowerbound;
+pub mod mesh;
+pub mod path;
+pub mod random_nets;
+pub mod subsets;
+
+pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
+pub use path::{Path, PathError, PathSet};

@@ -1,0 +1,316 @@
+//! The Theorem 2.2.1 lower-bound construction.
+//!
+//! The paper builds, for any `B`, a network and messages with congestion `C`
+//! and dilation `D` that *every* wormhole schedule needs
+//! `Ω(L·C·D^{1/B}/B)` flit steps to route. The key combinatorial property:
+//! **every set of `B+1` base messages passes through a common edge** (its
+//! *primary edge*), so at most `B` messages can make progress in any flit
+//! step once messages are long enough (`L = (1+Ω(1))·D`).
+//!
+//! Construction (paper §2.2): start with `M'` base messages where
+//! `2·C(M'−1, B) − 1 ≤ D < 2·C(M', B) − 1`. Allocate one primary edge
+//! `u_S → v_S` per `(B+1)`-subset `S` of the base messages; connect primary
+//! endpoints with *secondary edges* `v_S → u_T` as needed. Message `m`
+//! starts at the tail of its first primary edge and traverses the primary
+//! edges of all subsets containing `m` in lexicographic order, alternating
+//! with secondary hops. Finally each base message is replicated
+//! `C/(B+1)` times to reach congestion `C`.
+
+use std::collections::HashMap;
+
+use crate::graph::{EdgeId, Graph, GraphBuilder, NodeId};
+use crate::path::{Path, PathSet};
+use crate::subsets::{binomial, enumerate_subsets, subset_rank};
+
+/// The instantiated lower-bound network together with its messages.
+#[derive(Clone, Debug)]
+pub struct LowerBoundNet {
+    /// The network.
+    pub graph: Graph,
+    /// All message paths, replication included (length `M' · replication`).
+    pub paths: PathSet,
+    /// Number of base messages `M'`.
+    pub m_prime: u32,
+    /// Virtual channels `B` the construction targets.
+    pub b: u32,
+    /// Copies of each base message (`C = replication · (B+1)`).
+    pub replication: u32,
+    /// Primary edges indexed by the lexicographic rank of their
+    /// `(B+1)`-subset.
+    pub primary_edges: Vec<EdgeId>,
+    /// Dilation of the instance (after optional padding).
+    pub dilation: u32,
+}
+
+/// Unpadded dilation produced by `m_prime` base messages at a given `b`:
+/// `2·C(m'−1, b) − 1`.
+pub fn dilation_for_m_prime(b: u32, m_prime: u32) -> u64 {
+    2 * binomial((m_prime - 1) as u64, b as u64) - 1
+}
+
+/// Largest `M'` whose unpadded dilation does not exceed `target_d`
+/// (the paper's choice: `2·C(M'−1,B) − 1 ≤ D < 2·C(M',B) − 1`).
+pub fn m_prime_for_dilation(b: u32, target_d: u32) -> u32 {
+    let mut m = b + 1; // need at least B+1 messages to form one subset
+    while dilation_for_m_prime(b, m + 1) <= target_d as u64 {
+        m += 1;
+    }
+    m
+}
+
+/// Builds the Theorem 2.2.1 instance.
+///
+/// * `b` — number of virtual channels the bound targets (`B ≥ 1`).
+/// * `target_d` — desired dilation; `M'` is chosen per the paper and, when
+///   `pad_to_target` is set, per-message private chains pad every path to
+///   exactly `target_d` edges ("we could make it exactly D by adding extra
+///   edges at the end of the path").
+/// * `replication` — copies of each base message; congestion is
+///   `replication · (B+1)`.
+///
+/// Panics if `target_d < 2·C(B, B) − 1 = 1` or the construction exceeds
+/// `u32` edge counts.
+pub fn build(b: u32, target_d: u32, replication: u32, pad_to_target: bool) -> LowerBoundNet {
+    assert!(b >= 1, "B must be at least 1");
+    assert!(replication >= 1, "need at least one copy of each message");
+    assert!(target_d >= 1, "dilation must be positive");
+    let m_prime = m_prime_for_dilation(b, target_d);
+    assert!(
+        m_prime >= b + 1,
+        "target dilation {target_d} too small for B={b}"
+    );
+
+    let subsets = enumerate_subsets(m_prime, b + 1);
+    let n_primary = subsets.len();
+    let u = |rank: usize| NodeId(2 * rank as u32);
+    let v = |rank: usize| NodeId(2 * rank as u32 + 1);
+
+    let mut builder = GraphBuilder::new(2 * n_primary);
+    let primary_edges: Vec<EdgeId> = (0..n_primary)
+        .map(|r| builder.add_edge(u(r), v(r)))
+        .collect();
+
+    // For each base message, the ranks of the subsets containing it, in
+    // lexicographic order (enumeration order is lexicographic already).
+    let mut member: Vec<Vec<u32>> = vec![Vec::new(); m_prime as usize];
+    for (rank, s) in subsets.iter().enumerate() {
+        for &m in s {
+            member[m as usize].push(rank as u32);
+        }
+    }
+
+    // Secondary edges are shared: v_S -> u_T appears once even when several
+    // base messages hop S -> T consecutively. (That sharing is what keeps
+    // secondary congestion at |S ∩ T| ≤ B.)
+    let mut secondary: HashMap<(u32, u32), EdgeId> = HashMap::new();
+    let mut base_paths: Vec<Vec<EdgeId>> = Vec::with_capacity(m_prime as usize);
+    for ranks in &member {
+        let mut edges = Vec::with_capacity(2 * ranks.len() - 1);
+        for (i, &r) in ranks.iter().enumerate() {
+            edges.push(primary_edges[r as usize]);
+            if let Some(&next) = ranks.get(i + 1) {
+                let e = *secondary
+                    .entry((r, next))
+                    .or_insert_with(|| builder.add_edge(v(r as usize), u(next as usize)));
+                edges.push(e);
+            }
+        }
+        base_paths.push(edges);
+    }
+
+    let natural_d = base_paths[0].len() as u32; // 2·C(M'−1,B) − 1, same for all
+    debug_assert!(base_paths.iter().all(|p| p.len() as u32 == natural_d));
+    debug_assert_eq!(natural_d as u64, dilation_for_m_prime(b, m_prime));
+    let dilation = if pad_to_target {
+        assert!(natural_d <= target_d);
+        // Private tail chains: fresh nodes/edges per base message, so the
+        // padding adds no shared congestion beyond the message's own copies.
+        for (m, path) in base_paths.iter_mut().enumerate() {
+            let last_rank = *member[m].last().expect("every base message has subsets");
+            let mut prev = v(last_rank as usize);
+            for _ in natural_d..target_d {
+                let next = builder.add_node();
+                path.push(builder.add_edge(prev, next));
+                prev = next;
+            }
+        }
+        target_d
+    } else {
+        natural_d
+    };
+
+    let graph = builder.build();
+
+    // Replicate.
+    let mut paths = Vec::with_capacity(base_paths.len() * replication as usize);
+    for bp in &base_paths {
+        for _ in 0..replication {
+            paths.push(Path::new(bp.clone()));
+        }
+    }
+
+    LowerBoundNet {
+        graph,
+        paths: PathSet::new(paths),
+        m_prime,
+        b,
+        replication,
+        primary_edges,
+        dilation,
+    }
+}
+
+impl LowerBoundNet {
+    /// Congestion of the instance: `replication · (B+1)` on every primary
+    /// edge.
+    pub fn congestion(&self) -> u32 {
+        self.replication * (self.b + 1)
+    }
+
+    /// Total number of messages `M = M' · replication`.
+    pub fn num_messages(&self) -> u32 {
+        self.m_prime * self.replication
+    }
+
+    /// The paper's progress bound: any schedule needs at least
+    /// `(L − D) · M / B` flit steps (Theorem 2.2.1), valid when `L > D`.
+    pub fn progress_lower_bound(&self, msg_len: u32) -> u64 {
+        if msg_len <= self.dilation {
+            return 0;
+        }
+        (msg_len - self.dilation) as u64 * self.num_messages() as u64 / self.b as u64
+    }
+
+    /// The asymptotic form `Ω(L·C·D^{1/B}/B)` evaluated with constant 1, for
+    /// reporting alongside the exact progress bound.
+    pub fn asymptotic_lower_bound(&self, msg_len: u32) -> f64 {
+        let c = self.congestion() as f64;
+        let d = self.dilation as f64;
+        let b = self.b as f64;
+        msg_len as f64 * c * d.powf(1.0 / b) / b
+    }
+
+    /// The primary edge shared by a `(B+1)`-subset of base messages
+    /// (sorted, values in `0..M'`).
+    pub fn shared_primary_edge(&self, subset: &[u32]) -> EdgeId {
+        assert_eq!(subset.len() as u32, self.b + 1);
+        self.primary_edges[subset_rank(self.m_prime, subset) as usize]
+    }
+
+    /// Path of base message `m` (its first replica).
+    pub fn base_path(&self, m: u32) -> &Path {
+        self.paths.path((m * self.replication) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_prime_matches_paper_inequality() {
+        for b in 1..=3u32 {
+            for d in [3u32, 10, 40, 100, 300] {
+                let m = m_prime_for_dilation(b, d);
+                assert!(dilation_for_m_prime(b, m) <= d as u64);
+                assert!(dilation_for_m_prime(b, m + 1) > d as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_validate_and_have_uniform_length() {
+        let net = build(2, 40, 2, false);
+        net.paths.validate(&net.graph).unwrap();
+        for p in net.paths.paths() {
+            assert_eq!(p.len() as u32, net.dilation);
+        }
+    }
+
+    #[test]
+    fn every_subset_shares_its_primary_edge() {
+        let net = build(2, 20, 1, false);
+        for s in enumerate_subsets(net.m_prime, net.b + 1) {
+            let shared = net.shared_primary_edge(&s);
+            for &m in &s {
+                assert!(
+                    net.base_path(m).edges().contains(&shared),
+                    "base message {m} misses shared edge of {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn primary_congestion_is_exactly_c() {
+        let (b, reps) = (2u32, 3u32);
+        let net = build(b, 25, reps, false);
+        let loads = net.paths.edge_loads(&net.graph);
+        for &pe in &net.primary_edges {
+            assert_eq!(loads[pe.idx()], (b + 1) * reps);
+        }
+        assert_eq!(net.paths.congestion(&net.graph), net.congestion());
+    }
+
+    #[test]
+    fn secondary_congestion_at_most_b() {
+        let net = build(2, 25, 1, false);
+        let loads = net.paths.edge_loads(&net.graph);
+        let primary: std::collections::HashSet<_> = net.primary_edges.iter().copied().collect();
+        for e in net.graph.edges() {
+            if !primary.contains(&e) {
+                assert!(
+                    loads[e.idx()] <= net.b,
+                    "secondary edge {e:?} has load {}",
+                    loads[e.idx()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padding_reaches_target_dilation_without_extra_congestion() {
+        let target = 61;
+        let net = build(1, target, 2, true);
+        assert_eq!(net.dilation, target);
+        for p in net.paths.paths() {
+            assert_eq!(p.len() as u32, target);
+        }
+        net.paths.validate(&net.graph).unwrap();
+        // Pad edges carry only the replicas of one base message.
+        let loads = net.paths.edge_loads(&net.graph);
+        let primary: std::collections::HashSet<_> = net.primary_edges.iter().copied().collect();
+        let natural = dilation_for_m_prime(net.b, net.m_prime) as usize;
+        for p in net.paths.paths() {
+            for &e in &p.edges()[natural..] {
+                assert!(!primary.contains(&e));
+                assert_eq!(loads[e.idx()], net.replication);
+            }
+        }
+    }
+
+    #[test]
+    fn progress_bound_values() {
+        let net = build(1, 21, 1, false);
+        // B=1: m' satisfies 2(m'-1)-1 <= 21 => m' = 11, dilation 19... check:
+        assert_eq!(net.dilation as u64, dilation_for_m_prime(1, net.m_prime));
+        let l = 2 * net.dilation;
+        let expect = (l - net.dilation) as u64 * net.num_messages() as u64;
+        assert_eq!(net.progress_lower_bound(l), expect);
+        assert_eq!(net.progress_lower_bound(net.dilation), 0);
+        assert!(net.asymptotic_lower_bound(l) > 0.0);
+    }
+
+    #[test]
+    fn b1_case_is_ranade_style_chain() {
+        // For B=1 every pair of base messages shares an edge.
+        let net = build(1, 15, 1, false);
+        for a in 0..net.m_prime {
+            for bb in a + 1..net.m_prime {
+                let shared = net.shared_primary_edge(&[a, bb]);
+                assert!(net.base_path(a).edges().contains(&shared));
+                assert!(net.base_path(bb).edges().contains(&shared));
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! k-ary d-dimensional meshes and tori with dimension-order routing.
+//!
+//! These are the "meshes with constant dimension" of the paper's related
+//! work (§1.3.4) and serve as long-dilation substrates for the fixed-buffer
+//! comparison experiment (E7): a `k`-ary 1-cube (linear array) realizes
+//! dilation up to `k−1` with trivially controllable congestion.
+
+use crate::graph::{EdgeId, Graph, GraphBuilder, NodeId};
+use crate::path::Path;
+
+/// A `radix^dims`-node mesh (or torus) with bidirectional links represented
+/// as directed edge pairs.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    radix: u32,
+    dims: u32,
+    wrap: bool,
+    graph: Graph,
+    /// `edge_lookup[node * 2 * dims + dir]` = edge id leaving `node` in
+    /// direction `dir` (dim*2 + {0: plus, 1: minus}), or `u32::MAX`.
+    edge_lookup: Vec<u32>,
+}
+
+impl Mesh {
+    /// Builds a `radix`-ary `dims`-dimensional mesh (`wrap = false`) or
+    /// torus (`wrap = true`).
+    pub fn new(radix: u32, dims: u32, wrap: bool) -> Self {
+        assert!(radix >= 2 && dims >= 1, "mesh needs radix ≥ 2, dims ≥ 1");
+        let n = (radix as u64).pow(dims);
+        assert!(n <= u32::MAX as u64 / 2, "mesh too large");
+        let n = n as u32;
+        let mut b = GraphBuilder::new(n as usize);
+        let mut lookup = vec![u32::MAX; (n as usize) * 2 * dims as usize];
+        let stride = |d: u32| (radix as u64).pow(d) as u32;
+        for v in 0..n {
+            for d in 0..dims {
+                let coord = (v / stride(d)) % radix;
+                // +1 direction
+                if coord + 1 < radix || wrap {
+                    let w = if coord + 1 < radix {
+                        v + stride(d)
+                    } else {
+                        v - (radix - 1) * stride(d)
+                    };
+                    if w != v {
+                        let e = b.add_edge(NodeId(v), NodeId(w));
+                        lookup[(v as usize) * 2 * dims as usize + (d as usize) * 2] = e.0;
+                    }
+                }
+                // -1 direction
+                if coord > 0 || wrap {
+                    let w = if coord > 0 {
+                        v - stride(d)
+                    } else {
+                        v + (radix - 1) * stride(d)
+                    };
+                    if w != v {
+                        let e = b.add_edge(NodeId(v), NodeId(w));
+                        lookup[(v as usize) * 2 * dims as usize + (d as usize) * 2 + 1] = e.0;
+                    }
+                }
+            }
+        }
+        Self {
+            radix,
+            dims,
+            wrap,
+            graph: b.build(),
+            edge_lookup: lookup,
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Radix (nodes per dimension).
+    #[inline]
+    pub fn radix(&self) -> u32 {
+        self.radix
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Whether links wrap (torus).
+    #[inline]
+    pub fn wraps(&self) -> bool {
+        self.wrap
+    }
+
+    /// Total node count.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        (self.radix as u64).pow(self.dims) as u32
+    }
+
+    /// Node id from coordinates (little-endian: `coords[0]` is dimension 0).
+    pub fn node(&self, coords: &[u32]) -> NodeId {
+        assert_eq!(coords.len() as u32, self.dims);
+        let mut v = 0u32;
+        for (d, &c) in coords.iter().enumerate() {
+            assert!(c < self.radix);
+            v += c * (self.radix as u64).pow(d as u32) as u32;
+        }
+        NodeId(v)
+    }
+
+    /// Coordinates of a node.
+    pub fn coords(&self, v: NodeId) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.dims as usize);
+        let mut rest = v.0;
+        for _ in 0..self.dims {
+            out.push(rest % self.radix);
+            rest /= self.radix;
+        }
+        out
+    }
+
+    fn step_edge(&self, v: NodeId, dim: u32, minus: bool) -> EdgeId {
+        let idx = (v.idx()) * 2 * self.dims as usize + (dim as usize) * 2 + minus as usize;
+        let e = self.edge_lookup[idx];
+        assert_ne!(e, u32::MAX, "no edge from {v:?} in dim {dim} minus={minus}");
+        EdgeId(e)
+    }
+
+    /// Dimension-order (e-cube) path from `src` to `dst`: correct dimension
+    /// 0 first, then 1, etc. On a torus the shorter wrap direction is taken
+    /// (ties broken toward +).
+    pub fn dimension_order_path(&self, src: NodeId, dst: NodeId) -> Path {
+        let sc = self.coords(src);
+        let dc = self.coords(dst);
+        let mut edges = Vec::new();
+        let mut cur = src;
+        for d in 0..self.dims {
+            let mut have = sc[d as usize];
+            let want = dc[d as usize];
+            while have != want {
+                let minus = if !self.wrap {
+                    have > want
+                } else {
+                    // Shorter way around the ring; ties to plus.
+                    let fwd = (want + self.radix - have) % self.radix;
+                    let bwd = (have + self.radix - want) % self.radix;
+                    bwd < fwd
+                };
+                let e = self.step_edge(cur, d, minus);
+                edges.push(e);
+                cur = self.graph.dst(e);
+                have = self.coords(cur)[d as usize];
+            }
+        }
+        debug_assert_eq!(cur, dst);
+        Path::new(edges)
+    }
+}
+
+/// A linear array of `n` nodes (directed both ways); the simplest
+/// long-dilation substrate. Forward path from node `a` to node `b > a` uses
+/// `b − a` edges.
+pub fn linear_array(n: u32) -> Mesh {
+    Mesh::new(n, 1, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_counts() {
+        let m = Mesh::new(4, 2, false);
+        assert_eq!(m.graph().num_nodes(), 16);
+        // 2 dims * 2 directions * (radix-1) * radix per dim pair:
+        // edges = dims * 2 * radix^(dims-1) * (radix-1) = 2*2*4*3 = 48
+        assert_eq!(m.graph().num_edges(), 48);
+        let t = Mesh::new(4, 2, true);
+        assert_eq!(t.graph().num_edges(), 2 * 2 * 16); // every node, every dir
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh::new(5, 3, false);
+        for v in 0..m.num_nodes() {
+            let c = m.coords(NodeId(v));
+            assert_eq!(m.node(&c), NodeId(v));
+        }
+    }
+
+    #[test]
+    fn dimension_order_path_is_valid_and_minimal_on_mesh() {
+        let m = Mesh::new(5, 2, false);
+        let src = m.node(&[0, 0]);
+        let dst = m.node(&[4, 3]);
+        let p = m.dimension_order_path(src, dst);
+        p.validate(m.graph()).unwrap();
+        assert_eq!(p.len(), 7); // |4-0| + |3-0|
+        assert_eq!(p.src(m.graph()), src);
+        assert_eq!(p.dst(m.graph()), dst);
+    }
+
+    #[test]
+    fn torus_takes_short_way_around() {
+        let t = Mesh::new(8, 1, true);
+        let p = t.dimension_order_path(NodeId(0), NodeId(7));
+        assert_eq!(p.len(), 1); // wrap backwards 0 -> 7
+        let p2 = t.dimension_order_path(NodeId(0), NodeId(3));
+        assert_eq!(p2.len(), 3);
+    }
+
+    #[test]
+    fn linear_array_paths() {
+        let a = linear_array(10);
+        let p = a.dimension_order_path(NodeId(1), NodeId(8));
+        assert_eq!(p.len(), 7);
+        p.validate(a.graph()).unwrap();
+        let back = a.dimension_order_path(NodeId(8), NodeId(1));
+        assert_eq!(back.len(), 7);
+    }
+
+    #[test]
+    fn zero_length_path() {
+        let m = Mesh::new(3, 2, false);
+        let p = m.dimension_order_path(NodeId(4), NodeId(4));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn mesh_is_cyclic_torus_is_cyclic() {
+        // Bidirectional links always give 2-cycles in the channel graph, so
+        // greedy wormhole *can* deadlock here — exercised in flitsim tests.
+        assert!(!Mesh::new(3, 2, false).graph().is_acyclic());
+    }
+}

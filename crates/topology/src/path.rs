@@ -1,0 +1,274 @@
+//! Message paths and the congestion / dilation / multiplex analysis that
+//! parameterizes every bound in the paper (§1.1).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A routing path: a contiguous sequence of directed edges.
+///
+/// The paper's bounds assume *edge-simple* paths (no edge repeated);
+/// [`Path::validate`] checks contiguity and edge-simplicity against a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+}
+
+/// Errors produced by [`Path::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// Path must contain at least one edge.
+    Empty,
+    /// `edges[i].dst != edges[i+1].src` at the given position.
+    NotContiguous(usize),
+    /// The same edge appears twice (positions given).
+    RepeatedEdge(usize, usize),
+}
+
+impl Path {
+    /// Wraps an edge sequence as a path. Use [`Path::validate`] to check it
+    /// against a graph.
+    pub fn new(edges: Vec<EdgeId>) -> Self {
+        Self { edges }
+    }
+
+    /// The edges of the path in order.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges (the path's contribution to dilation).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the path has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Source node (requires a graph to resolve endpoints).
+    pub fn src(&self, g: &Graph) -> NodeId {
+        g.src(self.edges[0])
+    }
+
+    /// Destination node.
+    pub fn dst(&self, g: &Graph) -> NodeId {
+        g.dst(*self.edges.last().expect("empty path has no dst"))
+    }
+
+    /// Checks that the path is nonempty, contiguous in `g`, and edge-simple.
+    pub fn validate(&self, g: &Graph) -> Result<(), PathError> {
+        if self.edges.is_empty() {
+            return Err(PathError::Empty);
+        }
+        for i in 0..self.edges.len() - 1 {
+            if g.dst(self.edges[i]) != g.src(self.edges[i + 1]) {
+                return Err(PathError::NotContiguous(i));
+            }
+        }
+        // Edge-simplicity via sort of a scratch copy (paths are short; avoid
+        // hashing).
+        let mut seen: Vec<(EdgeId, usize)> = self
+            .edges
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, e)| (e, i))
+            .collect();
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            if w[0].0 == w[1].0 {
+                let (a, b) = (w[0].1.min(w[1].1), w[0].1.max(w[1].1));
+                return Err(PathError::RepeatedEdge(a, b));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A set of message paths, with cached analysis.
+///
+/// This is the object the scheduling results are stated over: its
+/// **congestion** `C` is the maximum number of paths crossing any edge and
+/// its **dilation** `D` is the length of the longest path.
+#[derive(Clone, Debug)]
+pub struct PathSet {
+    paths: Vec<Path>,
+}
+
+impl PathSet {
+    /// Builds a path set.
+    pub fn new(paths: Vec<Path>) -> Self {
+        Self { paths }
+    }
+
+    /// The paths.
+    #[inline]
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Number of messages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` if there are no messages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Path of message `i`.
+    #[inline]
+    pub fn path(&self, i: usize) -> &Path {
+        &self.paths[i]
+    }
+
+    /// Validates every path against `g`; returns the index of the first
+    /// offending message on error.
+    pub fn validate(&self, g: &Graph) -> Result<(), (usize, PathError)> {
+        for (i, p) in self.paths.iter().enumerate() {
+            p.validate(g).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// Number of paths crossing each edge, indexed by `EdgeId`.
+    pub fn edge_loads(&self, g: &Graph) -> Vec<u32> {
+        let mut loads = vec![0u32; g.num_edges()];
+        for p in &self.paths {
+            for &e in p.edges() {
+                loads[e.idx()] += 1;
+            }
+        }
+        loads
+    }
+
+    /// Congestion `C`: the maximum number of paths using any single edge.
+    pub fn congestion(&self, g: &Graph) -> u32 {
+        self.edge_loads(g).into_iter().max().unwrap_or(0)
+    }
+
+    /// Dilation `D`: the maximum path length.
+    pub fn dilation(&self) -> u32 {
+        self.paths.iter().map(|p| p.len() as u32).max().unwrap_or(0)
+    }
+
+    /// Sum of path lengths (the `P` of constructive-LLL running times).
+    pub fn total_path_length(&self) -> u64 {
+        self.paths.iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// For each message, the list of other messages sharing at least one
+    /// edge with it — the *conflict graph* used by the footnote-5 naive
+    /// coloring baseline. Returned as an adjacency list.
+    pub fn conflict_graph(&self, g: &Graph) -> Vec<Vec<u32>> {
+        // Invert edge -> messages, then merge per message.
+        let mut per_edge: Vec<Vec<u32>> = vec![Vec::new(); g.num_edges()];
+        for (i, p) in self.paths.iter().enumerate() {
+            for &e in p.edges() {
+                per_edge[e.idx()].push(i as u32);
+            }
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.paths.len()];
+        for msgs in &per_edge {
+            for (a_i, &a) in msgs.iter().enumerate() {
+                for &b in &msgs[a_i + 1..] {
+                    adj[a as usize].push(b);
+                    adj[b as usize].push(a);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn line(n: usize) -> (Graph, Vec<EdgeId>) {
+        let mut b = GraphBuilder::new(n);
+        let edges: Vec<EdgeId> = (0..n - 1)
+            .map(|i| b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1)))
+            .collect();
+        (b.build(), edges)
+    }
+
+    #[test]
+    fn validate_ok_and_errors() {
+        let (g, e) = line(4);
+        assert!(Path::new(vec![e[0], e[1], e[2]]).validate(&g).is_ok());
+        assert_eq!(Path::new(vec![]).validate(&g), Err(PathError::Empty));
+        assert_eq!(
+            Path::new(vec![e[0], e[2]]).validate(&g),
+            Err(PathError::NotContiguous(0))
+        );
+    }
+
+    #[test]
+    fn repeated_edge_detected() {
+        // cycle a->b->a not possible (needs two nodes, two edges); build one.
+        let mut b = GraphBuilder::new(2);
+        let e0 = b.add_edge(NodeId(0), NodeId(1));
+        let e1 = b.add_edge(NodeId(1), NodeId(0));
+        let g = b.build();
+        let p = Path::new(vec![e0, e1, e0]);
+        assert_eq!(p.validate(&g), Err(PathError::RepeatedEdge(0, 2)));
+    }
+
+    #[test]
+    fn endpoints() {
+        let (g, e) = line(4);
+        let p = Path::new(vec![e[1], e[2]]);
+        assert_eq!(p.src(&g), NodeId(1));
+        assert_eq!(p.dst(&g), NodeId(3));
+    }
+
+    #[test]
+    fn congestion_dilation() {
+        let (g, e) = line(5);
+        let ps = PathSet::new(vec![
+            Path::new(vec![e[0], e[1], e[2]]),
+            Path::new(vec![e[1], e[2], e[3]]),
+            Path::new(vec![e[2]]),
+        ]);
+        assert_eq!(ps.dilation(), 3);
+        assert_eq!(ps.congestion(&g), 3); // edge 2 carries all three
+        let loads = ps.edge_loads(&g);
+        assert_eq!(loads, vec![1, 2, 3, 1]);
+        assert_eq!(ps.total_path_length(), 7);
+    }
+
+    #[test]
+    fn empty_pathset() {
+        let (g, _) = line(3);
+        let ps = PathSet::new(vec![]);
+        assert_eq!(ps.congestion(&g), 0);
+        assert_eq!(ps.dilation(), 0);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn conflict_graph_pairs() {
+        let (g, e) = line(5);
+        let ps = PathSet::new(vec![
+            Path::new(vec![e[0], e[1]]),
+            Path::new(vec![e[1], e[2]]),
+            Path::new(vec![e[3]]),
+        ]);
+        let adj = ps.conflict_graph(&g);
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0]);
+        assert!(adj[2].is_empty());
+    }
+}

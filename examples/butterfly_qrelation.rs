@@ -1,0 +1,46 @@
+//! The §3.1 randomized two-pass butterfly algorithm end to end, with a
+//! per-round trace: duplication, coloring into Δ subrounds, discard-on-
+//! delay, and resending — delivering a full q-relation w.h.p.
+//!
+//! ```text
+//! cargo run --release --example butterfly_qrelation
+//! ```
+
+use wormhole_core::butterfly::algorithm::{route_q_relation, AlgoParams};
+use wormhole_routing::prelude::*;
+
+fn main() {
+    let k = 10u32; // 1024-input butterfly
+    let n = 1u32 << k;
+    let q = k; // the featured regime q = log n
+    let l = k;
+    let rel = QRelation::random_relation(n, q, 99);
+    println!(
+        "q-relation on a {n}-input two-pass butterfly: q = {q}, L = {l}, {} messages\n",
+        rel.len()
+    );
+
+    for b in [1u32, 2, 3] {
+        let res = route_q_relation(k, &rel, &AlgoParams::new(b, l, 7));
+        println!(
+            "B = {b}: Δ = {} colors, {} of {} planned rounds, {} flit steps (formula {:.0})",
+            res.delta,
+            res.rounds.len(),
+            res.planned_rounds,
+            res.flit_steps,
+            res.formula_flit_steps
+        );
+        for (i, r) in res.rounds.iter().enumerate() {
+            println!(
+                "    round {i}: {:>6} copies routed, {:>5} originals delivered, {:>5} remain (≤{} copies/input)",
+                r.copies, r.newly_delivered, r.remaining, r.max_per_input
+            );
+        }
+        assert!(res.all_delivered, "w.h.p. delivery failed — try another seed");
+        println!();
+    }
+    println!(
+        "Δ = β·q·log^(1/B)n/B shrinks superlinearly with B, and the round\n\
+         time Δ·L + 2·log n shrinks with it — the §3 headline."
+    );
+}

@@ -1,0 +1,75 @@
+//! The paper's scheduling pipeline in action: take a congested workload,
+//! build (a) the footnote-5 naive conflict-free schedule, (b) a first-fit
+//! B-bounded schedule, and (c) the Theorem 2.1.6 LLL-refined schedule, and
+//! execute each on the flit simulator next to plain greedy routing.
+//!
+//! ```text
+//! cargo run --release --example schedule_vs_greedy
+//! ```
+
+use wormhole_baselines::greedy_wormhole::greedy_wormhole;
+use wormhole_baselines::naive_coloring::naive_schedule;
+use wormhole_routing::prelude::*;
+use wormhole_topology::random_nets::LeveledNet;
+
+fn main() {
+    let b = 2u32;
+    let l = 12u32;
+    let net = LeveledNet::random(24, 10, 2, 7);
+    let paths = net.random_walk_paths(160, 8);
+    let g = net.graph();
+    let (c, d) = (paths.congestion(g), paths.dilation());
+    println!("Random leveled network: C = {c}, D = {d}, L = {l}, B = {b}, {} messages\n", paths.len());
+
+    // (a) naive conflict-free schedule (footnote 5).
+    let naive = naive_schedule(&paths, g, l);
+    let naive_run = naive.execute_checked(g, &paths, l, b);
+
+    // (b) first-fit B-bounded schedule.
+    let ff = first_fit(&paths, g, b, FirstFitOrder::Input);
+    let ff_sched = ColorSchedule::new(ff, l, d);
+    let ff_run = ff_sched.execute_checked(g, &paths, l, b);
+
+    // (c) Theorem 2.1.6 pipeline (adaptive split factors).
+    let lll = adaptive_min_colors(&paths, g, b, 3, 64).expect("refinement failed");
+    let lll_sched = ColorSchedule::new(lll.coloring, l, d);
+    let lll_run = lll_sched.execute_checked(g, &paths, l, b);
+
+    // (d) greedy online (no schedule).
+    let greedy = greedy_wormhole(g, &paths, l, b, 5);
+
+    println!("{:<28} | {:>7} | {:>10} | {:>7}", "scheduler", "classes", "flit steps", "stalls");
+    println!("{}", "-".repeat(62));
+    println!(
+        "{:<28} | {:>7} | {:>10} | {:>7}",
+        "naive conflict-free (fn.5)",
+        naive.coloring.num_colors(),
+        naive_run.total_steps,
+        naive_run.total_stalls
+    );
+    println!(
+        "{:<28} | {:>7} | {:>10} | {:>7}",
+        "first-fit B-bounded",
+        ff_sched.coloring.num_colors(),
+        ff_run.total_steps,
+        ff_run.total_stalls
+    );
+    println!(
+        "{:<28} | {:>7} | {:>10} | {:>7}",
+        "LLL refinement (Thm 2.1.6)",
+        lll_sched.coloring.num_colors(),
+        lll_run.total_steps,
+        lll_run.total_stalls
+    );
+    println!(
+        "{:<28} | {:>7} | {:>10} | {:>7}",
+        "greedy online (no schedule)", "-", greedy.total_steps, greedy.total_stalls
+    );
+    println!(
+        "\nB-bounded schedules need ≈ D/log D fewer classes than the naive\n\
+         one ({} vs {}); greedy is fast here but carries no worst-case\n\
+         guarantee (see experiment E3 for where it degrades).",
+        ff_sched.coloring.num_colors(),
+        naive.coloring.num_colors()
+    );
+}

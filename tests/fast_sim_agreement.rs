@@ -1,0 +1,100 @@
+//! Cross-validation of the §3.1 lockstep subround simulator against the
+//! general flit-level simulator: survivors chosen by the fast path must be
+//! mutually compatible — released together on the real simulator they
+//! route with ZERO stalls in exactly `levels + L − 1` flit steps.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wormhole_core::butterfly::fast_sim::run_subround;
+use wormhole_core::butterfly::relation::QRelation;
+use wormhole_routing::prelude::*;
+
+fn check_survivors_compatible(k: u32, two_pass: bool, b: u32, seed: u64) {
+    let bf = if two_pass {
+        Butterfly::two_pass(k)
+    } else {
+        Butterfly::new(k)
+    };
+    let n = 1u32 << k;
+    let rel = QRelation::random_destinations(n, 2, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let paths: Vec<Path> = rel
+        .pairs
+        .iter()
+        .map(|&(s, d)| {
+            if two_pass {
+                bf.two_pass_path(s, (s * 7 + d) % n, d)
+            } else {
+                bf.greedy_path(s, d)
+            }
+        })
+        .collect();
+    let out = run_subround(&bf, &paths, b, &mut rng);
+    assert!(!out.survivors.is_empty());
+
+    // Replay the survivors on the full flit simulator.
+    let l = 6u32;
+    let survivor_paths: Vec<Path> = out
+        .survivors
+        .iter()
+        .map(|&m| paths[m as usize].clone())
+        .collect();
+    let specs = specs_from_paths(&PathSet::new(survivor_paths), l);
+    let result = wormhole_run(bf.graph(), &specs, &SimConfig::new(b).check_invariants(true));
+    assert_eq!(result.outcome, Outcome::Completed);
+    assert_eq!(
+        result.total_stalls, 0,
+        "fast-sim survivors must never block (k={k}, b={b}, seed={seed})"
+    );
+    assert_eq!(
+        result.total_steps,
+        bf.num_levels() as u64 + l as u64 - 1,
+        "survivors must finish in levels + L - 1"
+    );
+}
+
+#[test]
+fn one_pass_survivors_are_stall_free() {
+    for seed in 0..5 {
+        for b in [1u32, 2, 3] {
+            check_survivors_compatible(5, false, b, seed);
+        }
+    }
+}
+
+#[test]
+fn two_pass_survivors_are_stall_free() {
+    for seed in 0..5 {
+        for b in [1u32, 2] {
+            check_survivors_compatible(4, true, b, seed);
+        }
+    }
+}
+
+#[test]
+fn survivor_edge_loads_never_exceed_b() {
+    // The whole point of discard-on-delay: the surviving set is B-bounded
+    // on every edge. (The converse — that every discard was necessary
+    // against the *final* set — does not hold: a discard's winners may
+    // themselves be discarded later, that is the online nature of step 4.)
+    let bf = Butterfly::new(5);
+    let rel = QRelation::random_destinations(32, 3, 3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let paths: Vec<Path> = rel
+        .pairs
+        .iter()
+        .map(|&(s, d)| bf.greedy_path(s, d))
+        .collect();
+    for b in [1u32, 2, 3] {
+        let out = run_subround(&bf, &paths, b, &mut rng);
+        let mut load = vec![0u32; bf.graph().num_edges()];
+        for &m in &out.survivors {
+            for e in paths[m as usize].edges() {
+                load[e.idx()] += 1;
+            }
+        }
+        assert!(load.iter().all(|&x| x <= b), "survivor load exceeds B={b}");
+        assert_eq!(out.survivors.len() + out.discarded.len(), paths.len());
+    }
+}

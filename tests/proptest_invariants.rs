@@ -1,0 +1,210 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: simulator conservation laws, coloring guarantees, the
+//! lower-bound construction's combinatorics, and butterfly routing.
+
+use proptest::prelude::*;
+
+use wormhole_core::firstfit::{compact_coloring, first_fit, FirstFitOrder};
+use wormhole_core::refine::refine;
+use wormhole_core::Coloring;
+use wormhole_routing::prelude::*;
+use wormhole_topology::lowerbound;
+use wormhole_topology::random_nets::{staggered_instance, LeveledNet};
+use wormhole_topology::subsets::{binomial, enumerate_subsets, subset_rank};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A lone worm on any chain takes exactly d + L − 1 flit steps under
+    /// any VC count, bandwidth model, and final-edge policy that allows it.
+    #[test]
+    fn lone_worm_time_is_exact(
+        d in 1u32..40,
+        l in 1u32..40,
+        b in 1u32..5,
+        restricted in proptest::bool::ANY,
+    ) {
+        let (g, ps) = wormhole_topology::random_nets::shared_chain_instance(1, d);
+        let specs = specs_from_paths(&ps, l);
+        let mut cfg = SimConfig::new(b).check_invariants(true);
+        if restricted {
+            cfg = cfg.bandwidth(BandwidthModel::OneFlitPerStep);
+        }
+        let r = wormhole_run(&g, &specs, &cfg);
+        prop_assert!(matches!(r.outcome, Outcome::Completed));
+        prop_assert_eq!(r.total_steps, (d + l - 1) as u64);
+        prop_assert_eq!(r.total_stalls, 0);
+    }
+
+    /// Simulation on random leveled workloads: always completes (acyclic),
+    /// conserves flits (delivered = all), never oversubscribes VCs, and the
+    /// makespan is bounded below by the slowest message's floor and above
+    /// by full serialization.
+    #[test]
+    fn leveled_simulation_invariants(
+        seed in 0u64..1000,
+        b in 1u32..4,
+        l in 1u32..12,
+        msgs in 1usize..40,
+    ) {
+        let net = LeveledNet::random(6, 4, 2, seed);
+        let ps = net.random_walk_paths(msgs, seed + 1);
+        let specs = specs_from_paths(&ps, l);
+        let cfg = SimConfig::new(b).check_invariants(true);
+        let r = wormhole_run(net.graph(), &specs, &cfg);
+        prop_assert!(matches!(r.outcome, Outcome::Completed));
+        prop_assert_eq!(r.delivered(), msgs);
+        prop_assert!(r.max_vcs_in_use <= b);
+        let floor = (6 + l - 1) as u64;
+        prop_assert!(r.total_steps >= floor);
+        prop_assert!(r.total_steps <= (msgs as u64) * ((l + 1) as u64) + floor);
+        prop_assert_eq!(r.flit_hops, (msgs as u64) * (l as u64) * 6);
+    }
+
+    /// Restricted-bandwidth runs deliver everything too, and never beat
+    /// the per-edge bandwidth floor: an edge crossed by k·L flits needs at
+    /// least k·L steps.
+    #[test]
+    fn restricted_model_bandwidth_floor(
+        seed in 0u64..500,
+        b in 1u32..4,
+        l in 1u32..10,
+        msgs in 1usize..24,
+    ) {
+        let net = LeveledNet::random(5, 4, 2, seed);
+        let ps = net.random_walk_paths(msgs, seed + 2);
+        let loads = ps.edge_loads(net.graph());
+        let max_load = loads.iter().copied().max().unwrap_or(0) as u64;
+        let specs = specs_from_paths(&ps, l);
+        let cfg = SimConfig::new(b)
+            .bandwidth(BandwidthModel::OneFlitPerStep)
+            .check_invariants(true);
+        let r = wormhole_run(net.graph(), &specs, &cfg);
+        prop_assert!(matches!(r.outcome, Outcome::Completed));
+        prop_assert!(r.total_steps >= max_load * l as u64);
+    }
+
+    /// First-fit colorings are always B-bounded, never use fewer than
+    /// ⌈C/B⌉ classes, and compaction never worsens them.
+    #[test]
+    fn first_fit_bounded_and_compactable(
+        c in 1u32..12,
+        d in 1u32..24,
+        msgs in 1u32..48,
+        b in 1u32..4,
+    ) {
+        let (g, ps) = staggered_instance(c, d, msgs);
+        let cong = ps.congestion(&g);
+        let col = first_fit(&ps, &g, b, FirstFitOrder::Input);
+        prop_assert!(col.multiplex_size(&ps, &g) <= b);
+        prop_assert!(col.num_colors() >= cong.div_ceil(b));
+        let tight = compact_coloring(&ps, &g, &col, b, 2);
+        prop_assert!(tight.multiplex_size(&ps, &g) <= b);
+        prop_assert!(tight.num_colors() <= col.num_colors());
+    }
+
+    /// Refinement output multiplex never exceeds its target, and classes
+    /// refine within parents.
+    #[test]
+    fn refinement_respects_target(
+        seed in 0u64..300,
+        split in 2u32..8,
+    ) {
+        let (g, ps) = staggered_instance(6, 12, 24);
+        let start = Coloring::uniform(ps.len());
+        let target = 3u32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(out) = refine(&ps, &start, split, target, &mut rng, 64) {
+            prop_assert!(out.coloring.multiplex_size(&ps, &g) <= target);
+            prop_assert!(out.coloring.num_colors() <= split);
+        }
+    }
+
+    /// Schedules built from any B-bounded coloring execute stall-free and
+    /// within κ·(L+D−1).
+    #[test]
+    fn schedules_never_block(
+        seed in 0u64..300,
+        b in 1u32..4,
+        l in 2u32..10,
+    ) {
+        let net = LeveledNet::random(5, 4, 2, seed);
+        let ps = net.random_walk_paths(20, seed + 3);
+        let col = first_fit(&ps, net.graph(), b, FirstFitOrder::Input);
+        let sched = ColorSchedule::new(col, l, ps.dilation());
+        let r = sched.execute_checked(net.graph(), &ps, l, b);
+        prop_assert_eq!(r.delivered(), 20);
+    }
+
+    /// Subset ranking is the inverse of lexicographic enumeration.
+    #[test]
+    fn subset_rank_roundtrip(n in 1u32..12, k in 1u32..6) {
+        prop_assume!(k <= n);
+        let subs = enumerate_subsets(n, k);
+        prop_assert_eq!(subs.len() as u64, binomial(n as u64, k as u64));
+        for (i, s) in subs.iter().enumerate() {
+            prop_assert_eq!(subset_rank(n, s), i as u64);
+        }
+    }
+
+    /// Butterfly greedy paths always reach the requested output with
+    /// exactly k edges, and are the unique shortest path.
+    #[test]
+    fn butterfly_greedy_path_correct(k in 1u32..7, src in 0u32..64, dst in 0u32..64) {
+        let n = 1u32 << k;
+        let (src, dst) = (src % n, dst % n);
+        let bf = Butterfly::new(k);
+        let p = bf.greedy_path(src, dst);
+        prop_assert_eq!(p.len() as u32, k);
+        prop_assert!(p.validate(bf.graph()).is_ok());
+        prop_assert_eq!(p.src(bf.graph()), bf.input(src));
+        prop_assert_eq!(p.dst(bf.graph()), bf.output(dst));
+    }
+
+    /// The Thm 2.2.1 construction always satisfies its three defining
+    /// properties for random parameters.
+    #[test]
+    fn lower_bound_construction_properties(
+        b in 1u32..4,
+        extra in 0u32..40,
+        reps in 1u32..4,
+    ) {
+        let min_d = lowerbound::dilation_for_m_prime(b, b + 1) as u32;
+        let net = lowerbound::build(b, min_d + extra, reps, false);
+        // (1) congestion exactly reps·(B+1);
+        prop_assert_eq!(net.paths.congestion(&net.graph), reps * (b + 1));
+        // (2) dilation within the paper's bracket;
+        prop_assert!(net.dilation <= min_d + extra);
+        // (3) every (B+1)-subset shares its primary edge.
+        for s in enumerate_subsets(net.m_prime, b + 1) {
+            let shared = net.shared_primary_edge(&s);
+            for &m in &s {
+                prop_assert!(net.base_path(m).edges().contains(&shared));
+            }
+        }
+    }
+
+    /// Discard policy: the messages that do deliver finish by the
+    /// unblocked floor of the slowest one, and delivered + discarded
+    /// partition the input.
+    #[test]
+    fn discard_policy_partitions(
+        seed in 0u64..300,
+        b in 1u32..3,
+        msgs in 1usize..24,
+    ) {
+        let net = LeveledNet::random(5, 4, 2, seed);
+        let ps = net.random_walk_paths(msgs, seed + 4);
+        let specs = specs_from_paths(&ps, 4);
+        let cfg = SimConfig::new(b)
+            .blocked(BlockedPolicy::Discard)
+            .check_invariants(true);
+        let r = wormhole_run(net.graph(), &specs, &cfg);
+        prop_assert!(matches!(r.outcome, Outcome::Completed));
+        prop_assert_eq!(r.delivered() + r.discarded(), msgs);
+        prop_assert!(r.delivered() >= 1, "someone always wins arbitration");
+    }
+}
