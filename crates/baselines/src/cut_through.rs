@@ -95,6 +95,9 @@ mod tests {
     fn emulation_of_b1_is_identity() {
         let (g, ps) = shared_chain_instance(3, 8);
         let direct = vct_as_short_wormhole(&g, &ps, 12, 1, 0);
-        assert_eq!(emulation_flit_steps(direct.total_steps, 1), direct.total_steps);
+        assert_eq!(
+            emulation_flit_steps(direct.total_steps, 1),
+            direct.total_steps
+        );
     }
 }

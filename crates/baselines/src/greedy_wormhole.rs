@@ -35,7 +35,11 @@ pub fn one_pass_butterfly(
     b: u32,
     seed: u64,
 ) -> (SimResult, PathSet) {
-    assert_eq!(bf.passes(), 1, "one-pass routing wants a one-pass butterfly");
+    assert_eq!(
+        bf.passes(),
+        1,
+        "one-pass routing wants a one-pass butterfly"
+    );
     assert_eq!(bf.n_inputs(), relation.n);
     let paths: Vec<Path> = relation
         .pairs

@@ -18,11 +18,9 @@ fn bench_qrelation(c: &mut Criterion) {
         let n = 1u32 << k;
         let rel = QRelation::random_relation(n, k, 3);
         for b in [1u32, 2] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{}_B", n), b),
-                &b,
-                |bch, &b| bch.iter(|| route_q_relation(k, &rel, &AlgoParams::new(b, k, 5))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("n{}_B", n), b), &b, |bch, &b| {
+                bch.iter(|| route_q_relation(k, &rel, &AlgoParams::new(b, k, 5)))
+            });
         }
     }
     group.finish();

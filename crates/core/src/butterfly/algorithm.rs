@@ -151,8 +151,7 @@ pub fn route_q_relation(k: u32, relation: &QRelation, params: &AlgoParams) -> Al
 
     // Time accounting (proof of Thm 3.1.1): subrounds pipeline every L flit
     // steps; the last subround of a round needs 2·log n + L − 1 more.
-    let per_round =
-        delta as u64 * params.msg_len as u64 + 2 * k as u64 + params.msg_len as u64 - 1;
+    let per_round = delta as u64 * params.msg_len as u64 + 2 * k as u64 + params.msg_len as u64 - 1;
     let flit_steps = rounds.len() as u64 * per_round;
     AlgoResult {
         all_delivered: undelivered.is_empty(),
@@ -172,7 +171,7 @@ mod tests {
     fn delivers_identity_in_one_round() {
         // Disjoint-ish traffic with generous Δ: everything lands in round 0.
         let rel = QRelation::identity(16);
-        let res = route_q_relation(4, &rel, &AlgoParams::new(1, 4, 0));
+        let res = route_q_relation(4, &rel, &AlgoParams::new(1, 4, 1));
         assert!(res.all_delivered);
         assert_eq!(res.rounds.len(), 1);
         assert_eq!(res.rounds[0].newly_delivered, 16);
@@ -245,7 +244,7 @@ mod tests {
         if res.rounds.len() >= 2 {
             let per_orig_r1 = res.rounds[1].copies / res.rounds[1].remaining.max(1).max(1);
             let _ = per_orig_r1; // copies counted over round-1 inputs:
-            // round 1 routes 2 copies per remaining original.
+                                 // round 1 routes 2 copies per remaining original.
             let remaining_after_r0 = res.rounds[0].remaining;
             assert_eq!(res.rounds[1].copies, remaining_after_r0 * 2);
         }

@@ -32,12 +32,7 @@ pub struct SubroundOutcome {
 /// path starts at level 0 and has exactly `bf.num_levels()` edges). At each
 /// level, an edge wanted by more than `b` messages keeps `b` uniform random
 /// winners.
-pub fn run_subround(
-    bf: &Butterfly,
-    paths: &[Path],
-    b: u32,
-    rng: &mut StdRng,
-) -> SubroundOutcome {
+pub fn run_subround(bf: &Butterfly, paths: &[Path], b: u32, rng: &mut StdRng) -> SubroundOutcome {
     let levels = bf.num_levels() as usize;
     for (i, p) in paths.iter().enumerate() {
         assert_eq!(p.len(), levels, "path {i} is not full-depth");
@@ -129,7 +124,9 @@ mod tests {
     #[test]
     fn survivor_count_monotone_in_b_on_average() {
         let bf = Butterfly::new(4);
-        let paths: Vec<Path> = (0..16).map(|i| bf.greedy_path(i, (i * 7 + 3) % 16)).collect();
+        let paths: Vec<Path> = (0..16)
+            .map(|i| bf.greedy_path(i, (i * 7 + 3) % 16))
+            .collect();
         let avg = |b: u32| -> f64 {
             (0..20)
                 .map(|s| run_subround(&bf, &paths, b, &mut rng(s)).survivors.len())
@@ -144,7 +141,9 @@ mod tests {
     #[test]
     fn two_pass_paths_supported() {
         let bf = Butterfly::two_pass(3);
-        let paths: Vec<Path> = (0..8).map(|i| bf.two_pass_path(i, (i + 3) % 8, i)).collect();
+        let paths: Vec<Path> = (0..8)
+            .map(|i| bf.two_pass_path(i, (i + 3) % 8, i))
+            .collect();
         let out = run_subround(&bf, &paths, 2, &mut rng(1));
         assert_eq!(out.survivors.len() + out.discarded.len(), 8);
     }

@@ -219,7 +219,10 @@ mod tests {
         let s1 = s_threshold(1024, 10, 1, 10);
         let s_big_n = s_threshold(4096, 10, 1, 10);
         let ratio = s_big_n / s1; // 4× from n, plus a mild log(q log n) drift
-        assert!((3.5..=5.0).contains(&ratio), "s ≈ linear in n, ratio {ratio}");
+        assert!(
+            (3.5..=5.0).contains(&ratio),
+            "s ≈ linear in n, ratio {ratio}"
+        );
         let t1 = phase_lower_bound(1024, 10, 10, s1);
         assert!(t1 > 0.0);
         assert!((phase_lower_bound(1024, 10, 10, 2.0 * s1) - t1 / 2.0).abs() < 1e-9);

@@ -21,7 +21,9 @@ impl QRelation {
     /// exactly `q` destined to each output (a random q-regular assignment).
     pub fn random_relation(n: u32, q: u32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut outputs: Vec<u32> = (0..n).flat_map(|o| std::iter::repeat_n(o, q as usize)).collect();
+        let mut outputs: Vec<u32> = (0..n)
+            .flat_map(|o| std::iter::repeat_n(o, q as usize))
+            .collect();
         outputs.shuffle(&mut rng);
         let pairs = (0..n)
             .flat_map(|i| (0..q).map(move |j| (i, j)))
@@ -59,9 +61,7 @@ impl QRelation {
         Self {
             n,
             q: 1,
-            pairs: (0..n)
-                .map(|i| (i, i.reverse_bits() >> (32 - k)))
-                .collect(),
+            pairs: (0..n).map(|i| (i, i.reverse_bits() >> (32 - k))).collect(),
         }
     }
 

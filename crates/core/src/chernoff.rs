@@ -83,9 +83,7 @@ mod tests {
         // Case 1 of Lemma 2.1.5: ms ≤ log D, mf = B,
         // r = 3e(D·ms)^{1/B}·ms/B ⇒ 4qb < 1 (the paper computes 4/3^B).
         for (ms, d, b) in [(8u64, 100_000u64, 2u64), (6, 1 << 20, 3), (4, 4096, 1)] {
-            let r = 3.0 * std::f64::consts::E
-                * ((d * ms) as f64).powf(1.0 / b as f64)
-                * ms as f64
+            let r = 3.0 * std::f64::consts::E * ((d * ms) as f64).powf(1.0 / b as f64) * ms as f64
                 / b as f64;
             let lhs = lll_lhs(ms, b, d, r);
             assert!(lhs < 1.0, "LLL fails: ms={ms} d={d} b={b} lhs={lhs}");

@@ -28,10 +28,7 @@ impl Coloring {
 
     /// Builds from explicit colors; `num_colors` must dominate every entry.
     pub fn new(colors: Vec<u32>, num_colors: u32) -> Self {
-        assert!(
-            colors.iter().all(|&c| c < num_colors),
-            "color out of range"
-        );
+        assert!(colors.iter().all(|&c| c < num_colors), "color out of range");
         assert!(num_colors >= 1 || colors.is_empty());
         Self { colors, num_colors }
     }
@@ -128,11 +125,7 @@ impl Coloring {
     /// The violating `(edge, class)` pairs with more than `limit` messages,
     /// together with the offending message ids — the "bad events" of
     /// Lemma 2.1.5. Returns an empty vec iff multiplex size ≤ `limit`.
-    pub fn violations(
-        &self,
-        paths: &PathSet,
-        limit: u32,
-    ) -> Vec<((u32, u32), Vec<u32>)> {
+    pub fn violations(&self, paths: &PathSet, limit: u32) -> Vec<((u32, u32), Vec<u32>)> {
         let mut triples: Vec<(u32, u32, u32)> =
             Vec::with_capacity(paths.total_path_length() as usize);
         for (i, p) in paths.paths().iter().enumerate() {

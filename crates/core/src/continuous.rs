@@ -28,8 +28,15 @@ pub fn bernoulli_workload(
     msg_len: u32,
     seed: u64,
 ) -> Vec<MessageSpec> {
-    assert!((0.0..=1.0).contains(&rate), "rate is a probability per step");
-    assert_eq!(bf.passes(), 1, "throughput workload uses a one-pass butterfly");
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "rate is a probability per step"
+    );
+    assert_eq!(
+        bf.passes(),
+        1,
+        "throughput workload uses a one-pass butterfly"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = bf.n_inputs();
     let mut specs = Vec::new();

@@ -100,20 +100,17 @@ pub fn compact_coloring(
     }
     for _ in 0..max_passes {
         let mut moved = false;
-        for i in 0..n {
-            let cur = colors[i] as usize;
+        for (i, color) in colors.iter_mut().enumerate() {
+            let cur = *color as usize;
             let p = paths.path(i);
             // Take the message out, then first-fit it back.
             for &e in p.edges() {
                 counts[cur][e.idx()] -= 1;
             }
             let mut dest = cur;
-            'classes: for c in 0..k {
-                if c >= cur {
-                    break;
-                }
+            'classes: for (c, class_counts) in counts.iter().enumerate().take(cur) {
                 for &e in p.edges() {
-                    if counts[c][e.idx()] as u32 >= b {
+                    if class_counts[e.idx()] as u32 >= b {
                         continue 'classes;
                     }
                 }
@@ -124,7 +121,7 @@ pub fn compact_coloring(
                 counts[dest][e.idx()] += 1;
             }
             if dest != cur {
-                colors[i] = dest as u32;
+                *color = dest as u32;
                 moved = true;
             }
         }

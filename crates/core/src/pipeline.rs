@@ -21,9 +21,7 @@ use wormhole_topology::graph::Graph;
 use wormhole_topology::path::PathSet;
 
 use crate::coloring::Coloring;
-use crate::refine::{
-    mf_case3, r_case1, r_case2, r_case3, refine, RefineCase, Stage,
-};
+use crate::refine::{mf_case3, r_case1, r_case2, r_case3, refine, RefineCase, Stage};
 
 /// Split-factor selection strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -152,11 +150,18 @@ pub fn run_pipeline(
     for stage in plan(congestion, dilation, b) {
         let (out, used_split) = match rfactor {
             RFactor::Paper => {
-                let out = refine(paths, &coloring, stage.split, stage.target, &mut rng, 10_000)
-                    .map_err(|e| PipelineError {
-                        stage,
-                        rounds: e.rounds,
-                    })?;
+                let out = refine(
+                    paths,
+                    &coloring,
+                    stage.split,
+                    stage.target,
+                    &mut rng,
+                    10_000,
+                )
+                .map_err(|e| PipelineError {
+                    stage,
+                    rounds: e.rounds,
+                })?;
                 (out, stage.split)
             }
             RFactor::Adaptive { sweep_budget } => {
@@ -195,9 +200,8 @@ fn search_min_split(
     sweep_budget: u64,
 ) -> Option<(crate::refine::RefineOutcome, u32)> {
     let cap = stage.split.max(2) * 2;
-    let attempt = |r: u32, rng: &mut StdRng| {
-        refine(paths, coloring, r, stage.target, rng, sweep_budget).ok()
-    };
+    let attempt =
+        |r: u32, rng: &mut StdRng| refine(paths, coloring, r, stage.target, rng, sweep_budget).ok();
     // Doubling phase.
     let mut lo = 1u32; // known-failing (r=1 can only work if already ≤ target)
     let mut r = 2u32;
@@ -256,7 +260,13 @@ pub fn adaptive_min_colors(
         split: r_case1(congestion.min(64), dilation.max(2), b).max(congestion),
         case: RefineCase::Case1,
     };
-    let (out, used) = search_min_split(paths, &Coloring::uniform(paths.len()), stage, &mut rng, sweep_budget)?;
+    let (out, used) = search_min_split(
+        paths,
+        &Coloring::uniform(paths.len()),
+        stage,
+        &mut rng,
+        sweep_budget,
+    )?;
     let coloring = crate::firstfit::compact_coloring(paths, graph, &out.coloring, b, 4);
     debug_assert!(coloring.multiplex_size(paths, graph) <= b);
     Some(PipelineReport {

@@ -45,10 +45,7 @@ pub struct Stage {
 
 /// The paper's `r` for case 1: `3e(D·ms)^{1/B}·ms/B`.
 pub fn r_case1(ms: u32, d: u32, b: u32) -> u32 {
-    let r = 3.0
-        * std::f64::consts::E
-        * ((d as f64) * (ms as f64)).powf(1.0 / b as f64)
-        * ms as f64
+    let r = 3.0 * std::f64::consts::E * ((d as f64) * (ms as f64)).powf(1.0 / b as f64) * ms as f64
         / b as f64;
     (r.ceil() as u32).max(2)
 }
@@ -244,6 +241,9 @@ mod tests {
         let start = Coloring::uniform(ps.len());
         let out = refine(&ps, &start, r, b, &mut rng(5), 10_000).unwrap();
         assert!(out.coloring.multiplex_size(&ps, &g) <= b);
-        assert!(out.resamples <= 5, "paper-r refinement should be near-instant");
+        assert!(
+            out.resamples <= 5,
+            "paper-r refinement should be near-instant"
+        );
     }
 }

@@ -185,8 +185,7 @@ pub fn run(graph: &Graph, specs: &[MessageSpec], config: &VctConfig) -> SimResul
                     // Start-of-step view for the source: a flit that arrived
                     // this step cannot move again. The worm owns any buffer
                     // its flits occupy, so the edge's start count is its own.
-                    count_start[specs[mi].path.edges()[j - 2].idx()] > 0
-                        && buf[mi][j - 1] > 0
+                    count_start[specs[mi].path.edges()[j - 2].idx()] > 0 && buf[mi][j - 1] > 0
                 };
                 if !src_has {
                     continue;
@@ -261,6 +260,7 @@ pub fn run(graph: &Graph, specs: &[MessageSpec], config: &VctConfig) -> SimResul
         total_stalls,
         flit_hops,
         deadlock: None,
+        open_loop: None,
     }
 }
 

@@ -13,6 +13,12 @@
 //!   buffers per edge (worms can compress behind a blocked header), used by
 //!   the §1.4 fixed-buffer comparison.
 //!
+//! Two driving modes: batch ([`wormhole::run_to_completion`] — a fixed
+//! message set routed to completion, the paper's setting) and open-loop
+//! ([`open_loop::run_open_loop`] — continuous injection with warmup /
+//! measurement windows, latency percentiles, accepted throughput, and
+//! saturation detection).
+//!
 //! # Example
 //!
 //! ```
@@ -34,6 +40,7 @@ pub mod config;
 pub mod cut_through;
 pub mod events;
 pub mod message;
+pub mod open_loop;
 pub mod stats;
 pub mod store_forward;
 pub mod wormhole;
@@ -41,4 +48,5 @@ pub mod wormhole;
 pub use config::{Arbitration, BandwidthModel, BlockedPolicy, FinalEdgePolicy, SimConfig};
 pub use events::{DeadlockReport, TraceEvent, WaitFor};
 pub use message::{specs_from_paths, MessageSpec};
-pub use stats::{MessageOutcome, Outcome, SimResult};
+pub use open_loop::{run_open_loop, OpenLoopConfig};
+pub use stats::{LatencyStats, MessageOutcome, OpenLoopStats, Outcome, SimResult};

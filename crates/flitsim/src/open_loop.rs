@@ -1,0 +1,288 @@
+//! Open-loop simulation mode: warmup / measurement windows, accepted
+//! throughput, and saturation detection over a timed injection trace.
+//!
+//! [`super::wormhole::run_to_completion`] answers the paper's *batch*
+//! question — how long does a fixed message set take? Open-loop
+//! evaluation answers the *service* question — what latency does the
+//! network deliver while traffic keeps arriving at a given rate? The
+//! caller supplies a timed [`MessageSpec`] stream (typically from
+//! `wormhole-workloads`); this module:
+//!
+//! 1. runs the wormhole simulator with a hard step cap of
+//!    `warmup + measure + drain` (a saturated network never drains, so
+//!    an open-loop run must be allowed to end with [`Outcome::MaxSteps`]
+//!    without that being an error);
+//! 2. discards the warmup transient, and summarizes latency percentiles
+//!    over messages *released* inside the measurement window;
+//! 3. reports accepted throughput — flits of messages *finished* inside
+//!    the window per step — and flags saturation when the network either
+//!    failed to accept the offered load or grew its backlog across the
+//!    window.
+//!
+//! Injection queues are implicit: a released worm that cannot win a VC on
+//! its first edge waits in an unbounded source queue (the simulator's
+//! `active` set) without occupying network resources, which is exactly
+//! the open-loop source model.
+
+use wormhole_topology::graph::Graph;
+
+use crate::config::SimConfig;
+use crate::message::MessageSpec;
+use crate::stats::{LatencyStats, OpenLoopStats, SimResult};
+use crate::wormhole;
+
+/// Windowing and saturation knobs for an open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    /// Warmup steps excluded from measurement (transient fill).
+    pub warmup: u64,
+    /// Measurement window length in steps.
+    pub measure: u64,
+    /// Extra steps after the window for in-flight worms to finish (caps
+    /// the run; saturated traffic will still be unfinished at the cap,
+    /// which is expected and reported, not an error).
+    pub drain: u64,
+    /// Accepted/offered ratio under which the window counts as
+    /// saturated (default 0.95).
+    pub saturation_ratio: f64,
+}
+
+impl OpenLoopConfig {
+    /// A config with the given warmup and measurement window, a drain
+    /// allowance equal to `warmup + measure`, and the default saturation
+    /// threshold.
+    pub fn new(warmup: u64, measure: u64) -> Self {
+        assert!(measure >= 1, "measurement window must be non-empty");
+        Self {
+            warmup,
+            measure,
+            drain: warmup + measure,
+            saturation_ratio: 0.95,
+        }
+    }
+
+    /// Sets the drain allowance.
+    pub fn drain(mut self, steps: u64) -> Self {
+        self.drain = steps;
+        self
+    }
+
+    /// Sets the saturation threshold on accepted/offered.
+    pub fn saturation_ratio(mut self, r: f64) -> Self {
+        assert!((0.0..=1.0).contains(&r));
+        self.saturation_ratio = r;
+        self
+    }
+
+    /// End of the measurement window.
+    pub fn window_end(&self) -> u64 {
+        self.warmup + self.measure
+    }
+
+    /// The hard step cap of the run.
+    pub fn step_cap(&self) -> u64 {
+        self.warmup + self.measure + self.drain
+    }
+}
+
+/// Runs `specs` open-loop under `config`, returning the simulator result
+/// with [`SimResult::open_loop`] populated. The run never panics on
+/// saturation: an [`Outcome::MaxSteps`](crate::stats::Outcome::MaxSteps)
+/// end simply means traffic was still in flight at the cap.
+pub fn run_open_loop(
+    graph: &Graph,
+    specs: &[MessageSpec],
+    config: &SimConfig,
+    ol: &OpenLoopConfig,
+) -> SimResult {
+    let mut capped = config.clone();
+    capped.max_steps = capped.max_steps.min(ol.step_cap());
+    let mut result = wormhole::run(graph, specs, &capped);
+    result.open_loop = Some(windowed_stats(specs, &result, ol));
+    result
+}
+
+/// Computes the windowed measurement from a finished run. Exposed so
+/// callers with their own simulation loop can reuse the bookkeeping.
+pub fn windowed_stats(
+    specs: &[MessageSpec],
+    result: &SimResult,
+    ol: &OpenLoopConfig,
+) -> OpenLoopStats {
+    let (start, end) = (ol.warmup, ol.window_end());
+    let mut latencies = Vec::new();
+    let mut offered = 0usize;
+    let mut delivered = 0usize;
+    let mut accepted_msgs = 0usize;
+    let mut accepted_flits = 0u64;
+    // Backlog at time T counts messages released ≤ T and unfinished at T.
+    let mut backlog_start = 0usize;
+    let mut backlog_end = 0usize;
+    for (spec, out) in specs.iter().zip(&result.messages) {
+        let r = spec.release;
+        let f = out.finished;
+        if r < start && f.is_none_or(|f| f > start) {
+            backlog_start += 1;
+        }
+        if r < end && f.is_none_or(|f| f > end) {
+            backlog_end += 1;
+        }
+        if let Some(f) = f {
+            if f > start && f <= end {
+                accepted_msgs += 1;
+                accepted_flits += spec.length as u64;
+            }
+        }
+        if (start..end).contains(&r) {
+            offered += 1;
+            if let Some(f) = f {
+                delivered += 1;
+                latencies.push(f - r);
+            }
+        }
+    }
+    let offered_rate = offered as f64 / ol.measure as f64;
+    let accepted_rate = accepted_msgs as f64 / ol.measure as f64;
+    // Saturated when the window's deliveries lag its releases, or the
+    // in-flight population grew across the window. Both checks are
+    // needed: a short window can luck into accepted ≈ offered while the
+    // backlog climbs, and vice versa an empty-start window can accept
+    // carried-over traffic while rejecting its own. Each clause also
+    // demands an absolute deficit of ≥ 2 messages: with a small offered
+    // count, a single worm straddling the window boundary is edge
+    // effect, not saturation.
+    let deficit = offered.saturating_sub(accepted_msgs);
+    let saturated =
+        (offered > 0 && accepted_rate < ol.saturation_ratio * offered_rate && deficit >= 2)
+            || backlog_end > backlog_start.saturating_mul(2).max(offered / 4).max(1);
+    OpenLoopStats {
+        window_start: start,
+        window_len: ol.measure,
+        offered_msgs: offered,
+        delivered_msgs: delivered,
+        latency: LatencyStats::from_samples(&latencies),
+        accepted_msgs,
+        accepted_flits_per_step: accepted_flits as f64 / ol.measure as f64,
+        offered_msgs_per_step: offered_rate,
+        backlog: (backlog_start, backlog_end),
+        saturated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::message::MessageSpec;
+    use crate::stats::Outcome;
+    use wormhole_topology::graph::{GraphBuilder, NodeId};
+    use wormhole_topology::path::Path;
+
+    fn chain(n: u32) -> (Graph, Vec<wormhole_topology::graph::EdgeId>) {
+        let mut b = GraphBuilder::new(n as usize);
+        let edges = (0..n - 1)
+            .map(|i| b.add_edge(NodeId(i), NodeId(i + 1)))
+            .collect();
+        (b.build(), edges)
+    }
+
+    /// One message every `gap` steps down a chain.
+    fn periodic(
+        edges: &[wormhole_topology::graph::EdgeId],
+        l: u32,
+        gap: u64,
+        until: u64,
+    ) -> Vec<MessageSpec> {
+        (0..until / gap)
+            .map(|i| MessageSpec::new(Path::new(edges.to_vec()), l).release_at(i * gap))
+            .collect()
+    }
+
+    #[test]
+    fn light_load_latency_hits_the_floor() {
+        // Messages spaced far apart never contend: latency = d + L − 1.
+        let (g, edges) = chain(5);
+        let specs = periodic(&edges, 3, 50, 1000);
+        let ol = OpenLoopConfig::new(100, 800);
+        let r = run_open_loop(&g, &specs, &SimConfig::new(2), &ol);
+        assert_eq!(r.outcome, Outcome::Completed);
+        let s = r.open_loop.unwrap();
+        assert!(s.offered_msgs > 0);
+        assert_eq!(s.delivered_msgs, s.offered_msgs);
+        assert_eq!(s.latency.p50, (4 + 3 - 1) as u64);
+        assert_eq!(s.latency.max, (4 + 3 - 1) as u64);
+        assert!(!s.saturated, "light load must not saturate: {s:?}");
+    }
+
+    #[test]
+    fn overload_is_detected_as_saturation() {
+        // A 1-wide chain offered one L=4 message per step accepts at most
+        // 1/(L+1) of them: saturated, and the run hits the cap.
+        let (g, edges) = chain(5);
+        let specs = periodic(&edges, 4, 1, 600);
+        let ol = OpenLoopConfig::new(100, 400).drain(100);
+        let r = run_open_loop(&g, &specs, &SimConfig::new(1), &ol);
+        assert_eq!(r.outcome, Outcome::MaxSteps);
+        let s = r.open_loop.unwrap();
+        assert!(s.saturated, "overload must be flagged: {s:?}");
+        assert!(s.accepted_msgs < s.offered_msgs);
+        assert!(s.backlog.1 > s.backlog.0);
+    }
+
+    #[test]
+    fn accepted_throughput_matches_service_rate() {
+        // B=1 on a shared chain serializes at one message per L+1 steps;
+        // offered exactly that, the network accepts ≈ all of it.
+        let (g, edges) = chain(4);
+        let l = 3u32;
+        let specs = periodic(&edges, l, (l + 1) as u64, 2000);
+        let ol = OpenLoopConfig::new(200, 1600);
+        let r = run_open_loop(&g, &specs, &SimConfig::new(1), &ol);
+        let s = r.open_loop.unwrap();
+        assert!(!s.saturated, "{s:?}");
+        let per_step = s.accepted_flits_per_step;
+        let expected = l as f64 / (l + 1) as f64;
+        assert!(
+            (per_step - expected).abs() < 0.05,
+            "accepted {per_step} != {expected}"
+        );
+    }
+
+    #[test]
+    fn warmup_messages_are_excluded_from_latency() {
+        let (g, edges) = chain(3);
+        // A burst at t=0 (warmup) then calm periodic traffic.
+        let mut specs: Vec<MessageSpec> = (0..20)
+            .map(|_| MessageSpec::new(Path::new(edges.clone()), 2))
+            .collect();
+        specs.extend(periodic(&edges, 2, 20, 400).into_iter().map(|m| {
+            let r = m.release;
+            m.release_at(r + 100)
+        }));
+        let ol = OpenLoopConfig::new(100, 400);
+        let r = run_open_loop(&g, &specs, &SimConfig::new(1), &ol);
+        let s = r.open_loop.unwrap();
+        // The burst's queueing latency never shows: measured worms are alone.
+        assert_eq!(s.latency.max, (2 + 2 - 1) as u64);
+    }
+
+    #[test]
+    fn empty_trace_is_a_clean_zero() {
+        let (g, _) = chain(3);
+        let ol = OpenLoopConfig::new(10, 50);
+        let r = run_open_loop(&g, &[], &SimConfig::new(1), &ol);
+        let s = r.open_loop.unwrap();
+        assert_eq!(s.offered_msgs, 0);
+        assert_eq!(s.accepted_msgs, 0);
+        assert!(!s.saturated);
+        assert_eq!(s.latency, LatencyStats::default());
+    }
+
+    #[test]
+    fn config_builder_and_cap() {
+        let ol = OpenLoopConfig::new(10, 20).drain(5).saturation_ratio(0.5);
+        assert_eq!(ol.window_end(), 30);
+        assert_eq!(ol.step_cap(), 35);
+        assert!((ol.saturation_ratio - 0.5).abs() < 1e-12);
+    }
+}

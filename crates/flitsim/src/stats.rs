@@ -36,6 +36,77 @@ impl MessageOutcome {
     }
 }
 
+/// Latency distribution summary over a set of delivered messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of latency samples.
+    pub n: usize,
+    /// Mean latency in flit steps.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum observed latency.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes a sample of latencies (need not be sorted). Returns the
+    /// zero summary on an empty slice.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut xs = samples.to_vec();
+        xs.sort_unstable();
+        let pct = |p: usize| xs[(xs.len() * p / 100).min(xs.len() - 1)];
+        Self {
+            n: xs.len(),
+            mean: xs.iter().sum::<u64>() as f64 / xs.len() as f64,
+            p50: pct(50),
+            p95: pct(95),
+            p99: pct(99),
+            max: *xs.last().unwrap(),
+        }
+    }
+}
+
+/// Open-loop (continuous-injection) measurement attached to a
+/// [`SimResult`] by [`crate::open_loop::run_open_loop`]. All windowed
+/// quantities refer to the configured measurement window.
+#[derive(Clone, Debug, Default)]
+pub struct OpenLoopStats {
+    /// First step of the measurement window (= warmup length).
+    pub window_start: u64,
+    /// Length of the measurement window in flit steps.
+    pub window_len: u64,
+    /// Messages released inside the measurement window.
+    pub offered_msgs: usize,
+    /// Of those, messages delivered before the simulation ended.
+    pub delivered_msgs: usize,
+    /// Latency summary over the delivered measurement-window messages
+    /// (release → last flit delivered).
+    pub latency: LatencyStats,
+    /// Messages *finished* inside the measurement window (any release),
+    /// the basis of the accepted-throughput figure.
+    pub accepted_msgs: usize,
+    /// Accepted throughput: flits of messages finished inside the window,
+    /// per flit step (divide by the endpoint count for the usual
+    /// per-endpoint normalization).
+    pub accepted_flits_per_step: f64,
+    /// Offered load inside the window, messages per flit step.
+    pub offered_msgs_per_step: f64,
+    /// In-flight backlog (released, not yet finished) at the start and
+    /// end of the measurement window: a growing backlog is saturation.
+    pub backlog: (usize, usize),
+    /// Saturation verdict: the network failed to accept the offered load
+    /// over the window (see [`crate::open_loop::OpenLoopConfig`]).
+    pub saturated: bool,
+}
+
 /// Aggregate result of a simulation run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -55,12 +126,18 @@ pub struct SimResult {
     /// On [`Outcome::Deadlock`]: the wait-for post-mortem (who waits on
     /// which edge held by whom, plus a concrete cycle).
     pub deadlock: Option<DeadlockReport>,
+    /// Open-loop windowed measurement; `Some` only for runs produced by
+    /// [`crate::open_loop::run_open_loop`].
+    pub open_loop: Option<OpenLoopStats>,
 }
 
 impl SimResult {
     /// Number of delivered messages.
     pub fn delivered(&self) -> usize {
-        self.messages.iter().filter(|m| m.finished.is_some()).count()
+        self.messages
+            .iter()
+            .filter(|m| m.finished.is_some())
+            .count()
     }
 
     /// Number of discarded messages.
@@ -120,6 +197,7 @@ mod tests {
             total_stalls: 2,
             flit_hops: 99,
             deadlock: None,
+            open_loop: None,
         };
         assert_eq!(r.delivered(), 2);
         assert_eq!(r.discarded(), 1);
@@ -132,5 +210,17 @@ mod tests {
     fn latency_of_unfinished_is_none() {
         let m = MessageOutcome::default();
         assert_eq!(m.latency(5), None);
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let s = LatencyStats::from_samples(&[5, 1, 3, 2, 4]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.p95, 5);
+        assert_eq!(s.p99, 5);
+        assert_eq!(s.max, 5);
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
     }
 }

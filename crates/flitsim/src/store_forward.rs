@@ -163,14 +163,11 @@ pub fn run(graph: &Graph, paths: &PathSet, releases: &[u64], config: &SfConfig) 
             if has_space {
                 let winner = match config.arbitration {
                     SfArbitration::Fifo => *contenders.iter().min().unwrap(),
-                    SfArbitration::Random => {
-                        contenders[rng.random_range(0..contenders.len())]
-                    }
+                    SfArbitration::Random => contenders[rng.random_range(0..contenders.len())],
                     SfArbitration::FarthestFirst => *contenders
                         .iter()
                         .min_by_key(|&&m| {
-                            let remaining =
-                                paths.path(m as usize).len() as u32 - pos[m as usize];
+                            let remaining = paths.path(m as usize).len() as u32 - pos[m as usize];
                             (u32::MAX - remaining, m)
                         })
                         .unwrap(),
@@ -283,10 +280,7 @@ mod tests {
         let e1 = b.add_edge(NodeId(1), NodeId(2));
         let e2 = b.add_edge(NodeId(2), NodeId(3));
         let g = b.build();
-        let ps = PathSet::new(vec![
-            Path::new(vec![e0]),
-            Path::new(vec![e0, e1, e2]),
-        ]);
+        let ps = PathSet::new(vec![Path::new(vec![e0]), Path::new(vec![e0, e1, e2])]);
         let config = SfConfig {
             arbitration: SfArbitration::FarthestFirst,
             ..SfConfig::default()

@@ -259,6 +259,7 @@ impl<'a> Sim<'a> {
                 total_stalls,
                 flit_hops: self.flit_hops,
                 deadlock: deadlock_report,
+                open_loop: None,
             },
             self.trace,
         )
@@ -407,7 +408,11 @@ impl<'a> Sim<'a> {
         }
         self.token_touched.clear();
         let n_active = self.active.len();
-        let start = if n_active == 0 { 0 } else { (t as usize) % n_active };
+        let start = if n_active == 0 {
+            0
+        } else {
+            (t as usize) % n_active
+        };
         let mut any_moved = false;
         for off in 0..n_active {
             let m = self.active[(start + off) % n_active];
@@ -498,7 +503,8 @@ impl<'a> Sim<'a> {
             }
         }
         let outcomes = &self.outcomes;
-        self.active.retain(|&m| outcomes[m as usize].finished.is_none());
+        self.active
+            .retain(|&m| outcomes[m as usize].finished.is_none());
         any_moved
     }
 
@@ -518,7 +524,10 @@ impl<'a> Sim<'a> {
         if a <= hops && self.needs_vc(&self.worms[m as usize], a) {
             let e = self.path_edge(m, a);
             self.holders[e] += 1;
-            debug_assert!(self.holders[e] as u32 <= self.config.vcs, "VC oversubscribed");
+            debug_assert!(
+                self.holders[e] as u32 <= self.config.vcs,
+                "VC oversubscribed"
+            );
             self.max_vcs = self.max_vcs.max(self.holders[e]);
             if self.tracing {
                 self.trace.push(TraceEvent::Acquire {
@@ -607,10 +616,7 @@ impl<'a> Sim<'a> {
         }
         assert_eq!(expect, self.holders, "VC accounting mismatch");
         for (e, &h) in self.holders.iter().enumerate() {
-            assert!(
-                h as u32 <= self.config.vcs,
-                "edge {e} holds {h} > B VCs"
-            );
+            assert!(h as u32 <= self.config.vcs, "edge {e} holds {h} > B VCs");
         }
         // Flit conservation per worm: injected − delivered == in-network.
         for &m in &self.active {

@@ -62,13 +62,21 @@ pub fn run(fast: bool) -> Vec<Table> {
             run.total_stalls
         ));
     }
-    t1.note("Schedules execute with zero stalls (the paper's guarantee); κ falls superlinearly in B.");
+    t1.note(
+        "Schedules execute with zero stalls (the paper's guarantee); κ falls superlinearly in B.",
+    );
 
     // D sweep at fixed B: fitted exponent of κ·B/C against (D·log D)
     // should approach 1/B.
     let mut t2 = Table::new(
         "E1b — κ vs D at fixed B (exponent fit)",
-        &["B", "D values", "κ values", "fitted exp of κ vs DlogD", "paper exp 1/B"],
+        &[
+            "B",
+            "D values",
+            "κ values",
+            "fitted exp of κ vs DlogD",
+            "paper exp 1/B",
+        ],
     );
     let dvals: &[u32] = if fast { &[16, 64] } else { &[32, 128, 512] };
     for &b in if fast { &[2u32][..] } else { &[2u32, 3][..] } {
@@ -102,7 +110,13 @@ pub fn run(fast: bool) -> Vec<Table> {
     // κ against D should approach 1/B.
     let mut t3 = Table::new(
         "E1c — κ vs D on the worst-case (Thm 2.2.1) networks",
-        &["B", "D values", "κ values", "fitted exp of κ vs D", "paper exp 1/B"],
+        &[
+            "B",
+            "D values",
+            "κ values",
+            "fitted exp of κ vs D",
+            "paper exp 1/B",
+        ],
     );
     let bs3: &[u32] = if fast { &[1, 2] } else { &[1, 2, 3] };
     for &b in bs3 {

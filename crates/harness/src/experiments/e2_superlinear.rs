@@ -85,9 +85,7 @@ mod tests {
         let row4 = s
             .lines()
             .filter(|l| l.starts_with('|'))
-            .find(|l| {
-                l.split('|').nth(1).map(str::trim) == Some("4")
-            })
+            .find(|l| l.split('|').nth(1).map(str::trim) == Some("4"))
             .expect("B=4 row present");
         let cols: Vec<&str> = row4.split('|').map(str::trim).collect();
         let speedup: f64 = cols[4].parse().expect("speedup cell numeric");

@@ -62,7 +62,15 @@ pub fn run(fast: bool) -> Vec<Table> {
     let qs: &[u32] = if fast { &[1, 4] } else { &[1, 4, 16, 32] };
     let mut t2 = Table::new(
         format!("E5b — §3.1 algorithm, q sweep at n = {n}, L = log n"),
-        &["q", "B", "delivered", "rounds", "Δ", "flit steps", "formula"],
+        &[
+            "q",
+            "B",
+            "delivered",
+            "rounds",
+            "Δ",
+            "flit steps",
+            "formula",
+        ],
     );
     for &q in qs {
         for &b in bs {
@@ -90,7 +98,10 @@ mod tests {
     fn e5_everything_delivers() {
         let tables = run(true);
         let s = tables[0].render();
-        assert!(!s.contains("false"), "some relation failed to deliver:\n{s}");
+        assert!(
+            !s.contains("false"),
+            "some relation failed to deliver:\n{s}"
+        );
         assert!(tables[1].num_rows() >= 4);
     }
 }

@@ -17,7 +17,11 @@ use crate::table::{fnum, Table};
 
 /// Runs E6.
 pub fn run(fast: bool) -> Vec<Table> {
-    let (k, q, trials) = if fast { (6u32, 4u32, 100u32) } else { (9, 8, 400) };
+    let (k, q, trials) = if fast {
+        (6u32, 4u32, 100u32)
+    } else {
+        (9, 8, 400)
+    };
     let n = 1u32 << k;
     let l = k; // L = log n
     let bf = Butterfly::new(k);
@@ -28,7 +32,12 @@ pub fn run(fast: bool) -> Vec<Table> {
     // (a) collision rate vs subset size.
     let mut t1 = Table::new(
         format!("E6a — collision probability of random s-subsets (n={n}, q={q}, L={l})"),
-        &["B", "s threshold (Thm 3.2.5)", "s sampled", "collision rate"],
+        &[
+            "B",
+            "s threshold (Thm 3.2.5)",
+            "s sampled",
+            "collision rate",
+        ],
     );
     let bs: &[u32] = if fast { &[1, 2] } else { &[1, 2, 3] };
     for &b in bs {
@@ -82,11 +91,7 @@ mod tests {
         let tables = run(true);
         // Full-threshold rows must have collision rate 1.
         let s = tables[0].render();
-        let full_rows: Vec<&str> = s
-            .lines()
-            .filter(|r| r.starts_with('|'))
-            .skip(2)
-            .collect();
+        let full_rows: Vec<&str> = s.lines().filter(|r| r.starts_with('|')).skip(2).collect();
         assert!(!full_rows.is_empty());
         // Table b: measured/bound column ≥ 1 for all rows.
         let s2 = tables[1].render();

@@ -15,7 +15,13 @@ pub fn run_f1(_fast: bool) -> (String, Vec<Table>) {
     let art = bf.ascii_art();
     let mut t = Table::new(
         "F1 — butterfly structure facts (paper §1.2)",
-        &["n", "nodes n(log n+1)", "edges 2n·log n", "unique path len", "acyclic"],
+        &[
+            "n",
+            "nodes n(log n+1)",
+            "edges 2n·log n",
+            "unique path len",
+            "acyclic",
+        ],
     );
     for k in [3u32, 5, 8] {
         let b = Butterfly::new(k);

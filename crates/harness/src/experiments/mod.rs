@@ -11,19 +11,20 @@ pub mod e8_restricted;
 pub mod e9_naive;
 pub mod figures;
 pub mod x1_circuit;
-pub mod x2_dateline;
+pub mod x2_open_loop;
 pub mod x3_throughput;
 pub mod x4_valiant;
 pub mod x5_arbitration;
 pub mod x6_waksman;
+pub mod x7_dateline;
 
 use crate::table::Table;
 
 /// All experiment ids in report order.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "x1", "x2", "x3",
-        "x4", "x5", "x6",
+        "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "x1", "x2", "x3", "x4",
+        "x5", "x6", "x7",
     ]
 }
 
@@ -49,11 +50,12 @@ pub fn run_by_id(id: &str, fast: bool) -> Option<(String, Vec<Table>)> {
             (format!("```\n{trace}```\n"), tables)
         }
         "x1" => (String::new(), x1_circuit::run(fast)),
-        "x2" => (String::new(), x2_dateline::run(fast)),
+        "x2" => (String::new(), x2_open_loop::run(fast)),
         "x3" => (String::new(), x3_throughput::run(fast)),
         "x4" => (String::new(), x4_valiant::run(fast)),
         "x5" => (String::new(), x5_arbitration::run(fast)),
         "x6" => (String::new(), x6_waksman::run(fast)),
+        "x7" => (String::new(), x7_dateline::run(fast)),
         _ => return None,
     })
 }

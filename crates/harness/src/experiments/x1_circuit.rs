@@ -67,7 +67,10 @@ mod tests {
         }
         for (n, fracs) in by_n {
             for w in fracs.windows(2) {
-                assert!(w[1] >= w[0] - 0.02, "n={n}: fraction fell with B: {fracs:?}");
+                assert!(
+                    w[1] >= w[0] - 0.02,
+                    "n={n}: fraction fell with B: {fracs:?}"
+                );
             }
         }
     }

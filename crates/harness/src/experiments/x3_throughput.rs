@@ -11,7 +11,11 @@ use crate::table::{fnum, Table};
 
 /// Runs X3.
 pub fn run(fast: bool) -> Vec<Table> {
-    let (k, window, l) = if fast { (5u32, 300u64, 4u32) } else { (7, 1500, 8) };
+    let (k, window, l) = if fast {
+        (5u32, 300u64, 4u32)
+    } else {
+        (7, 1500, 8)
+    };
     let rates: &[f64] = if fast {
         &[0.05, 0.20]
     } else {
@@ -81,6 +85,9 @@ mod tests {
         }
         let l1 = high.iter().find(|(b, _)| *b == 1).map(|(_, l)| *l).unwrap();
         let l4 = high.iter().find(|(b, _)| *b == 4).map(|(_, l)| *l).unwrap();
-        assert!(l4 < l1, "B=4 latency {l4} should beat B=1 {l1} at high load");
+        assert!(
+            l4 < l1,
+            "B=4 latency {l4} should beat B=1 {l1} at high load"
+        );
     }
 }

@@ -42,9 +42,7 @@ pub fn run(fast: bool) -> Vec<Table> {
     let l = 16u32;
     let mut t = Table::new(
         "X4 — transpose on the hypercube: e-cube vs Valiant, 1 vs 2 VC classes",
-        &[
-            "n", "paths", "classes", "C", "D", "T B=1", "T B=2", "T B=4",
-        ],
+        &["n", "paths", "classes", "C", "D", "T B=1", "T B=2", "T B=4"],
     );
     for &dim in dims {
         let h1 = Hypercube::new(dim);
@@ -110,6 +108,9 @@ mod tests {
         }
         assert!(saw_deadlock);
         let (e, v) = (ecube_b1.unwrap(), valiant2_b1.unwrap());
-        assert!(v < e, "2-class Valiant ({v}) should beat e-cube ({e}) at B=1");
+        assert!(
+            v < e,
+            "2-class Valiant ({v}) should beat e-cube ({e}) at B=1"
+        );
     }
 }

@@ -14,7 +14,11 @@ use crate::table::{fnum, Table};
 
 /// Runs X5.
 pub fn run(fast: bool) -> Vec<Table> {
-    let (depth, width, msgs) = if fast { (10u32, 6u32, 80usize) } else { (20, 10, 320) };
+    let (depth, width, msgs) = if fast {
+        (10u32, 6u32, 80usize)
+    } else {
+        (20, 10, 320)
+    };
     let net = LeveledNet::random(depth, width, 2, 21);
     let ps = net.random_walk_paths(msgs, 22);
     let l = 12u32;
@@ -80,10 +84,7 @@ mod tests {
             }
         }
         assert_eq!(spans.len(), 4);
-        let (min, max) = (
-            *spans.iter().min().unwrap(),
-            *spans.iter().max().unwrap(),
-        );
+        let (min, max) = (*spans.iter().min().unwrap(), *spans.iter().max().unwrap());
         assert!(
             max as f64 <= min as f64 * 1.8,
             "policies should land within ~2x: {spans:?}"

@@ -1,4 +1,4 @@
-//! X2 (extension) — Dally–Seitz deadlock avoidance (paper §1, citation
+//! X7 (extension) — Dally–Seitz deadlock avoidance (paper §1, citation
 //! [14]): the *original* reason virtual channels exist. On a wrap-around
 //! ring, single-class wormhole routing deadlocks on rotation traffic; the
 //! two-class dateline scheme makes the channel-dependency graph acyclic
@@ -13,12 +13,12 @@ use wormhole_topology::dateline::{rotation_paths, DatelineRing};
 use crate::cells;
 use crate::table::Table;
 
-/// Runs X2.
+/// Runs X7.
 pub fn run(fast: bool) -> Vec<Table> {
     let radixes: &[u32] = if fast { &[6, 10] } else { &[6, 10, 16, 24] };
     let l = 8u32;
     let mut t = Table::new(
-        "X2 — Dally–Seitz dateline VCs on a wrap-around ring (rotation traffic)",
+        "X7 — Dally–Seitz dateline VCs on a wrap-around ring (rotation traffic)",
         &[
             "ring size",
             "scheme",
@@ -57,7 +57,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn x2_naive_deadlocks_dateline_completes() {
+    fn x7_naive_deadlocks_dateline_completes() {
         let tables = run(true);
         let s = tables[0].render();
         let mut saw_deadlock = false;

@@ -2,7 +2,9 @@
 //! evaluation (DESIGN.md §5 maps experiment ids to claims).
 //!
 //! Run `cargo run --release -p wormhole-harness --bin experiments -- all`
-//! to print every table; pass an id (`e1`..`e9`, `f1`, `f2`, `x1`) for one.
+//! to print every table; pass an id (`e1`..`e9`, `f1`, `f2`, `x1`..`x7`)
+//! for one. `x2` is the open-loop traffic family: latency-vs-offered-load
+//! curves over the `wormhole-workloads` pattern suite.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -1,11 +1,19 @@
-//! Parallel parameter sweeps using crossbeam scoped threads.
+//! Parallel parameter sweeps using std scoped threads.
 //!
 //! Experiments evaluate many independent `(parameters, seed)` points; this
 //! helper fans them across cores while keeping results in input order
 //! (determinism of the tables does not depend on thread scheduling).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
 /// Maps `f` over `inputs` in parallel, preserving order. Spawns at most
 /// `threads` workers (clamped to the input length, min 1).
+///
+/// Work items are claimed through an atomic cursor; each worker sends its
+/// `(index, result)` pairs over a channel and the caller scatters them into
+/// a dense result vector — no locks anywhere on the hot path, and output
+/// order is the input order regardless of thread scheduling.
 pub fn parallel_map<T, R, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -18,32 +26,37 @@ where
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        return inputs.iter().map(|t| f(t)).collect();
+        return inputs.iter().map(f).collect();
     }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    // Hand each worker exclusive slices via a mutex-free claim of indices:
-    // collect (index, &input) work items behind an atomic cursor and write
-    // into disjoint result slots through a lock guarded by index ownership.
-    let result_cells: Vec<std::sync::Mutex<Option<R>>> =
-        results.drain(..).map(std::sync::Mutex::new).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let tx = tx.clone();
+            let (f, inputs, next) = (&f, &inputs, &next);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let r = f(&inputs[i]);
-                *result_cells[i].lock().unwrap() = Some(r);
+                // A send error means the receiver is gone, which only
+                // happens if the scope is unwinding; stop quietly.
+                if tx.send((i, f(&inputs[i]))).is_err() {
+                    break;
+                }
             });
         }
-    })
-    .expect("sweep worker panicked");
-    result_cells
+        drop(tx); // the scope's clones are the only remaining senders
+        for (i, r) in rx {
+            debug_assert!(results[i].is_none(), "slot {i} written twice");
+            results[i] = Some(r);
+        }
+    });
+    results
         .into_iter()
-        .map(|c| c.into_inner().unwrap().expect("slot not filled"))
+        .map(|c| c.expect("every slot filled by a worker"))
         .collect()
 }
 
@@ -84,5 +97,27 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(vec![5], 64, |&x| x * 2);
         assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        // Early indices take longest: without indexed collection the fast
+        // tail items would land first and scramble the output.
+        let inputs: Vec<u64> = (0..32).collect();
+        let out = parallel_map(inputs, 8, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(10 - 2 * x));
+            }
+            x * 3
+        });
+        assert_eq!(out, (0..32).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn non_clone_results_supported() {
+        // R only needs Send: boxed values exercise the move path.
+        let out = parallel_map((0..10).collect::<Vec<u32>>(), 4, |&x| Box::new(x + 1));
+        assert_eq!(out.len(), 10);
+        assert_eq!(*out[9], 10);
     }
 }

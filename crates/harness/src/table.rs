@@ -96,11 +96,12 @@ pub fn fnum(x: f64) -> String {
     }
 }
 
-/// Builds a row from display-able cells.
+/// Builds a row from display-able cells (an array, so `&cells!(..)`
+/// coerces straight to `&[String]`).
 #[macro_export]
 macro_rules! cells {
     ($($x:expr),* $(,)?) => {
-        vec![$(($x).to_string()),*]
+        [$(($x).to_string()),*]
     };
 }
 
@@ -132,7 +133,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.142");
+        assert_eq!(fnum(6.54321), "6.543");
         assert_eq!(fnum(42.4242), "42.4");
         assert_eq!(fnum(123456.7), "123457");
     }

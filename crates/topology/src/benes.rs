@@ -53,7 +53,10 @@ impl BenesNetwork {
                 b.add_edge(src, NodeId((j + 1) * n + (w ^ mask)));
             }
         }
-        Self { k, graph: b.build() }
+        Self {
+            k,
+            graph: b.build(),
+        }
     }
 
     /// Underlying graph.
@@ -151,13 +154,15 @@ fn waksman_mids(k: u32, perm: &[u32]) -> Vec<u32> {
         }
         let new_bit = 1u32 << (k - 1 - depth);
         let low_mask = new_bit - 1; // low k−depth−1 bits
-        // Mates: two group members with equal masked source (resp. dest).
+                                    // Mates: two group members with equal masked source (resp. dest).
         let mut in_mate: HashMap<u32, [i32; 2]> = HashMap::new();
         let mut out_mate: HashMap<u32, [i32; 2]> = HashMap::new();
         for (gi, &m) in group.iter().enumerate() {
             let e = in_mate.entry(m & low_mask).or_insert([-1, -1]);
             e[usize::from(e[0] >= 0)] = gi as i32;
-            let e = out_mate.entry(perm[m as usize] & low_mask).or_insert([-1, -1]);
+            let e = out_mate
+                .entry(perm[m as usize] & low_mask)
+                .or_insert([-1, -1]);
             e[usize::from(e[0] >= 0)] = gi as i32;
         }
         // 2-color the alternating input/output mate cycles.
@@ -173,7 +178,11 @@ fn waksman_mids(k: u32, perm: &[u32]) -> Vec<u32> {
                 color[cur] = c;
                 // Input mate of cur takes the opposite color...
                 let pair = in_mate[&(group[cur] & low_mask)];
-                let mate = if pair[0] as usize == cur { pair[1] } else { pair[0] };
+                let mate = if pair[0] as usize == cur {
+                    pair[1]
+                } else {
+                    pair[0]
+                };
                 if mate < 0 || color[mate as usize] >= 0 {
                     break;
                 }
@@ -181,7 +190,11 @@ fn waksman_mids(k: u32, perm: &[u32]) -> Vec<u32> {
                 color[mate] = 1 - c;
                 // ...then follow the mate's output mate with color c again.
                 let pair = out_mate[&(perm[group[mate] as usize] & low_mask)];
-                let next = if pair[0] as usize == mate { pair[1] } else { pair[0] };
+                let next = if pair[0] as usize == mate {
+                    pair[1]
+                } else {
+                    pair[0]
+                };
                 if next < 0 || color[next as usize] >= 0 {
                     break;
                 }
@@ -271,7 +284,7 @@ mod tests {
             }
             for i in 0..k {
                 rec(perm, k - 1, f);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     perm.swap(i, k - 1);
                 } else {
                     perm.swap(0, k - 1);

@@ -138,7 +138,7 @@ impl Butterfly {
     /// `from_level` to column `dst_col` at level `from_level + k`. This is
     /// the unique path between those nodes within one pass.
     fn greedy_segment(&self, src_col: u32, dst_col: u32, from_level: u32, out: &mut Vec<EdgeId>) {
-        debug_assert!(from_level % self.k == 0);
+        debug_assert!(from_level.is_multiple_of(self.k));
         let mut col = src_col;
         for i in from_level..from_level + self.k {
             let mask = self.cross_mask(i);
@@ -243,7 +243,11 @@ mod tests {
                 for cross in [false, true] {
                     let e = bf.edge(col, level, cross);
                     assert_eq!(g.src(e), bf.node(col, level));
-                    let expect_col = if cross { col ^ bf.cross_mask(level) } else { col };
+                    let expect_col = if cross {
+                        col ^ bf.cross_mask(level)
+                    } else {
+                        col
+                    };
                     assert_eq!(g.dst(e), bf.node(expect_col, level + 1));
                 }
             }

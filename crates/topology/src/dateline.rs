@@ -171,11 +171,7 @@ mod tests {
     fn class_switches_exactly_at_dateline() {
         let r = DatelineRing::new(6);
         let p = r.dally_seitz_path(4, 2); // crosses 5 -> 0
-        let classes: Vec<usize> = p
-            .edges()
-            .iter()
-            .map(|&e| (e.0 % 2) as usize)
-            .collect();
+        let classes: Vec<usize> = p.edges().iter().map(|&e| (e.0 % 2) as usize).collect();
         assert_eq!(classes, vec![0, 0, 1, 1]);
         // Non-wrapping path stays on class 0.
         let q = r.dally_seitz_path(1, 4);

@@ -96,7 +96,10 @@ impl GraphBuilder {
         assert!(src.0 < self.num_nodes, "edge source out of range");
         assert!(dst.0 < self.num_nodes, "edge destination out of range");
         assert!(src != dst, "self-loops are not allowed");
-        assert!(self.srcs.len() < u32::MAX as usize, "edge count overflows u32");
+        assert!(
+            self.srcs.len() < u32::MAX as usize,
+            "edge count overflows u32"
+        );
         let id = EdgeId(self.srcs.len() as u32);
         self.srcs.push(src.0);
         self.dsts.push(dst.0);

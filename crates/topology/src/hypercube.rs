@@ -121,12 +121,7 @@ impl Hypercube {
     /// deadlock is possible (demonstrated in experiment X4). Returns `None`
     /// when the combined path would repeat an edge (single-class only) or
     /// is empty — callers re-draw the intermediate.
-    pub fn valiant_path(
-        &self,
-        src: NodeId,
-        dst: NodeId,
-        intermediate: NodeId,
-    ) -> Option<Path> {
+    pub fn valiant_path(&self, src: NodeId, dst: NodeId, intermediate: NodeId) -> Option<Path> {
         let phase2_class = if self.classes >= 2 { 1 } else { 0 };
         let p1 = self.ecube_path_cls(src, intermediate, 0);
         let p2 = self.ecube_path_cls(intermediate, dst, phase2_class);
@@ -159,7 +154,10 @@ impl Hypercube {
     /// channels (the Borodin–Hopcroft phenomenon, paper §1.3.2). Requires
     /// even dimension.
     pub fn transpose_pairs(&self) -> Vec<(NodeId, NodeId)> {
-        assert!(self.dim % 2 == 0, "transpose needs an even dimension");
+        assert!(
+            self.dim.is_multiple_of(2),
+            "transpose needs an even dimension"
+        );
         let half = self.dim / 2;
         let low_mask = (1u32 << half) - 1;
         (0..self.num_nodes())
@@ -185,11 +183,7 @@ impl Hypercube {
     /// Valiant paths for a pair list with a seeded RNG; re-draws the random
     /// intermediate until the two phases are edge-simple (≤ 64 attempts
     /// each, then falls back to the direct e-cube path).
-    pub fn valiant_paths(
-        &self,
-        pairs: &[(NodeId, NodeId)],
-        seed: u64,
-    ) -> crate::path::PathSet {
+    pub fn valiant_paths(&self, pairs: &[(NodeId, NodeId)], seed: u64) -> crate::path::PathSet {
         use rand::prelude::*;
         use rand::rngs::StdRng;
         let mut rng = StdRng::seed_from_u64(seed);

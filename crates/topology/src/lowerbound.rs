@@ -76,7 +76,7 @@ pub fn build(b: u32, target_d: u32, replication: u32, pad_to_target: bool) -> Lo
     assert!(target_d >= 1, "dilation must be positive");
     let m_prime = m_prime_for_dilation(b, target_d);
     assert!(
-        m_prime >= b + 1,
+        m_prime > b,
         "target dilation {target_d} too small for B={b}"
     );
 

@@ -1,0 +1,357 @@
+//! Synthetic traffic patterns over a dense endpoint space.
+//!
+//! The standard NoC evaluation suite: address-bit permutations
+//! (transpose, bit-reversal, bit-complement, shuffle), digit patterns for
+//! meshes/tori (tornado, neighbor), randomized patterns (uniform random,
+//! random permutation), and hotspot concentration. Deterministic patterns
+//! map every source to a fixed destination; stochastic patterns draw a
+//! destination per message from a seeded stream.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::substrate::Substrate;
+
+/// A synthetic traffic pattern (destination selection rule).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficPattern {
+    /// Every message draws an independent uniformly random destination.
+    UniformRandom,
+    /// A fixed uniformly random permutation (drawn once per workload seed).
+    Permutation,
+    /// Swap the high and low halves of the address bits: `(a, b) → (b, a)`.
+    /// Needs a power-of-two endpoint count with an even number of bits.
+    Transpose,
+    /// Reverse the address bits. Needs a power-of-two endpoint count.
+    BitReversal,
+    /// Complement every address bit. Needs a power-of-two endpoint count.
+    BitComplement,
+    /// Perfect shuffle: rotate the address bits left by one. Needs a
+    /// power-of-two endpoint count.
+    Shuffle,
+    /// With probability `fraction`, send to a uniformly random member of
+    /// `hotspots`; otherwise uniform random over all endpoints.
+    Hotspot {
+        /// Probability a message targets a hotspot (`0 ≤ fraction ≤ 1`).
+        fraction: f64,
+        /// The hotspot endpoints (must be non-empty and in range).
+        hotspots: Vec<u32>,
+    },
+    /// Tornado: offset each digit by `⌈radix/2⌉ − 1` (mesh/torus digits
+    /// in dimension 0; the endpoint ring elsewhere) — the classic
+    /// worst case for minimal routing on rings.
+    Tornado,
+    /// Nearest neighbor: `+1` in dimension 0 (the endpoint ring on
+    /// non-mesh substrates).
+    Neighbor,
+}
+
+impl TrafficPattern {
+    /// Short lowercase name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficPattern::UniformRandom => "uniform",
+            TrafficPattern::Permutation => "permutation",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitReversal => "bit-reversal",
+            TrafficPattern::BitComplement => "bit-complement",
+            TrafficPattern::Shuffle => "shuffle",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+            TrafficPattern::Tornado => "tornado",
+            TrafficPattern::Neighbor => "neighbor",
+        }
+    }
+
+    /// Whether every source maps to one fixed destination.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(
+            self,
+            TrafficPattern::UniformRandom | TrafficPattern::Hotspot { .. }
+        )
+    }
+}
+
+/// A pattern bound to a substrate: validates the combination once and
+/// serves destination draws.
+#[derive(Clone, Debug)]
+pub struct PatternSampler {
+    pattern: TrafficPattern,
+    n: u32,
+    /// Fixed destination map for deterministic patterns.
+    dest_map: Option<Vec<u32>>,
+}
+
+impl PatternSampler {
+    /// Binds `pattern` to `substrate`. Deterministic patterns materialize
+    /// their destination map here (the random permutation uses `seed`).
+    ///
+    /// Panics if the pattern's structural requirements do not hold (e.g.
+    /// bit patterns on a non-power-of-two endpoint count).
+    pub fn new(pattern: TrafficPattern, substrate: &Substrate, seed: u64) -> Self {
+        let n = substrate.endpoints();
+        assert!(n >= 2, "patterns need at least two endpoints");
+        let bits = n.trailing_zeros();
+        let is_pow2 = n.is_power_of_two();
+        let dest_map = match &pattern {
+            TrafficPattern::UniformRandom | TrafficPattern::Hotspot { .. } => {
+                if let TrafficPattern::Hotspot { fraction, hotspots } = &pattern {
+                    assert!(
+                        (0.0..=1.0).contains(fraction),
+                        "hotspot fraction is a probability"
+                    );
+                    assert!(!hotspots.is_empty(), "hotspot list is empty");
+                    assert!(
+                        hotspots.iter().all(|&h| h < n),
+                        "hotspot endpoint out of range"
+                    );
+                }
+                None
+            }
+            TrafficPattern::Permutation => {
+                let mut perm: Vec<u32> = (0..n).collect();
+                perm.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x7065_726d));
+                Some(perm)
+            }
+            TrafficPattern::Transpose => {
+                assert!(
+                    is_pow2 && bits.is_multiple_of(2),
+                    "transpose needs 2^(2m) endpoints, got {n}"
+                );
+                let half = bits / 2;
+                let lo_mask = (1u32 << half) - 1;
+                Some(
+                    (0..n)
+                        .map(|s| ((s & lo_mask) << half) | (s >> half))
+                        .collect(),
+                )
+            }
+            TrafficPattern::BitReversal => {
+                assert!(is_pow2, "bit-reversal needs 2^m endpoints, got {n}");
+                Some((0..n).map(|s| s.reverse_bits() >> (32 - bits)).collect())
+            }
+            TrafficPattern::BitComplement => {
+                assert!(is_pow2, "bit-complement needs 2^m endpoints, got {n}");
+                Some((0..n).map(|s| s ^ (n - 1)).collect())
+            }
+            TrafficPattern::Shuffle => {
+                assert!(is_pow2, "shuffle needs 2^m endpoints, got {n}");
+                Some(
+                    (0..n)
+                        .map(|s| ((s << 1) | (s >> (bits - 1))) & (n - 1))
+                        .collect(),
+                )
+            }
+            TrafficPattern::Tornado => Some(tornado_map(substrate)),
+            TrafficPattern::Neighbor => Some(neighbor_map(substrate)),
+        };
+        Self {
+            pattern,
+            n,
+            dest_map,
+        }
+    }
+
+    /// The bound pattern.
+    pub fn pattern(&self) -> &TrafficPattern {
+        &self.pattern
+    }
+
+    /// Destination for a message from `src`; `rng` feeds the stochastic
+    /// patterns and is untouched by deterministic ones.
+    pub fn draw(&self, src: u32, rng: &mut StdRng) -> u32 {
+        debug_assert!(src < self.n);
+        match (&self.pattern, &self.dest_map) {
+            (_, Some(map)) => map[src as usize],
+            (TrafficPattern::UniformRandom, None) => rng.random_range(0..self.n),
+            (TrafficPattern::Hotspot { fraction, hotspots }, None) => {
+                if rng.random_bool(*fraction) {
+                    hotspots[rng.random_range(0..hotspots.len())]
+                } else {
+                    rng.random_range(0..self.n)
+                }
+            }
+            _ => unreachable!("deterministic patterns always carry a map"),
+        }
+    }
+
+    /// The fixed destination map, if the pattern is deterministic.
+    pub fn dest_map(&self) -> Option<&[u32]> {
+        self.dest_map.as_deref()
+    }
+}
+
+/// Tornado offsets: on a mesh/torus, `+(⌈radix/2⌉ − 1)` in dimension 0
+/// (wrapped); elsewhere the endpoint index ring stands in for the radix.
+fn tornado_map(substrate: &Substrate) -> Vec<u32> {
+    let n = substrate.endpoints();
+    match substrate {
+        Substrate::Mesh(m) => {
+            let radix = m.radix();
+            let off = radix.div_ceil(2) - 1;
+            (0..n)
+                .map(|s| {
+                    let d0 = s % radix;
+                    (s - d0) + (d0 + off) % radix
+                })
+                .collect()
+        }
+        _ => {
+            let off = n.div_ceil(2) - 1;
+            (0..n).map(|s| (s + off) % n).collect()
+        }
+    }
+}
+
+/// Neighbor offsets: `+1` in dimension 0 (wrapped on the digit ring for
+/// meshes/tori, the endpoint ring elsewhere).
+fn neighbor_map(substrate: &Substrate) -> Vec<u32> {
+    let n = substrate.endpoints();
+    match substrate {
+        Substrate::Mesh(m) => {
+            let radix = m.radix();
+            (0..n)
+                .map(|s| {
+                    let d0 = s % radix;
+                    (s - d0) + (d0 + 1) % radix
+                })
+                .collect()
+        }
+        _ => (0..n).map(|s| (s + 1) % n).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(map: &[u32]) -> bool {
+        let mut seen = vec![false; map.len()];
+        for &d in map {
+            if seen[d as usize] {
+                return false;
+            }
+            seen[d as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn deterministic_patterns_are_true_permutations() {
+        let subs = [
+            Substrate::butterfly(4),
+            Substrate::hypercube(4),
+            Substrate::torus(4, 2),
+        ];
+        let pats = [
+            TrafficPattern::Permutation,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitReversal,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Shuffle,
+            TrafficPattern::Tornado,
+            TrafficPattern::Neighbor,
+        ];
+        for s in &subs {
+            for p in &pats {
+                let sampler = PatternSampler::new(p.clone(), s, 11);
+                let map = sampler.dest_map().expect("deterministic pattern");
+                assert!(
+                    is_permutation(map),
+                    "{} on {} is not a permutation",
+                    p.name(),
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classic_bit_patterns_match_definitions() {
+        let s = Substrate::butterfly(4); // 16 endpoints, 4 bits
+        let t = PatternSampler::new(TrafficPattern::Transpose, &s, 0);
+        assert_eq!(t.dest_map().unwrap()[0b0111], 0b1101); // (01,11) -> (11,01)
+        let r = PatternSampler::new(TrafficPattern::BitReversal, &s, 0);
+        assert_eq!(r.dest_map().unwrap()[0b0011], 0b1100);
+        let c = PatternSampler::new(TrafficPattern::BitComplement, &s, 0);
+        assert_eq!(c.dest_map().unwrap()[0b0101], 0b1010);
+        let sh = PatternSampler::new(TrafficPattern::Shuffle, &s, 0);
+        assert_eq!(sh.dest_map().unwrap()[0b1001], 0b0011);
+    }
+
+    #[test]
+    fn tornado_on_torus_offsets_dimension_zero() {
+        let s = Substrate::torus(8, 2);
+        let t = PatternSampler::new(TrafficPattern::Tornado, &s, 0);
+        let map = t.dest_map().unwrap();
+        // Endpoint (x=1, y=2) = 1 + 2*8 = 17 goes to x = (1+3)%8 = 4, y = 2.
+        assert_eq!(map[17], 4 + 2 * 8);
+    }
+
+    #[test]
+    fn neighbor_wraps_the_digit_ring() {
+        let s = Substrate::torus(4, 2);
+        let map = PatternSampler::new(TrafficPattern::Neighbor, &s, 0)
+            .dest_map()
+            .unwrap()
+            .to_vec();
+        assert_eq!(map[3], 0); // x: 3 -> 0, y unchanged
+        assert_eq!(map[4 + 3], 4); // same in row 1
+    }
+
+    #[test]
+    fn hotspot_fraction_is_respected() {
+        let s = Substrate::butterfly(5);
+        let hotspots = vec![3u32, 17];
+        let sampler = PatternSampler::new(
+            TrafficPattern::Hotspot {
+                fraction: 0.4,
+                hotspots: hotspots.clone(),
+            },
+            &s,
+            0,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws = 200_000;
+        let hits = (0..draws)
+            .filter(|_| hotspots.contains(&sampler.draw(0, &mut rng)))
+            .count();
+        // Expected = fraction + (1 - fraction) * |hotspots| / n
+        //          = 0.4 + 0.6 * 2/32 = 0.4375.
+        let observed = hits as f64 / draws as f64;
+        assert!(
+            (observed - 0.4375).abs() < 0.01,
+            "hotspot hit rate {observed} != 0.4375"
+        );
+    }
+
+    #[test]
+    fn uniform_covers_all_destinations() {
+        let s = Substrate::butterfly(3);
+        let sampler = PatternSampler::new(TrafficPattern::UniformRandom, &s, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[sampler.draw(0, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose needs")]
+    fn transpose_rejects_odd_bit_counts() {
+        PatternSampler::new(TrafficPattern::Transpose, &Substrate::butterfly(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hotspot_rejects_bad_endpoints() {
+        PatternSampler::new(
+            TrafficPattern::Hotspot {
+                fraction: 0.1,
+                hotspots: vec![999],
+            },
+            &Substrate::butterfly(3),
+            0,
+        );
+    }
+}

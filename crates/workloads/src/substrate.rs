@@ -1,0 +1,152 @@
+//! Uniform endpoint-indexed view over the network substrates.
+//!
+//! Synthetic traffic patterns are defined on a dense endpoint space
+//! `0..endpoints()`; each substrate maps endpoints onto its own node ids
+//! and supplies its canonical oblivious route:
+//!
+//! * **butterfly** — endpoints are the `n = 2^k` columns; endpoint `s`
+//!   injects at input `(s, 0)` and endpoint `d` receives at output
+//!   `(d, k)`, connected by the unique greedy path;
+//! * **mesh / torus** — endpoints are the nodes, routed dimension-order
+//!   (e-cube);
+//! * **hypercube** — endpoints are the nodes, routed e-cube.
+
+use wormhole_topology::butterfly::Butterfly;
+use wormhole_topology::graph::{Graph, NodeId};
+use wormhole_topology::hypercube::Hypercube;
+use wormhole_topology::mesh::Mesh;
+use wormhole_topology::path::Path;
+
+/// A network with a dense endpoint space and an oblivious routing function.
+#[derive(Clone, Debug)]
+pub enum Substrate {
+    /// One-pass butterfly; endpoints are columns (inputs ↦ outputs).
+    Butterfly(Butterfly),
+    /// Mesh or torus; endpoints are nodes.
+    Mesh(Mesh),
+    /// Hypercube; endpoints are nodes.
+    Hypercube(Hypercube),
+}
+
+impl Substrate {
+    /// A `2^k`-input one-pass butterfly.
+    pub fn butterfly(k: u32) -> Self {
+        Substrate::Butterfly(Butterfly::new(k))
+    }
+
+    /// A `radix`-ary `dims`-dimensional mesh.
+    pub fn mesh(radix: u32, dims: u32) -> Self {
+        Substrate::Mesh(Mesh::new(radix, dims, false))
+    }
+
+    /// A `radix`-ary `dims`-dimensional torus.
+    pub fn torus(radix: u32, dims: u32) -> Self {
+        Substrate::Mesh(Mesh::new(radix, dims, true))
+    }
+
+    /// A `2^dim`-node hypercube.
+    pub fn hypercube(dim: u32) -> Self {
+        Substrate::Hypercube(Hypercube::new(dim))
+    }
+
+    /// Number of traffic endpoints.
+    pub fn endpoints(&self) -> u32 {
+        match self {
+            Substrate::Butterfly(bf) => bf.n_inputs(),
+            Substrate::Mesh(m) => m.num_nodes(),
+            Substrate::Hypercube(h) => h.num_nodes(),
+        }
+    }
+
+    /// The underlying simulation graph.
+    pub fn graph(&self) -> &Graph {
+        match self {
+            Substrate::Butterfly(bf) => bf.graph(),
+            Substrate::Mesh(m) => m.graph(),
+            Substrate::Hypercube(h) => h.graph(),
+        }
+    }
+
+    /// The canonical oblivious route between two endpoints. Empty exactly
+    /// when the substrate is node-based and `src == dst` (a butterfly
+    /// always crosses its `k` levels, even within one column).
+    pub fn route(&self, src: u32, dst: u32) -> Path {
+        debug_assert!(src < self.endpoints() && dst < self.endpoints());
+        match self {
+            Substrate::Butterfly(bf) => bf.greedy_path(src, dst),
+            Substrate::Mesh(m) => m.dimension_order_path(NodeId(src), NodeId(dst)),
+            Substrate::Hypercube(h) => h.ecube_path(NodeId(src), NodeId(dst)),
+        }
+    }
+
+    /// Whether a `src → dst` pair injects a message. Node-based substrates
+    /// skip self-traffic (the route is empty); the butterfly routes every
+    /// pair, including same-column ones.
+    pub fn injects(&self, src: u32, dst: u32) -> bool {
+        matches!(self, Substrate::Butterfly(_)) || src != dst
+    }
+
+    /// Short human-readable name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            Substrate::Butterfly(bf) => format!("butterfly(n={})", bf.n_inputs()),
+            Substrate::Mesh(m) if m.wraps() => {
+                format!("torus({}^{})", m.radix(), m.dims())
+            }
+            Substrate::Mesh(m) => format!("mesh({}^{})", m.radix(), m.dims()),
+            Substrate::Hypercube(h) => format!("hypercube(2^{})", h.dim()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_counts() {
+        assert_eq!(Substrate::butterfly(4).endpoints(), 16);
+        assert_eq!(Substrate::mesh(4, 2).endpoints(), 16);
+        assert_eq!(Substrate::torus(3, 3).endpoints(), 27);
+        assert_eq!(Substrate::hypercube(5).endpoints(), 32);
+    }
+
+    #[test]
+    fn routes_are_valid_paths() {
+        for s in [
+            Substrate::butterfly(3),
+            Substrate::mesh(3, 2),
+            Substrate::torus(4, 2),
+            Substrate::hypercube(3),
+        ] {
+            let n = s.endpoints();
+            for src in 0..n {
+                for dst in 0..n {
+                    if !s.injects(src, dst) {
+                        continue;
+                    }
+                    let p = s.route(src, dst);
+                    assert!(!p.is_empty(), "{}: {src}->{dst} empty", s.name());
+                    p.validate(s.graph()).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_routes_self_traffic_mesh_does_not() {
+        let bf = Substrate::butterfly(3);
+        assert!(bf.injects(2, 2));
+        assert_eq!(bf.route(2, 2).len(), 3);
+        let m = Substrate::mesh(3, 2);
+        assert!(!m.injects(4, 4));
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Substrate::butterfly(3).name(), "butterfly(n=8)");
+        assert_eq!(Substrate::mesh(4, 2).name(), "mesh(4^2)");
+        assert_eq!(Substrate::torus(4, 2).name(), "torus(4^2)");
+        assert_eq!(Substrate::hypercube(4).name(), "hypercube(2^4)");
+    }
+}

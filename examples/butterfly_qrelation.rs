@@ -36,7 +36,10 @@ fn main() {
                 r.copies, r.newly_delivered, r.remaining, r.max_per_input
             );
         }
-        assert!(res.all_delivered, "w.h.p. delivery failed — try another seed");
+        assert!(
+            res.all_delivered,
+            "w.h.p. delivery failed — try another seed"
+        );
         println!();
     }
     println!(

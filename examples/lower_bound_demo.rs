@@ -36,16 +36,31 @@ fn main() {
         }
         checked += 1;
     }
-    println!("verified: all {checked} subsets of {} messages share an edge\n", b + 1);
+    println!(
+        "verified: all {checked} subsets of {} messages share an edge\n",
+        b + 1
+    );
 
     // Route it with L = 2D (the theorem needs L = (1+Ω(1))·D).
     let l = 2 * net.dilation;
     let run = measure(&net, l, 5);
     println!("L = {l} flits per message, routed with B = {b} virtual channels:");
-    println!("  greedy wormhole      : {:>7} flit steps", run.greedy_steps);
-    println!("  first-fit schedule   : {:>7} flit steps", run.scheduled_steps);
-    println!("  progress bound (L-D)M/B : {:>4} flit steps", run.progress_bound);
-    println!("  asymptotic form LCD^(1/B)/B : {:.0}", run.asymptotic_bound);
+    println!(
+        "  greedy wormhole      : {:>7} flit steps",
+        run.greedy_steps
+    );
+    println!(
+        "  first-fit schedule   : {:>7} flit steps",
+        run.scheduled_steps
+    );
+    println!(
+        "  progress bound (L-D)M/B : {:>4} flit steps",
+        run.progress_bound
+    );
+    println!(
+        "  asymptotic form LCD^(1/B)/B : {:.0}",
+        run.asymptotic_bound
+    );
     assert!(run.bound_respected());
     println!(
         "\nOnly B messages can make progress per flit step (every B+1 share an\n\

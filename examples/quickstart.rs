@@ -32,7 +32,10 @@ fn main() {
     let l = 16u32;
     println!("Workload: random permutation, C = {c}, D = {d}, L = {l} flits\n");
 
-    println!("{:>3} | {:>10} | {:>10} | {:>8} | {:>8}", "B", "flit steps", "speedup", "stalls", "max VCs");
+    println!(
+        "{:>3} | {:>10} | {:>10} | {:>8} | {:>8}",
+        "B", "flit steps", "speedup", "stalls", "max VCs"
+    );
     println!("{}", "-".repeat(52));
     let mut base = 0u64;
     for b in [1u32, 2, 3, 4] {

@@ -19,7 +19,10 @@ fn main() {
     let paths = net.random_walk_paths(160, 8);
     let g = net.graph();
     let (c, d) = (paths.congestion(g), paths.dilation());
-    println!("Random leveled network: C = {c}, D = {d}, L = {l}, B = {b}, {} messages\n", paths.len());
+    println!(
+        "Random leveled network: C = {c}, D = {d}, L = {l}, B = {b}, {} messages\n",
+        paths.len()
+    );
 
     // (a) naive conflict-free schedule (footnote 5).
     let naive = naive_schedule(&paths, g, l);
@@ -38,7 +41,10 @@ fn main() {
     // (d) greedy online (no schedule).
     let greedy = greedy_wormhole(g, &paths, l, b, 5);
 
-    println!("{:<28} | {:>7} | {:>10} | {:>7}", "scheduler", "classes", "flit steps", "stalls");
+    println!(
+        "{:<28} | {:>7} | {:>10} | {:>7}",
+        "scheduler", "classes", "flit steps", "stalls"
+    );
     println!("{}", "-".repeat(62));
     println!(
         "{:<28} | {:>7} | {:>10} | {:>7}",

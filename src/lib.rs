@@ -16,6 +16,7 @@
 //! | [`flitsim`] | `wormhole-flitsim` | wormhole / store-and-forward / virtual-cut-through simulators |
 //! | [`core`] | `wormhole-core` | bounds, LLL color refinement, schedules, butterfly algorithms |
 //! | [`baselines`] | `wormhole-baselines` | naive coloring, S&F schedules, greedy wormhole, VCT, circuit switching |
+//! | [`workloads`] | `wormhole-workloads` | open-loop synthetic traffic: patterns × arrival processes × substrates |
 //! | [`harness`] | `wormhole-harness` | experiment runners regenerating every table/figure |
 //!
 //! ## Quickstart
@@ -39,6 +40,7 @@ pub use wormhole_core as core;
 pub use wormhole_flitsim as flitsim;
 pub use wormhole_harness as harness;
 pub use wormhole_topology as topology;
+pub use wormhole_workloads as workloads;
 
 /// Convenient one-stop imports for the common workflow.
 pub mod prelude {
@@ -52,9 +54,11 @@ pub mod prelude {
         Arbitration, BandwidthModel, BlockedPolicy, FinalEdgePolicy, SimConfig,
     };
     pub use wormhole_flitsim::message::{specs_from_paths, MessageSpec};
-    pub use wormhole_flitsim::stats::{Outcome, SimResult};
+    pub use wormhole_flitsim::open_loop::{run_open_loop, OpenLoopConfig};
+    pub use wormhole_flitsim::stats::{LatencyStats, OpenLoopStats, Outcome, SimResult};
     pub use wormhole_flitsim::wormhole::run as wormhole_run;
     pub use wormhole_topology::butterfly::Butterfly;
     pub use wormhole_topology::graph::{EdgeId, Graph, GraphBuilder, NodeId};
     pub use wormhole_topology::path::{Path, PathSet};
+    pub use wormhole_workloads::{ArrivalProcess, Substrate, TrafficPattern, Workload};
 }

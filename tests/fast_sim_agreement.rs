@@ -41,7 +41,11 @@ fn check_survivors_compatible(k: u32, two_pass: bool, b: u32, seed: u64) {
         .map(|&m| paths[m as usize].clone())
         .collect();
     let specs = specs_from_paths(&PathSet::new(survivor_paths), l);
-    let result = wormhole_run(bf.graph(), &specs, &SimConfig::new(b).check_invariants(true));
+    let result = wormhole_run(
+        bf.graph(),
+        &specs,
+        &SimConfig::new(b).check_invariants(true),
+    );
     assert_eq!(result.outcome, Outcome::Completed);
     assert_eq!(
         result.total_stalls, 0,

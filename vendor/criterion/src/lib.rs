@@ -1,0 +1,225 @@
+//! Hermetic in-tree stand-in for the `criterion` crate.
+//!
+//! Supports the subset of the criterion 0.5 API the workspace benches use
+//! (groups, `bench_with_input`, `bench_function`, `BenchmarkId`,
+//! `sample_size`, `measurement_time`) and reports median wall-clock time
+//! per iteration. No statistical analysis, plots, or baselines — just
+//! enough to keep `cargo bench` meaningful without registry access.
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &name.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A named group sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub warms up with a single
+    /// untimed call per benchmark instead of a timed phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks a closure without an input parameter.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; matches the criterion API).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to bench closures; `iter` times the hot path.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    wanted: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one sample per call until the sample
+    /// count or the time budget is reached.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let wanted = self.wanted;
+        let started = Instant::now();
+        // One warmup call, untimed.
+        std_black_box(routine());
+        while self.samples.len() < wanted {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.budget && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, f: &mut F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        wanted: samples,
+        budget,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let (lo, hi) = (b.samples[0], b.samples[b.samples.len() - 1]);
+    println!(
+        "{label:<50} median {median:>10.2?}   [{lo:.2?} .. {hi:.2?}]   n={}",
+        b.samples.len()
+    );
+}
+
+/// Declares a bench group function (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_collects() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("id", 1), &2u32, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(calls >= 3, "warmup + samples must run the routine");
+    }
+}

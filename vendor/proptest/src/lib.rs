@@ -1,0 +1,264 @@
+//! Hermetic in-tree stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x surface the workspace tests
+//! use: the [`proptest!`] macro over functions whose arguments are drawn
+//! from integer-range strategies or [`bool::ANY`], plus `prop_assert!`,
+//! `prop_assert_eq!`, and `prop_assume!`. Cases are sampled with a seeded
+//! deterministic RNG (no shrinking, no persistence files): a failure
+//! message reports the generated inputs so the case can be reproduced by
+//! a hand-written test.
+#![forbid(unsafe_code)]
+
+/// Strategies: types that can generate a random value per test case.
+pub mod strategy {
+    use rand::prelude::*;
+
+    /// A value generator (subset of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: std::fmt::Debug + Clone;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+}
+
+/// Boolean strategies (subset of `proptest::bool`).
+pub mod bool {
+    use rand::prelude::*;
+
+    /// Uniform `true`/`false`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+}
+
+/// Runner configuration and errors (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the whole test fails.
+        Fail(String),
+        /// A `prop_assume!` rejected the inputs: the case is skipped.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// A failed-assertion error.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+}
+
+/// Everything the `proptest!` macro and its callers need in scope.
+pub mod prelude {
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use rand::prelude::{SeedableRng, StdRng};
+
+    /// FNV-1a over the test name: decorrelates per-test RNG streams.
+    pub fn name_hash(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Seeded random-case test runner (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::__rt::ProptestConfig = $cfg;
+            let base = $crate::__rt::name_hash(stringify!($name));
+            let mut rejected: u32 = 0;
+            for case in 0..config.cases {
+                let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                    base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(
+                    let $arg = $crate::__rt::Strategy::sample(&($strat), &mut rng);
+                )+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+),
+                    $($arg.clone()),+
+                );
+                let outcome = (|| -> ::core::result::Result<(), $crate::__rt::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::__rt::TestCaseError::Reject) => rejected += 1,
+                    Err($crate::__rt::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {case} failed for {name}: {msg}\n  inputs: {inputs}",
+                            name = stringify!($name),
+                        );
+                    }
+                }
+            }
+            assert!(
+                rejected < config.cases,
+                "every case was rejected by prop_assume! in {}",
+                stringify!($name)
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assertion that fails the current random case with its inputs printed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion for random cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Skips the current case when its sampled inputs are invalid.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3u32..10, y in 0usize..=4, flag in crate::bool::ANY) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            if flag {
+                prop_assert!(x >= 3);
+            } else {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn assume_skips_invalid(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        fn always_fails(x in 0u32..2) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_inputs() {
+        always_fails();
+    }
+}

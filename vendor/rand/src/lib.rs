@@ -1,0 +1,229 @@
+//! Hermetic in-tree stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the small subset of the `rand` 0.9 API it actually
+//! uses: [`rngs::StdRng`] (seedable, deterministic), integer
+//! [`Rng::random_range`], [`Rng::random_bool`], and slice
+//! [`prelude::SliceRandom::shuffle`]. The generator is xoshiro256++
+//! seeded via SplitMix64 — not the upstream ChaCha12, but a high-quality
+//! deterministic PRNG with the same call-site semantics (every consumer
+//! seeds explicitly, so cross-library stream equality is never relied on).
+#![forbid(unsafe_code)]
+
+/// Seedable RNG constructors (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The core sampling trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`low..high` or `low..=high`).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits, exactly representable in an f64.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Ranges that can be sampled uniformly (subset of `rand::distr`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Unbiased uniform draw in `0..span` (`span ≥ 1`) by rejection.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span >= 1);
+    if span == 1 {
+        return 0;
+    }
+    // Rejection zone keeps the draw exactly uniform.
+    let zone = u64::MAX - ((u64::MAX as u128 + 1) % span) as u64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v as u128) % span;
+        }
+    }
+}
+
+/// Named RNG types (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// The common imports (subset of `rand::prelude`).
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SampleRange, SeedableRng, SliceRandom};
+}
+
+/// Slice shuffling (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Partial Fisher–Yates: after the call the first `amount` elements
+    /// are a uniform random sample (in random order); returns the shuffled
+    /// prefix and untouched-order suffix.
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = rng.random_range(i..self.len());
+            self.swap(i, j);
+        }
+        self.split_at_mut(amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0usize..=4);
+            assert!(y <= 4);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+}
