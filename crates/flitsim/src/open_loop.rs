@@ -104,6 +104,14 @@ pub fn run_open_loop(
 
 /// Computes the windowed measurement from a finished run. Exposed so
 /// callers with their own simulation loop can reuse the bookkeeping.
+///
+/// Every count uses the same half-open convention over the message's
+/// in-flight interval `[release, finish)`: a message is *offered* in the
+/// window containing its release (`release ∈ [start, end)`), *accepted*
+/// in the window containing its finish (`finish ∈ [start, end)`), and in
+/// the *backlog* at instant `T` iff `release ≤ T < finish`. Windows tile
+/// the timeline without overlap or gap: a release or finish landing
+/// exactly on a boundary belongs to the window that starts there.
 pub fn windowed_stats(
     specs: &[MessageSpec],
     result: &SimResult,
@@ -115,20 +123,22 @@ pub fn windowed_stats(
     let mut delivered = 0usize;
     let mut accepted_msgs = 0usize;
     let mut accepted_flits = 0u64;
-    // Backlog at time T counts messages released ≤ T and unfinished at T.
     let mut backlog_start = 0usize;
     let mut backlog_end = 0usize;
+    // In flight over [release, finish): released at or before T, not yet
+    // finished at T.
+    let in_flight_at = |r: u64, f: Option<u64>, t: u64| r <= t && f.is_none_or(|f| f > t);
     for (spec, out) in specs.iter().zip(&result.messages) {
         let r = spec.release;
         let f = out.finished;
-        if r < start && f.is_none_or(|f| f > start) {
+        if in_flight_at(r, f, start) {
             backlog_start += 1;
         }
-        if r < end && f.is_none_or(|f| f > end) {
+        if in_flight_at(r, f, end) {
             backlog_end += 1;
         }
         if let Some(f) = f {
-            if f > start && f <= end {
+            if (start..end).contains(&f) {
                 accepted_msgs += 1;
                 accepted_flits += spec.length as u64;
             }
@@ -264,6 +274,56 @@ mod tests {
         let s = r.open_loop.unwrap();
         // The burst's queueing latency never shows: measured worms are alone.
         assert_eq!(s.latency.max, (2 + 2 - 1) as u64);
+    }
+
+    #[test]
+    fn release_exactly_at_warmup_is_offered_and_backlogged() {
+        // Half-open windows: a release landing exactly on the window start
+        // belongs to this window — offered, measured, and in the backlog
+        // snapshot at `start`.
+        let (g, edges) = chain(5); // d = 4
+        let specs = vec![MessageSpec::new(Path::new(edges), 3).release_at(10)];
+        let ol = OpenLoopConfig::new(10, 50);
+        let r = run_open_loop(&g, &specs, &SimConfig::new(1), &ol);
+        let s = r.open_loop.unwrap();
+        assert_eq!(s.offered_msgs, 1);
+        assert_eq!(s.delivered_msgs, 1);
+        assert_eq!(s.accepted_msgs, 1);
+        assert_eq!(s.latency.p50, (4 + 3 - 1) as u64);
+        assert_eq!(s.backlog, (1, 0));
+    }
+
+    #[test]
+    fn finish_exactly_at_window_end_belongs_to_the_next_window() {
+        // d = 2, L = 2 → finish = release + 3. Window [5, 15): a release
+        // at 12 finishes exactly at 15 — offered here, accepted in the
+        // window starting at 15, backlogged at neither boundary.
+        let (g, edges) = chain(3);
+        let specs = vec![MessageSpec::new(Path::new(edges), 2).release_at(12)];
+        let ol = OpenLoopConfig::new(5, 10);
+        let r = run_open_loop(&g, &specs, &SimConfig::new(1), &ol);
+        assert_eq!(r.messages[0].finished, Some(15));
+        let s = r.open_loop.unwrap();
+        assert_eq!(s.offered_msgs, 1);
+        assert_eq!(s.delivered_msgs, 1, "latency is still measured");
+        assert_eq!(s.accepted_msgs, 0, "finish at end is the next window's");
+        assert_eq!(s.backlog, (0, 0), "finished exactly at end ⇒ not backlog");
+    }
+
+    #[test]
+    fn finish_exactly_at_warmup_is_accepted_by_this_window() {
+        // The mirror boundary: a warmup-released message finishing exactly
+        // at `start` counts toward this window's accepted throughput (and
+        // not toward the previous one) — windows partition finishes.
+        let (g, edges) = chain(3);
+        let specs = vec![MessageSpec::new(Path::new(edges), 2).release_at(2)]; // finish 5
+        let ol = OpenLoopConfig::new(5, 10);
+        let r = run_open_loop(&g, &specs, &SimConfig::new(1), &ol);
+        assert_eq!(r.messages[0].finished, Some(5));
+        let s = r.open_loop.unwrap();
+        assert_eq!(s.offered_msgs, 0, "released in warmup");
+        assert_eq!(s.accepted_msgs, 1);
+        assert_eq!(s.backlog, (0, 0));
     }
 
     #[test]

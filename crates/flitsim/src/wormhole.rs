@@ -211,10 +211,20 @@ impl<'a> Sim<'a> {
             if t >= self.config.max_steps {
                 break Outcome::MaxSteps;
             }
-            // Fast-forward over idle gaps in sparse schedules.
+            // Fast-forward over idle gaps in sparse schedules — but never
+            // past the step cap: a release at or beyond `max_steps` cannot
+            // run inside the cap, so the run ends at exactly the cap
+            // instead of silently simulating (and reporting) beyond it.
             if self.active.is_empty() {
                 match self.release_order.get(self.next_pending) {
-                    Some(&m) => t = t.max(self.specs[m as usize].release),
+                    Some(&m) => {
+                        let r = self.specs[m as usize].release;
+                        if r >= self.config.max_steps {
+                            t = self.config.max_steps;
+                            break Outcome::MaxSteps;
+                        }
+                        t = t.max(r);
+                    }
                     None => break Outcome::Completed, // discarded remainder
                 }
             }
@@ -814,6 +824,37 @@ mod tests {
         let config = cfg(1).max_steps(3);
         let r = run(&g, &specs, &config);
         assert_eq!(r.outcome, Outcome::MaxSteps);
+    }
+
+    #[test]
+    fn sparse_schedule_never_overshoots_the_step_cap() {
+        // A long idle gap before the second release: the fast-forward must
+        // clamp at the cap instead of jumping to the release and reporting
+        // total_steps > max_steps.
+        let (g, edges) = chain(3);
+        let specs = vec![
+            MessageSpec::new(Path::new(edges.clone()), 2),
+            MessageSpec::new(Path::new(edges), 2).release_at(1_000),
+        ];
+        let r = run(&g, &specs, &cfg(1).max_steps(10));
+        assert_eq!(r.outcome, Outcome::MaxSteps);
+        assert_eq!(r.total_steps, 10, "run must end exactly at the cap");
+        assert_eq!(r.delivered(), 1, "the early worm still completes");
+        assert!(r.messages[1].first_move.is_none(), "late worm never ran");
+    }
+
+    #[test]
+    fn sparse_schedule_fast_forward_still_works_within_the_cap() {
+        // Control arm: the same gap with a generous cap completes, and the
+        // fast-forward lands the second worm at its release time.
+        let (g, edges) = chain(3);
+        let specs = vec![
+            MessageSpec::new(Path::new(edges.clone()), 2),
+            MessageSpec::new(Path::new(edges), 2).release_at(1_000),
+        ];
+        let r = run_to_completion(&g, &specs, &cfg(1));
+        assert_eq!(r.total_steps, 1_000 + 2 + 2 - 1);
+        assert_eq!(r.messages[1].first_move, Some(1_000));
     }
 
     #[test]

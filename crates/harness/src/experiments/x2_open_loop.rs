@@ -10,11 +10,17 @@
 //! saturation throughput (max accepted load over the sweep) per `(pattern,
 //! B)` — which increases monotonically in `B` on the uniform-random
 //! butterfly workload.
+//!
+//! Torus points run on both routing disciplines: the naive arm wedges
+//! into deadlock on tornado traffic at `B = 1` (worms chasing tails
+//! around a wrap ring), while the Dally–Seitz dateline arm
+//! ([`RoutingDiscipline::DatelineClasses`]) is deadlock-free by
+//! construction and keeps accepting traffic at every `B`.
 
 use wormhole_flitsim::config::{Arbitration, SimConfig};
 use wormhole_flitsim::open_loop::{run_open_loop, OpenLoopConfig};
-use wormhole_flitsim::stats::OpenLoopStats;
-use wormhole_workloads::{ArrivalProcess, Substrate, TrafficPattern, Workload};
+use wormhole_flitsim::stats::{OpenLoopStats, Outcome};
+use wormhole_workloads::{ArrivalProcess, RoutingDiscipline, Substrate, TrafficPattern, Workload};
 
 use crate::cells;
 use crate::sweep::{default_threads, parallel_map};
@@ -32,6 +38,9 @@ pub struct Point {
     pub rate: f64,
     /// Virtual channels.
     pub b: u32,
+    /// How the underlying simulation ended (a deadlocked point is the
+    /// torus headline the dateline discipline exists to remove).
+    pub outcome: Outcome,
     /// Windowed measurement.
     pub stats: OpenLoopStats,
 }
@@ -40,6 +49,11 @@ impl Point {
     /// Accepted throughput in flits per endpoint per step.
     pub fn accepted_per_endpoint(&self) -> f64 {
         self.stats.accepted_flits_per_step / self.endpoints
+    }
+
+    /// Whether the simulation wedged into a deadlock.
+    pub fn deadlocked(&self) -> bool {
+        matches!(self.outcome, Outcome::Deadlock(_))
     }
 }
 
@@ -59,9 +73,21 @@ fn patterns(fast: bool) -> Vec<(TrafficPattern, Substrate)> {
             bf(),
         ),
     ];
+    // Torus arms run twice — naive vs dateline discipline — so the curves
+    // show the B=1 tornado deadlock and its removal side by side.
+    let (tr, td) = if fast { (8, 1) } else { (8, 2) };
+    for discipline in [RoutingDiscipline::Naive, RoutingDiscipline::DatelineClasses] {
+        v.push((
+            TrafficPattern::Tornado,
+            Substrate::torus_with(tr, td, discipline),
+        ));
+        v.push((
+            TrafficPattern::UniformRandom,
+            Substrate::torus_with(tr, td, discipline),
+        ));
+    }
     if !fast {
         v.push((TrafficPattern::Transpose, bf()));
-        v.push((TrafficPattern::Tornado, Substrate::torus(8, 2)));
         v.push((TrafficPattern::UniformRandom, Substrate::hypercube(6)));
     }
     v
@@ -118,6 +144,7 @@ pub fn sweep_points(fast: bool) -> Vec<Point> {
                 endpoints: substrate.endpoints() as f64,
                 rate: *rate,
                 b: *b,
+                outcome: r.outcome.clone(),
                 stats: r.open_loop.expect("open-loop run carries stats"),
             }
         },
@@ -175,9 +202,15 @@ pub fn run(fast: bool) -> Vec<Table> {
             "p99",
             "accepted (flit/ep/step)",
             "saturated",
+            "outcome",
         ],
     );
     for p in &points {
+        let outcome = match &p.outcome {
+            Outcome::Completed => "ok",
+            Outcome::MaxSteps => "cap",
+            Outcome::Deadlock(_) => "DEADLOCK",
+        };
         curves.row(&cells!(
             p.substrate,
             p.pattern,
@@ -188,12 +221,15 @@ pub fn run(fast: bool) -> Vec<Table> {
             p.stats.latency.p95,
             p.stats.latency.p99,
             fnum(p.accepted_per_endpoint()),
-            if p.stats.saturated { "yes" } else { "-" }
+            if p.stats.saturated { "yes" } else { "-" },
+            outcome
         ));
     }
     curves.note(
         "Latency sits at the D+L−1 floor until the knee; the knee's offered load rises with B. \
-         'saturated' = accepted < 95% of offered or growing backlog over the window.",
+         'saturated' = accepted < 95% of offered or growing backlog over the window. \
+         Tornado on the naive torus wedges into DEADLOCK at B=1; the dateline arm \
+         (two VC classes, per-dimension dateline switch) never deadlocks.",
     );
     tables.push(curves);
 
@@ -209,7 +245,11 @@ pub fn run(fast: bool) -> Vec<Table> {
     for (sub, pat, b, best) in saturation_throughputs(&points) {
         sat.row(&cells!(sub, pat, b, fnum(best)));
     }
-    sat.note("On uniform-random butterfly traffic the saturation throughput increases monotonically in B — the open-loop face of the paper's batch speedup.");
+    sat.note(
+        "On uniform-random butterfly traffic the saturation throughput increases monotonically \
+         in B — the open-loop face of the paper's batch speedup. The naive-torus tornado rows \
+         collapse to ≈ 0 at B=1 (deadlock); the dateline rows stay live at every B.",
+    );
     tables.push(sat);
     tables
 }
@@ -264,6 +304,50 @@ mod tests {
     }
 
     #[test]
+    fn x2_dateline_discipline_removes_the_tornado_deadlock() {
+        let points = fast_points();
+        let naive: Vec<&Point> = points
+            .iter()
+            .filter(|p| {
+                p.pattern == "tornado"
+                    && p.substrate.starts_with("torus")
+                    && !p.substrate.contains("dateline")
+            })
+            .collect();
+        let dateline: Vec<&Point> = points
+            .iter()
+            .filter(|p| p.pattern == "tornado" && p.substrate.contains("dateline"))
+            .collect();
+        assert!(!naive.is_empty() && !dateline.is_empty(), "both arms swept");
+
+        // The control arm wedges: some naive B=1 point deadlocks.
+        assert!(
+            naive.iter().any(|p| p.b == 1 && p.deadlocked()),
+            "naive tornado-on-torus must deadlock at B=1"
+        );
+        // The dateline arm never deadlocks — at any B, any rate.
+        for p in &dateline {
+            assert!(
+                !p.deadlocked(),
+                "dateline tornado must not deadlock: B={} rate={}",
+                p.b,
+                p.rate
+            );
+        }
+        // And at B=1 it carries real traffic: nonzero measured saturation
+        // throughput (the acceptance headline).
+        let sat = saturation_throughputs(&points);
+        let (_, _, _, dl_b1) = sat
+            .iter()
+            .find(|(s, pat, b, _)| s.contains("dateline") && *pat == "tornado" && *b == 1)
+            .expect("dateline tornado B=1 swept");
+        assert!(
+            *dl_b1 > 0.0,
+            "dateline tornado at B=1 must accept traffic, got {dl_b1}"
+        );
+    }
+
+    #[test]
     fn x2_tables_render() {
         let tables = run(true);
         assert_eq!(tables.len(), 2);
@@ -274,9 +358,12 @@ mod tests {
             "bit-reversal",
             "shuffle",
             "hotspot",
+            "tornado",
         ] {
             assert!(s.contains(pat), "missing pattern {pat}");
         }
+        assert!(s.contains("dateline"), "dateline arm missing from curves");
+        assert!(s.contains("DEADLOCK"), "naive deadlock missing from curves");
         assert!(tables[1].render().contains("sat. throughput"));
     }
 }

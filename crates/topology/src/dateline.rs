@@ -16,10 +16,35 @@
 //! apply *per class*, so a physical channel with 2 classes and `b` VCs per
 //! class models a `2b`-VC Dally–Seitz router. The channel-dependency
 //! acyclicity becomes plain graph acyclicity... of the *dependency* graph,
-//! which we expose for verification.
+//! exposed for verification by [`channel_dependency_graph`], which works
+//! over any path set on any routing graph.
+//!
+//! The full torus generalization — per-dimension datelines on k-ary
+//! d-dimensional wrap meshes — lives in [`crate::mesh`] (see
+//! [`crate::mesh::RoutingDiscipline`] and
+//! [`crate::mesh::Mesh::dateline_path`]); this module keeps the
+//! unidirectional single-ring form (the canonical rotation-traffic
+//! deadlock demo) and the shared dependency-graph analysis.
 
 use crate::graph::{EdgeId, Graph, GraphBuilder, NodeId};
 use crate::path::Path;
+
+/// The channel-dependency graph of a path set over any routing graph: one
+/// node per routing edge, an arc `e → f` whenever some path uses `f`
+/// immediately after `e`. Wormhole routing on the paths is deadlock-free
+/// if this graph is acyclic (Dally–Seitz Theorem 1).
+pub fn channel_dependency_graph(graph: &Graph, paths: &[Path]) -> Graph {
+    let mut b = GraphBuilder::new(graph.num_edges());
+    let mut seen = std::collections::HashSet::new();
+    for p in paths {
+        for w in p.edges().windows(2) {
+            if seen.insert((w[0], w[1])) {
+                b.add_edge(NodeId(w[0].0), NodeId(w[1].0));
+            }
+        }
+    }
+    b.build()
+}
 
 /// A `radix`-node unidirectional ring (later generalized per dimension)
 /// with two VC classes per physical hop.
@@ -101,22 +126,10 @@ impl DatelineRing {
         Path::new(edges)
     }
 
-    /// The channel-dependency graph of a path set: a node per routing edge,
-    /// an arc `e → f` whenever some path uses `f` immediately after `e`.
-    /// Wormhole routing on the paths is deadlock-free if this graph is
-    /// acyclic (Dally–Seitz Theorem 1).
+    /// The channel-dependency graph of a path set over this ring; see
+    /// [`channel_dependency_graph`].
     pub fn channel_dependency_graph(&self, paths: &[Path]) -> Graph {
-        let m = self.graph.num_edges();
-        let mut b = GraphBuilder::new(m);
-        let mut seen = std::collections::HashSet::new();
-        for p in paths {
-            for w in p.edges().windows(2) {
-                if seen.insert((w[0], w[1])) {
-                    b.add_edge(NodeId(w[0].0), NodeId(w[1].0));
-                }
-            }
-        }
-        b.build()
+        channel_dependency_graph(&self.graph, paths)
     }
 }
 

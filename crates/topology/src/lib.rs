@@ -10,7 +10,10 @@
 //!   two-pass variant used by the §3.1 algorithm (Fig. 2),
 //! * the [`lowerbound`] construction of Theorem 2.2.1,
 //! * [`mesh::Mesh`] / [`hypercube::Hypercube`] substrates from the related
-//!   work the paper compares against, and
+//!   work the paper compares against — tori optionally carry the two-class
+//!   Dally–Seitz dateline routing graph
+//!   ([`mesh::RoutingDiscipline::DatelineClasses`]) whose
+//!   dimension-order routes are deadlock-free by construction, and
 //! * [`random_nets`] workload generators with controllable `C` and `D`.
 //!
 //! # Example
@@ -37,5 +40,7 @@ pub mod path;
 pub mod random_nets;
 pub mod subsets;
 
+pub use dateline::channel_dependency_graph;
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
+pub use mesh::RoutingDiscipline;
 pub use path::{Path, PathError, PathSet};

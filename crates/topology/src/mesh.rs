@@ -1,37 +1,135 @@
-//! k-ary d-dimensional meshes and tori with dimension-order routing.
+//! k-ary d-dimensional meshes and tori with dimension-order routing, and
+//! the torus-wide Dally–Seitz dateline discipline.
 //!
 //! These are the "meshes with constant dimension" of the paper's related
 //! work (§1.3.4) and serve as long-dilation substrates for the fixed-buffer
 //! comparison experiment (E7): a `k`-ary 1-cube (linear array) realizes
 //! dilation up to `k−1` with trivially controllable congestion.
+//!
+//! # Deadlock freedom on tori
+//!
+//! A torus wraps every dimension into rings, so dimension-order wormhole
+//! routing can deadlock: worms chase each other's tails around a ring
+//! (paper §1, citation [14]). The Dally–Seitz fix splits each physical
+//! channel into two virtual-channel *classes*; a route uses class 0 within
+//! a dimension until it crosses that dimension's *dateline* (the wrap
+//! hop), then class 1. The per-ring dependency graph becomes a spiral
+//! instead of a cycle, and dimension order keeps cross-dimension
+//! dependencies one-way, so the whole channel-dependency graph is acyclic
+//! — deadlock is impossible by construction, at the price of one extra VC
+//! per physical channel.
+//!
+//! We realize the classes structurally (see [`RoutingDiscipline`]): under
+//! [`RoutingDiscipline::DatelineClasses`] every physical channel becomes
+//! **two parallel edges** in the routing graph (class 0 / class 1), and
+//! [`Mesh::dateline_path`] switches between them at the datelines. The
+//! flit simulator needs no special support — its per-edge VC count `B`
+//! applies *per class*, so a physical channel with 2 classes and `b` VCs
+//! per class models a `2b`-VC Dally–Seitz router.
 
 use crate::graph::{EdgeId, Graph, GraphBuilder, NodeId};
 use crate::path::Path;
 
+/// How routes use virtual-channel classes on a wrap-around (torus) mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RoutingDiscipline {
+    /// One VC class per physical channel; dimension-order routes wrap
+    /// freely. Deadlock-prone on tori (the control arm).
+    Naive,
+    /// Two VC classes per physical channel; dimension-order routes start
+    /// each dimension on class 0 and switch to class 1 after crossing
+    /// that dimension's dateline (the wrap hop). Deadlock-free by
+    /// construction on tori (Dally–Seitz).
+    DatelineClasses,
+}
+
+impl RoutingDiscipline {
+    /// Number of VC classes (parallel routing edges per physical channel).
+    #[inline]
+    pub fn classes(self) -> u32 {
+        match self {
+            RoutingDiscipline::Naive => 1,
+            RoutingDiscipline::DatelineClasses => 2,
+        }
+    }
+
+    /// Short lowercase name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingDiscipline::Naive => "naive",
+            RoutingDiscipline::DatelineClasses => "dateline",
+        }
+    }
+}
+
 /// A `radix^dims`-node mesh (or torus) with bidirectional links represented
-/// as directed edge pairs.
+/// as directed edge pairs — one parallel edge per VC class.
 #[derive(Clone, Debug)]
 pub struct Mesh {
     radix: u32,
     dims: u32,
     wrap: bool,
+    classes: u32,
     graph: Graph,
-    /// `edge_lookup[node * 2 * dims + dir]` = edge id leaving `node` in
-    /// direction `dir` (dim*2 + {0: plus, 1: minus}), or `u32::MAX`.
+    /// `edge_lookup[((node * dims + dim) * 2 + minus) * classes + class]`
+    /// = edge id leaving `node` in direction `(dim, ±)` on `class`, or
+    /// `u32::MAX` where the mesh has no such link.
     edge_lookup: Vec<u32>,
+    /// VC class of each edge, indexed by `EdgeId`.
+    edge_class: Vec<u8>,
 }
 
 impl Mesh {
     /// Builds a `radix`-ary `dims`-dimensional mesh (`wrap = false`) or
-    /// torus (`wrap = true`).
+    /// torus (`wrap = true`) with a single VC class (naive routing graph).
     pub fn new(radix: u32, dims: u32, wrap: bool) -> Self {
+        Self::new_disciplined(radix, dims, wrap, RoutingDiscipline::Naive)
+    }
+
+    /// Builds a mesh/torus whose routing graph carries the VC classes of
+    /// `discipline`. [`RoutingDiscipline::DatelineClasses`] requires
+    /// `wrap` (datelines are a property of wrap rings).
+    pub fn new_disciplined(
+        radix: u32,
+        dims: u32,
+        wrap: bool,
+        discipline: RoutingDiscipline,
+    ) -> Self {
         assert!(radix >= 2 && dims >= 1, "mesh needs radix ≥ 2, dims ≥ 1");
-        let n = (radix as u64).pow(dims);
-        assert!(n <= u32::MAX as u64 / 2, "mesh too large");
+        let classes = discipline.classes();
+        assert!(
+            classes == 1 || wrap,
+            "dateline classes only apply to wrap-around (torus) meshes"
+        );
+        let n = (radix as u64).checked_pow(dims).expect("mesh too large");
+        // Bound the full lookup-slot count (= maximum possible edge count):
+        // edge ids stay within u32 and every lookup index within the table.
+        assert!(
+            n.checked_mul(2 * dims as u64 * classes as u64)
+                .is_some_and(|slots| slots <= u32::MAX as u64),
+            "mesh too large"
+        );
         let n = n as u32;
         let mut b = GraphBuilder::new(n as usize);
-        let mut lookup = vec![u32::MAX; (n as usize) * 2 * dims as usize];
+        let mut lookup = vec![u32::MAX; (n as usize) * 2 * dims as usize * classes as usize];
+        let mut edge_class = Vec::new();
         let stride = |d: u32| (radix as u64).pow(d) as u32;
+        let link = |b: &mut GraphBuilder,
+                    edge_class: &mut Vec<u8>,
+                    lookup: &mut Vec<u32>,
+                    v: u32,
+                    w: u32,
+                    d: u32,
+                    minus: bool| {
+            for c in 0..classes {
+                let e = b.add_edge(NodeId(v), NodeId(w));
+                edge_class.push(c as u8);
+                let idx = ((v as usize * dims as usize + d as usize) * 2 + minus as usize)
+                    * classes as usize
+                    + c as usize;
+                lookup[idx] = e.0;
+            }
+        };
         for v in 0..n {
             for d in 0..dims {
                 let coord = (v / stride(d)) % radix;
@@ -43,8 +141,7 @@ impl Mesh {
                         v - (radix - 1) * stride(d)
                     };
                     if w != v {
-                        let e = b.add_edge(NodeId(v), NodeId(w));
-                        lookup[(v as usize) * 2 * dims as usize + (d as usize) * 2] = e.0;
+                        link(&mut b, &mut edge_class, &mut lookup, v, w, d, false);
                     }
                 }
                 // -1 direction
@@ -55,8 +152,7 @@ impl Mesh {
                         v + (radix - 1) * stride(d)
                     };
                     if w != v {
-                        let e = b.add_edge(NodeId(v), NodeId(w));
-                        lookup[(v as usize) * 2 * dims as usize + (d as usize) * 2 + 1] = e.0;
+                        link(&mut b, &mut edge_class, &mut lookup, v, w, d, true);
                     }
                 }
             }
@@ -65,8 +161,10 @@ impl Mesh {
             radix,
             dims,
             wrap,
+            classes,
             graph: b.build(),
             edge_lookup: lookup,
+            edge_class,
         }
     }
 
@@ -92,6 +190,28 @@ impl Mesh {
     #[inline]
     pub fn wraps(&self) -> bool {
         self.wrap
+    }
+
+    /// Number of VC classes per physical channel (1 or 2).
+    #[inline]
+    pub fn classes(&self) -> u32 {
+        self.classes
+    }
+
+    /// The routing discipline this mesh was built with.
+    #[inline]
+    pub fn discipline(&self) -> RoutingDiscipline {
+        if self.classes == 2 {
+            RoutingDiscipline::DatelineClasses
+        } else {
+            RoutingDiscipline::Naive
+        }
+    }
+
+    /// VC class of a routing edge (0 on single-class meshes).
+    #[inline]
+    pub fn edge_vc_class(&self, e: EdgeId) -> u32 {
+        self.edge_class[e.idx()] as u32
     }
 
     /// Total node count.
@@ -122,16 +242,35 @@ impl Mesh {
         out
     }
 
-    fn step_edge(&self, v: NodeId, dim: u32, minus: bool) -> EdgeId {
-        let idx = (v.idx()) * 2 * self.dims as usize + (dim as usize) * 2 + minus as usize;
+    fn step_edge(&self, v: NodeId, dim: u32, minus: bool, class: u32) -> EdgeId {
+        debug_assert!(class < self.classes);
+        let idx = ((v.idx() * self.dims as usize + dim as usize) * 2 + minus as usize)
+            * self.classes as usize
+            + class as usize;
         let e = self.edge_lookup[idx];
         assert_ne!(e, u32::MAX, "no edge from {v:?} in dim {dim} minus={minus}");
         EdgeId(e)
     }
 
+    /// Whether minimal routing travels the `−` direction in dimension `d`
+    /// from coordinate `have` to `want` (ties broken toward `+`).
+    fn travels_minus(&self, have: u32, want: u32) -> bool {
+        if !self.wrap {
+            have > want
+        } else {
+            // Shorter way around the ring; ties to plus.
+            let fwd = (want + self.radix - have) % self.radix;
+            let bwd = (have + self.radix - want) % self.radix;
+            bwd < fwd
+        }
+    }
+
     /// Dimension-order (e-cube) path from `src` to `dst`: correct dimension
     /// 0 first, then 1, etc. On a torus the shorter wrap direction is taken
-    /// (ties broken toward +).
+    /// (ties broken toward +). Always routes on class 0 — on a
+    /// [`RoutingDiscipline::DatelineClasses`] mesh this is the naive
+    /// (deadlock-prone) control arm; use [`Mesh::dateline_path`] or
+    /// [`Mesh::route`] for the disciplined route.
     pub fn dimension_order_path(&self, src: NodeId, dst: NodeId) -> Path {
         let sc = self.coords(src);
         let dc = self.coords(dst);
@@ -141,15 +280,8 @@ impl Mesh {
             let mut have = sc[d as usize];
             let want = dc[d as usize];
             while have != want {
-                let minus = if !self.wrap {
-                    have > want
-                } else {
-                    // Shorter way around the ring; ties to plus.
-                    let fwd = (want + self.radix - have) % self.radix;
-                    let bwd = (have + self.radix - want) % self.radix;
-                    bwd < fwd
-                };
-                let e = self.step_edge(cur, d, minus);
+                let minus = self.travels_minus(have, want);
+                let e = self.step_edge(cur, d, minus, 0);
                 edges.push(e);
                 cur = self.graph.dst(e);
                 have = self.coords(cur)[d as usize];
@@ -157,6 +289,61 @@ impl Mesh {
         }
         debug_assert_eq!(cur, dst);
         Path::new(edges)
+    }
+
+    /// Dimension-order path with the per-dimension Dally–Seitz dateline
+    /// switch: each dimension starts on class 0 and moves to class 1 after
+    /// traversing that dimension's dateline hop (the wrap edge leaving
+    /// coordinate `radix−1` in the `+` direction, or coordinate `0` in the
+    /// `−` direction). Minimal routes cross each dateline at most once, so
+    /// two classes suffice and the channel-dependency graph of any set of
+    /// such paths is acyclic (see [`crate::dateline`]).
+    ///
+    /// Panics unless the mesh was built with
+    /// [`RoutingDiscipline::DatelineClasses`].
+    pub fn dateline_path(&self, src: NodeId, dst: NodeId) -> Path {
+        assert_eq!(
+            self.classes, 2,
+            "dateline_path needs a DatelineClasses mesh"
+        );
+        let sc = self.coords(src);
+        let dc = self.coords(dst);
+        let mut edges = Vec::new();
+        let mut cur = src;
+        for d in 0..self.dims {
+            let mut have = sc[d as usize];
+            let want = dc[d as usize];
+            if have == want {
+                continue;
+            }
+            // Minimal routing never reverses inside a dimension, so the
+            // direction (and hence this dimension's dateline) is fixed.
+            let minus = self.travels_minus(have, want);
+            let dateline_coord = if minus { 0 } else { self.radix - 1 };
+            let mut class = 0u32;
+            while have != want {
+                let e = self.step_edge(cur, d, minus, class);
+                edges.push(e);
+                if have == dateline_coord {
+                    class = 1; // crossed the dateline
+                }
+                cur = self.graph.dst(e);
+                have = self.coords(cur)[d as usize];
+            }
+        }
+        debug_assert_eq!(cur, dst);
+        Path::new(edges)
+    }
+
+    /// The canonical route under this mesh's discipline: dateline-switched
+    /// on [`RoutingDiscipline::DatelineClasses`] meshes, plain
+    /// dimension-order otherwise.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Path {
+        if self.classes == 2 {
+            self.dateline_path(src, dst)
+        } else {
+            self.dimension_order_path(src, dst)
+        }
     }
 }
 
@@ -170,6 +357,7 @@ pub fn linear_array(n: u32) -> Mesh {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dateline::channel_dependency_graph;
 
     #[test]
     fn mesh_counts() {
@@ -180,6 +368,36 @@ mod tests {
         assert_eq!(m.graph().num_edges(), 48);
         let t = Mesh::new(4, 2, true);
         assert_eq!(t.graph().num_edges(), 2 * 2 * 16); // every node, every dir
+    }
+
+    #[test]
+    fn dateline_torus_doubles_every_channel() {
+        let t = Mesh::new_disciplined(4, 2, true, RoutingDiscipline::DatelineClasses);
+        assert_eq!(t.classes(), 2);
+        assert_eq!(t.discipline(), RoutingDiscipline::DatelineClasses);
+        assert_eq!(t.graph().num_edges(), 2 * (2 * 2 * 16));
+        // Classes alternate per physical channel in insertion order.
+        let c0 = t
+            .graph()
+            .edges()
+            .filter(|&e| t.edge_vc_class(e) == 0)
+            .count();
+        assert_eq!(c0 * 2, t.graph().num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrap-around")]
+    fn dateline_rejects_plain_mesh() {
+        Mesh::new_disciplined(4, 2, false, RoutingDiscipline::DatelineClasses);
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh too large")]
+    fn oversized_mesh_is_rejected_before_indices_overflow() {
+        // 1024^3 nodes fit u32, but the 2^30 · (3 dims · 2 dirs) lookup
+        // slots do not — the size assert must fire instead of letting edge
+        // ids or lookup indices wrap.
+        Mesh::new(1024, 3, false);
     }
 
     #[test]
@@ -213,6 +431,108 @@ mod tests {
     }
 
     #[test]
+    fn dateline_path_matches_dimension_order_hops() {
+        // Same physical hops, same length, same endpoints — only the class
+        // assignment differs.
+        for (radix, dims) in [(5u32, 1u32), (4, 2), (3, 3)] {
+            let naive = Mesh::new(radix, dims, true);
+            let dl = Mesh::new_disciplined(radix, dims, true, RoutingDiscipline::DatelineClasses);
+            for s in 0..dl.num_nodes() {
+                for d in 0..dl.num_nodes() {
+                    if s == d {
+                        continue;
+                    }
+                    let p = dl.dateline_path(NodeId(s), NodeId(d));
+                    p.validate(dl.graph()).unwrap();
+                    let q = naive.dimension_order_path(NodeId(s), NodeId(d));
+                    assert_eq!(p.len(), q.len(), "{radix}^{dims}: {s}->{d}");
+                    assert_eq!(p.src(dl.graph()), NodeId(s));
+                    assert_eq!(p.dst(dl.graph()), NodeId(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_class_switches_exactly_at_wrap() {
+        let t = Mesh::new_disciplined(8, 1, true, RoutingDiscipline::DatelineClasses);
+        // 6 -> 1 crosses the + dateline (edge leaving coord 7).
+        let p = t.dateline_path(NodeId(6), NodeId(1));
+        let classes: Vec<u32> = p.edges().iter().map(|&e| t.edge_vc_class(e)).collect();
+        assert_eq!(classes, vec![0, 0, 1]);
+        // 1 -> 6 crosses the − dateline (the wrap edge leaving coord 0 is
+        // itself still class 0; hops after it are class 1).
+        let p = t.dateline_path(NodeId(1), NodeId(6));
+        let classes: Vec<u32> = p.edges().iter().map(|&e| t.edge_vc_class(e)).collect();
+        assert_eq!(classes, vec![0, 0, 1]);
+        // Non-wrapping routes stay on class 0.
+        let p = t.dateline_path(NodeId(2), NodeId(5));
+        assert!(p.edges().iter().all(|&e| t.edge_vc_class(e) == 0));
+    }
+
+    #[test]
+    fn dateline_resets_class_per_dimension() {
+        let t = Mesh::new_disciplined(4, 2, true, RoutingDiscipline::DatelineClasses);
+        // (3,3) -> (1,1): wraps in x (3->0->1 forward, ties to plus) and in
+        // y likewise; each dimension starts again on class 0.
+        let p = t.dateline_path(t.node(&[3, 3]), t.node(&[1, 1]));
+        let classes: Vec<u32> = p.edges().iter().map(|&e| t.edge_vc_class(e)).collect();
+        assert_eq!(classes, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn route_dispatches_on_discipline() {
+        let naive = Mesh::new(5, 2, true);
+        let dl = Mesh::new_disciplined(5, 2, true, RoutingDiscipline::DatelineClasses);
+        let (s, d) = (NodeId(3), NodeId(21));
+        assert_eq!(naive.route(s, d), naive.dimension_order_path(s, d));
+        assert_eq!(dl.route(s, d), dl.dateline_path(s, d));
+    }
+
+    #[test]
+    fn dateline_all_pairs_dependency_graph_is_acyclic() {
+        for (radix, dims) in [(8u32, 1u32), (4, 2), (3, 3)] {
+            let dl = Mesh::new_disciplined(radix, dims, true, RoutingDiscipline::DatelineClasses);
+            let n = dl.num_nodes();
+            let mut paths = Vec::new();
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        paths.push(dl.dateline_path(NodeId(s), NodeId(d)));
+                    }
+                }
+            }
+            assert!(
+                channel_dependency_graph(dl.graph(), &paths).is_acyclic(),
+                "dateline routes on torus {radix}^{dims} must be acyclic"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_all_pairs_dependency_graph_is_cyclic() {
+        // Needs radix ≥ 4 so some minimal route chains two hops through a
+        // wrap ring (radix 3 routes are single hops per ring and the naive
+        // arm is accidentally acyclic).
+        for (radix, dims) in [(8u32, 1u32), (4, 2)] {
+            let m = Mesh::new(radix, dims, true);
+            let n = m.num_nodes();
+            let mut paths = Vec::new();
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        paths.push(m.dimension_order_path(NodeId(s), NodeId(d)));
+                    }
+                }
+            }
+            assert!(
+                !channel_dependency_graph(m.graph(), &paths).is_acyclic(),
+                "naive routes on torus {radix}^{dims} must be cyclic"
+            );
+        }
+    }
+
+    #[test]
     fn linear_array_paths() {
         let a = linear_array(10);
         let p = a.dimension_order_path(NodeId(1), NodeId(8));
@@ -227,6 +547,8 @@ mod tests {
         let m = Mesh::new(3, 2, false);
         let p = m.dimension_order_path(NodeId(4), NodeId(4));
         assert!(p.is_empty());
+        let t = Mesh::new_disciplined(3, 2, true, RoutingDiscipline::DatelineClasses);
+        assert!(t.dateline_path(NodeId(4), NodeId(4)).is_empty());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod substrate;
 pub use arrivals::ArrivalProcess;
 pub use patterns::{PatternSampler, TrafficPattern};
 pub use substrate::Substrate;
+pub use wormhole_topology::mesh::RoutingDiscipline;
 
 use rand::prelude::*;
 use rand::rngs::StdRng;

@@ -299,6 +299,112 @@ mod tests {
     }
 
     #[test]
+    fn tornado_on_odd_radix_torus() {
+        // radix 5 → offset ⌈5/2⌉−1 = 2; only dimension 0 moves.
+        let s = Substrate::torus(5, 2);
+        let map = PatternSampler::new(TrafficPattern::Tornado, &s, 0)
+            .dest_map()
+            .unwrap()
+            .to_vec();
+        assert!(is_permutation(&map));
+        for y in 0..5u32 {
+            for x in 0..5u32 {
+                assert_eq!(map[(x + 5 * y) as usize], (x + 2) % 5 + 5 * y);
+            }
+        }
+        // No fixed points: every endpoint injects.
+        assert!(map.iter().enumerate().all(|(s, &d)| s as u32 != d));
+    }
+
+    #[test]
+    fn tornado_offset_not_coprime_with_radix_still_permutes() {
+        // radix 6 → offset 2, gcd(2, 6) = 2: the per-digit rotation is
+        // still a bijection of the digit ring, so the map permutes.
+        let s = Substrate::torus(6, 2);
+        let map = PatternSampler::new(TrafficPattern::Tornado, &s, 0)
+            .dest_map()
+            .unwrap()
+            .to_vec();
+        assert!(is_permutation(&map));
+        assert_eq!(map[4], 0); // x: 4 → (4+2)%6 = 0
+        assert_eq!(map[6 + 5], 6 + 1); // row 1, x: 5 → 1
+    }
+
+    #[test]
+    fn tornado_on_radix_two_is_the_identity() {
+        // Degenerate stride: ⌈2/2⌉−1 = 0 hops — every endpoint maps to
+        // itself, so node-based substrates inject nothing.
+        let s = Substrate::torus(2, 3);
+        let map = PatternSampler::new(TrafficPattern::Tornado, &s, 0)
+            .dest_map()
+            .unwrap()
+            .to_vec();
+        assert!(map.iter().enumerate().all(|(i, &d)| i as u32 == d));
+        assert!((0..s.endpoints()).all(|e| !s.injects(e, map[e as usize])));
+    }
+
+    #[test]
+    fn odd_radix_digit_patterns_are_permutations() {
+        // Digit patterns must permute on substrates the bit patterns
+        // reject: odd radices and odd dimension counts.
+        for s in [
+            Substrate::torus(5, 2),
+            Substrate::torus(3, 3),
+            Substrate::torus(7, 1),
+            Substrate::mesh(5, 3),
+        ] {
+            for p in [
+                TrafficPattern::Tornado,
+                TrafficPattern::Neighbor,
+                TrafficPattern::Permutation,
+            ] {
+                let map = PatternSampler::new(p.clone(), &s, 13)
+                    .dest_map()
+                    .unwrap()
+                    .to_vec();
+                assert!(
+                    is_permutation(&map),
+                    "{} on {} is not a permutation",
+                    p.name(),
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_on_square_torus_swaps_coordinates() {
+        // 4^2 = 16 endpoints, 4 address bits: the low half is the x digit
+        // and the high half the y digit, so the bit-half swap is exactly
+        // the (x, y) → (y, x) reflection.
+        let s = Substrate::torus(4, 2);
+        let map = PatternSampler::new(TrafficPattern::Transpose, &s, 0)
+            .dest_map()
+            .unwrap()
+            .to_vec();
+        for y in 0..4u32 {
+            for x in 0..4u32 {
+                assert_eq!(map[(x + 4 * y) as usize], y + 4 * x);
+            }
+        }
+        // Diagonal endpoints are reflection fixed points — node-based
+        // substrates skip them as self-traffic.
+        for d in 0..4u32 {
+            let e = d + 4 * d;
+            assert_eq!(map[e as usize], e);
+            assert!(!s.injects(e, e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose needs")]
+    fn transpose_rejects_non_square_mesh() {
+        // 2^3 = 8 endpoints: a power of two, but 3 bits do not split into
+        // equal halves — no coordinate transpose exists.
+        PatternSampler::new(TrafficPattern::Transpose, &Substrate::mesh(2, 3), 0);
+    }
+
+    #[test]
     fn hotspot_fraction_is_respected() {
         let s = Substrate::butterfly(5);
         let hotspots = vec![3u32, 17];

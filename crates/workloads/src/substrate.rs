@@ -8,13 +8,17 @@
 //!   injects at input `(s, 0)` and endpoint `d` receives at output
 //!   `(d, k)`, connected by the unique greedy path;
 //! * **mesh / torus** — endpoints are the nodes, routed dimension-order
-//!   (e-cube);
+//!   (e-cube); tori can opt into the Dally–Seitz dateline discipline
+//!   ([`Substrate::torus_with`]), which doubles every physical channel
+//!   into a class-0/class-1 edge pair and switches class at each
+//!   dimension's dateline, making the routes deadlock-free by
+//!   construction;
 //! * **hypercube** — endpoints are the nodes, routed e-cube.
 
 use wormhole_topology::butterfly::Butterfly;
 use wormhole_topology::graph::{Graph, NodeId};
 use wormhole_topology::hypercube::Hypercube;
-use wormhole_topology::mesh::Mesh;
+use wormhole_topology::mesh::{Mesh, RoutingDiscipline};
 use wormhole_topology::path::Path;
 
 /// A network with a dense endpoint space and an oblivious routing function.
@@ -39,9 +43,18 @@ impl Substrate {
         Substrate::Mesh(Mesh::new(radix, dims, false))
     }
 
-    /// A `radix`-ary `dims`-dimensional torus.
+    /// A `radix`-ary `dims`-dimensional torus with naive (single-class)
+    /// dimension-order routing — deadlock-prone under wormhole switching.
     pub fn torus(radix: u32, dims: u32) -> Self {
-        Substrate::Mesh(Mesh::new(radix, dims, true))
+        Self::torus_with(radix, dims, RoutingDiscipline::Naive)
+    }
+
+    /// A `radix`-ary `dims`-dimensional torus under an explicit
+    /// [`RoutingDiscipline`]: [`RoutingDiscipline::DatelineClasses`]
+    /// builds the two-class routing graph and routes with the
+    /// per-dimension dateline switch (deadlock-free by construction).
+    pub fn torus_with(radix: u32, dims: u32, discipline: RoutingDiscipline) -> Self {
+        Substrate::Mesh(Mesh::new_disciplined(radix, dims, true, discipline))
     }
 
     /// A `2^dim`-node hypercube.
@@ -67,14 +80,34 @@ impl Substrate {
         }
     }
 
-    /// The canonical oblivious route between two endpoints. Empty exactly
-    /// when the substrate is node-based and `src == dst` (a butterfly
-    /// always crosses its `k` levels, even within one column).
+    /// The routing discipline in force (non-torus substrates are
+    /// [`RoutingDiscipline::Naive`]: their canonical routes are already
+    /// deadlock-free or the naive arm by definition).
+    pub fn discipline(&self) -> RoutingDiscipline {
+        match self {
+            Substrate::Mesh(m) => m.discipline(),
+            _ => RoutingDiscipline::Naive,
+        }
+    }
+
+    /// The canonical oblivious route between two endpoints under the
+    /// substrate's discipline. Empty exactly when the substrate is
+    /// node-based and `src == dst` (a butterfly always crosses its `k`
+    /// levels, even within one column).
+    ///
+    /// Panics on out-of-range endpoints — a hard `assert!` even in
+    /// release builds, because an out-of-range id on a node-based
+    /// substrate would otherwise silently route to the wrong node (this
+    /// is a cold path; the check is free in practice).
     pub fn route(&self, src: u32, dst: u32) -> Path {
-        debug_assert!(src < self.endpoints() && dst < self.endpoints());
+        assert!(
+            src < self.endpoints() && dst < self.endpoints(),
+            "endpoint out of range: {src} -> {dst} on {}",
+            self.name()
+        );
         match self {
             Substrate::Butterfly(bf) => bf.greedy_path(src, dst),
-            Substrate::Mesh(m) => m.dimension_order_path(NodeId(src), NodeId(dst)),
+            Substrate::Mesh(m) => m.route(NodeId(src), NodeId(dst)),
             Substrate::Hypercube(h) => h.ecube_path(NodeId(src), NodeId(dst)),
         }
     }
@@ -90,6 +123,9 @@ impl Substrate {
     pub fn name(&self) -> String {
         match self {
             Substrate::Butterfly(bf) => format!("butterfly(n={})", bf.n_inputs()),
+            Substrate::Mesh(m) if m.wraps() && m.classes() == 2 => {
+                format!("torus({}^{},dateline)", m.radix(), m.dims())
+            }
             Substrate::Mesh(m) if m.wraps() => {
                 format!("torus({}^{})", m.radix(), m.dims())
             }
@@ -117,6 +153,7 @@ mod tests {
             Substrate::butterfly(3),
             Substrate::mesh(3, 2),
             Substrate::torus(4, 2),
+            Substrate::torus_with(4, 2, RoutingDiscipline::DatelineClasses),
             Substrate::hypercube(3),
         ] {
             let n = s.endpoints();
@@ -147,6 +184,44 @@ mod tests {
         assert_eq!(Substrate::butterfly(3).name(), "butterfly(n=8)");
         assert_eq!(Substrate::mesh(4, 2).name(), "mesh(4^2)");
         assert_eq!(Substrate::torus(4, 2).name(), "torus(4^2)");
+        assert_eq!(
+            Substrate::torus_with(4, 2, RoutingDiscipline::DatelineClasses).name(),
+            "torus(4^2,dateline)"
+        );
         assert_eq!(Substrate::hypercube(4).name(), "hypercube(2^4)");
+    }
+
+    #[test]
+    fn discipline_is_exposed() {
+        assert_eq!(
+            Substrate::torus(4, 2).discipline(),
+            RoutingDiscipline::Naive
+        );
+        assert_eq!(
+            Substrate::torus_with(4, 2, RoutingDiscipline::DatelineClasses).discipline(),
+            RoutingDiscipline::DatelineClasses
+        );
+        assert_eq!(
+            Substrate::butterfly(3).discipline(),
+            RoutingDiscipline::Naive
+        );
+    }
+
+    #[test]
+    fn dateline_torus_routes_switch_class_on_wrap() {
+        let s = Substrate::torus_with(8, 1, RoutingDiscipline::DatelineClasses);
+        let Substrate::Mesh(m) = &s else {
+            unreachable!()
+        };
+        let p = s.route(6, 1); // crosses the wrap edge 7 -> 0
+        assert_eq!(p.len(), 3);
+        let classes: Vec<u32> = p.edges().iter().map(|&e| m.edge_vc_class(e)).collect();
+        assert_eq!(classes, vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn out_of_range_endpoint_panics_in_release_too() {
+        Substrate::torus(4, 2).route(0, 16);
     }
 }

@@ -59,6 +59,7 @@ pub mod prelude {
     pub use wormhole_flitsim::wormhole::run as wormhole_run;
     pub use wormhole_topology::butterfly::Butterfly;
     pub use wormhole_topology::graph::{EdgeId, Graph, GraphBuilder, NodeId};
+    pub use wormhole_topology::mesh::{Mesh, RoutingDiscipline};
     pub use wormhole_topology::path::{Path, PathSet};
     pub use wormhole_workloads::{ArrivalProcess, Substrate, TrafficPattern, Workload};
 }

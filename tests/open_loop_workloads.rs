@@ -99,3 +99,43 @@ fn bursty_hypercube_bit_reversal_is_deterministic() {
     let r = run_open_loop(Substrate::hypercube(4).graph(), &a, &SimConfig::new(2), &ol);
     assert_eq!(r.outcome, Outcome::Completed);
 }
+
+/// The torus deadlock headline, end-to-end through the facade: tornado
+/// traffic at B = 1 wedges the naive torus into deadlock, while the same
+/// stream routed under the dateline discipline never deadlocks and keeps
+/// accepting traffic.
+#[test]
+fn dateline_discipline_removes_the_tornado_torus_deadlock() {
+    let run_arm = |discipline: RoutingDiscipline| {
+        let w = Workload::new(
+            Substrate::torus_with(8, 2, discipline),
+            TrafficPattern::Tornado,
+            ArrivalProcess::bernoulli(0.3),
+            6,
+            2024,
+        );
+        let specs = w.generate(800);
+        let ol = OpenLoopConfig::new(200, 600);
+        run_open_loop(w.substrate.graph(), &specs, &SimConfig::new(1), &ol)
+    };
+
+    let naive = run_arm(RoutingDiscipline::Naive);
+    assert!(
+        matches!(naive.outcome, Outcome::Deadlock(_)),
+        "naive tornado-on-torus at B=1 must deadlock, got {:?}",
+        naive.outcome
+    );
+    assert!(naive.deadlock.is_some(), "deadlock report names the cycle");
+
+    let dateline = run_arm(RoutingDiscipline::DatelineClasses);
+    assert!(
+        !matches!(dateline.outcome, Outcome::Deadlock(_)),
+        "dateline tornado must not deadlock, got {:?}",
+        dateline.outcome
+    );
+    let stats = dateline.open_loop.unwrap();
+    assert!(
+        stats.accepted_msgs > 0,
+        "dateline arm keeps accepting traffic: {stats:?}"
+    );
+}
