@@ -4,9 +4,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wormhole_bench::butterfly_permutation;
-use wormhole_flitsim::config::{BandwidthModel, SimConfig};
+use wormhole_flitsim::config::{Arbitration, BandwidthModel, Engine, SimConfig};
 use wormhole_flitsim::message::specs_from_paths;
+use wormhole_flitsim::open_loop::{run_open_loop, OpenLoopConfig};
 use wormhole_flitsim::wormhole;
+use wormhole_workloads::{ArrivalProcess, RoutingDiscipline, Substrate, TrafficPattern, Workload};
+
+const ENGINES: [(&str, Engine); 2] = [("event", Engine::EventDriven), ("legacy", Engine::Legacy)];
 
 fn bench_wormhole_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("wormhole_sim");
@@ -48,10 +52,72 @@ fn bench_restricted_model(c: &mut Criterion) {
     group.finish();
 }
 
+/// Open-loop low offered load on a butterfly with long worms (the classic
+/// wormhole regime: L ≫ D): long uncontended flights and idle gaps — the
+/// territory of the event engine's disjoint-path fast-forward and
+/// closed-form drain jump. The legacy stepper pays `O(active)` machinery
+/// on each of a flight's `D + L − 1` steps; the event engine pays one
+/// `O(1)` update per header advance plus `O(D)` per drain.
+fn bench_open_loop_low_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("open_loop_low_load");
+    group.sample_size(10);
+    let substrate = Substrate::butterfly(6);
+    let w = Workload::new(
+        substrate.clone(),
+        TrafficPattern::UniformRandom,
+        ArrivalProcess::bernoulli(0.00025),
+        256,
+        0xbe7c,
+    );
+    let specs = w.generate(5500);
+    let ol = OpenLoopConfig::new(500, 5000);
+    for (name, engine) in ENGINES {
+        let cfg = SimConfig::new(2)
+            .arbitration(Arbitration::Random)
+            .seed(1)
+            .engine(engine);
+        group.bench_function(name, |b| {
+            b.iter(|| run_open_loop(substrate.graph(), &specs, &cfg, &ol))
+        });
+    }
+    group.finish();
+}
+
+/// Open-loop tornado traffic on a dateline-class torus near saturation:
+/// a deep source backlog of parked worms re-losing the same arbitration —
+/// the regime the wait-queue wakeups target (and the dateline class-pair
+/// graph doubles the edge count the flat scratch has to cover).
+fn bench_dateline_torus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("open_loop_dateline_torus");
+    group.sample_size(10);
+    let substrate = Substrate::torus_with(8, 2, RoutingDiscipline::DatelineClasses);
+    let w = Workload::new(
+        substrate.clone(),
+        TrafficPattern::Tornado,
+        ArrivalProcess::bernoulli(0.35),
+        4,
+        0x70b5,
+    );
+    let specs = w.generate(1200);
+    let ol = OpenLoopConfig::new(200, 1000);
+    for (name, engine) in ENGINES {
+        let cfg = SimConfig::new(2)
+            .arbitration(Arbitration::Random)
+            .seed(2)
+            .engine(engine);
+        group.bench_function(name, |b| {
+            b.iter(|| run_open_loop(substrate.graph(), &specs, &cfg, &ol))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_wormhole_scaling,
     bench_wormhole_vcs,
-    bench_restricted_model
+    bench_restricted_model,
+    bench_open_loop_low_load,
+    bench_dateline_torus
 );
 criterion_main!(benches);

@@ -42,6 +42,21 @@ pub enum FinalEdgePolicy {
     Unlimited,
 }
 
+/// Which stepper drives a full-bandwidth run. Both engines are required
+/// to produce bit-identical [`crate::stats::SimResult`]s (the proptest
+/// differential suite enforces it); they differ only in cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Event-driven core: worms that lose arbitration park on a per-edge
+    /// wait queue and are only reconsidered when that edge releases a VC;
+    /// contention-free stretches fast-forward. The default.
+    EventDriven,
+    /// The original per-step rescanning stepper, kept as the differential
+    /// oracle (and used automatically by [`crate::wormhole::run_traced`],
+    /// whose per-step `Blocked` events are inherently step-enumerated).
+    Legacy,
+}
+
 /// What happens to a worm whose header cannot advance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BlockedPolicy {
@@ -66,6 +81,9 @@ pub struct SimConfig {
     pub final_edge: FinalEdgePolicy,
     /// Blocked-worm policy.
     pub blocked: BlockedPolicy,
+    /// Full-bandwidth stepper (see [`Engine`]). Ignored by the restricted
+    /// bandwidth model, which has a single per-flit stepper.
+    pub engine: Engine,
     /// Hard step cap: the run aborts with [`crate::stats::Outcome::MaxSteps`]
     /// if any message is still unfinished after this many flit steps.
     pub max_steps: u64,
@@ -87,6 +105,7 @@ impl SimConfig {
             arbitration: Arbitration::FifoById,
             final_edge: FinalEdgePolicy::RequiresVc,
             blocked: BlockedPolicy::Stall,
+            engine: Engine::EventDriven,
             max_steps: 100_000_000,
             seed: 0,
             check_invariants: false,
@@ -114,6 +133,12 @@ impl SimConfig {
     /// Sets the blocked-worm policy.
     pub fn blocked(mut self, p: BlockedPolicy) -> Self {
         self.blocked = p;
+        self
+    }
+
+    /// Selects the full-bandwidth stepper.
+    pub fn engine(mut self, e: Engine) -> Self {
+        self.engine = e;
         self
     }
 
@@ -147,6 +172,7 @@ mod tests {
             .arbitration(Arbitration::Random)
             .final_edge(FinalEdgePolicy::Unlimited)
             .blocked(BlockedPolicy::Discard)
+            .engine(Engine::Legacy)
             .max_steps(10)
             .seed(7)
             .check_invariants(true);
@@ -155,6 +181,7 @@ mod tests {
         assert_eq!(c.arbitration, Arbitration::Random);
         assert_eq!(c.final_edge, FinalEdgePolicy::Unlimited);
         assert_eq!(c.blocked, BlockedPolicy::Discard);
+        assert_eq!(c.engine, Engine::Legacy);
         assert_eq!(c.max_steps, 10);
         assert_eq!(c.seed, 7);
         assert!(c.check_invariants);

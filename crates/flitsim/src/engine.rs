@@ -1,0 +1,399 @@
+//! The event-driven full-bandwidth engine.
+//!
+//! Drives the same simulation state as the legacy stepper in
+//! [`crate::wormhole`] but does per-step work proportional to the worms
+//! that can actually *do* something this step:
+//!
+//! * **Wait-queue wakeups** — a worm that loses arbitration parks on an
+//!   intrusive per-edge waiter list (`waiter_head` / `next_waiter`, both
+//!   flat arrays) and is reconsidered only when that edge releases a VC.
+//!   While parked it costs nothing; its stalls are settled arithmetically
+//!   on wakeup (`stalls += wake − park`), because a parked worm's edge
+//!   provably stays full for the whole interval (see the invariants in
+//!   the [`crate::wormhole`] module docs), so the legacy stepper would
+//!   have lost the same arbitration at every one of those steps.
+//! * **Contention-free fast-forward** — when nothing is parked and the
+//!   runnable set provably cannot interact before the next release —
+//!   either every worm is draining into its delivery buffer (drains only
+//!   ever *decrement* holder counts, which commutes), or the worms'
+//!   paths are pairwise edge-disjoint (checked with an epoch-stamped
+//!   per-edge scratch and memoized until the membership changes) — each
+//!   worm free-runs independently to `min(next release, step cap, its
+//!   finish)`: header steps in a tight `O(1)`-per-advance loop, and the
+//!   deterministic drain phase (`finish at advance = hops + L − 1`)
+//!   collapsed to a closed form by [`Sim::fast_drain`]. A fully idle
+//!   network jumps straight to the next message release. Fast-forwards
+//!   never cross a release time or the step cap, so every arbitration
+//!   decision — and every release-at-`t`-visible-at-`t+1` boundary —
+//!   still happens at its exact legacy step.
+//!
+//! Near saturation this turns the `O(active)` per-step rescan (where
+//! `active` includes the entire source-queued backlog) into
+//! `O(runnable + wakeups)`; at low load it replaces per-step stepping
+//! with per-*event* work (one `O(1)` update per flit advance, `O(path)`
+//! per drain).
+
+use crate::config::BlockedPolicy;
+use crate::events::DeadlockReport;
+use crate::stats::Outcome;
+use crate::wormhole::{order_contenders, Sim};
+
+const NONE: u32 = u32::MAX;
+
+struct EventState {
+    /// Head of the waiter list per edge (`NONE` = empty).
+    waiter_head: Vec<u32>,
+    /// Next waiter per message (intrusive list through the parked set).
+    next_waiter: Vec<u32>,
+    /// Step at which each parked worm lost its arbitration.
+    parked_at: Vec<u64>,
+    parked: Vec<bool>,
+    /// Released, unretired, unparked worms — the per-step working set.
+    runnable: Vec<u32>,
+    n_parked: usize,
+    /// Memoized "runnable paths are pairwise edge-disjoint" verdict;
+    /// invalidated whenever the runnable membership changes.
+    indep_cached: Option<bool>,
+    /// Epoch-stamped scratch for the disjointness check.
+    edge_mark: Vec<u64>,
+    mark_epoch: u64,
+}
+
+impl EventState {
+    /// Released-and-unretired message count (the legacy `active` size).
+    #[inline]
+    fn n_active(&self) -> usize {
+        self.runnable.len() + self.n_parked
+    }
+}
+
+/// Runs the event-driven loop to completion. Returns `(outcome, final
+/// step, deadlock report)` exactly as the legacy driver would.
+pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
+    let n_msgs = sim.specs.len();
+    let mut st = EventState {
+        waiter_head: vec![NONE; sim.num_edges],
+        next_waiter: vec![NONE; n_msgs],
+        parked_at: vec![0; n_msgs],
+        parked: vec![false; n_msgs],
+        runnable: Vec::new(),
+        n_parked: 0,
+        indep_cached: Some(true), // empty set is trivially disjoint
+        edge_mark: vec![0; sim.num_edges],
+        mark_epoch: 0,
+    };
+    let mut t: u64 = 0;
+    loop {
+        if sim.unfinished == 0 {
+            return (Outcome::Completed, t, None);
+        }
+        if t >= sim.config.max_steps {
+            // Legacy simulated steps `0..max_steps`; settle parked stalls
+            // through the last simulated step.
+            top_up_stalls(sim, &mut st, sim.config.max_steps.saturating_sub(1));
+            return (Outcome::MaxSteps, t, None);
+        }
+        // Idle network: jump to the next release (never past the cap).
+        if st.runnable.is_empty() && st.n_parked == 0 {
+            match sim.release_order.get(sim.next_pending) {
+                Some(&m) => {
+                    let r = sim.specs[m as usize].release;
+                    if r >= sim.config.max_steps {
+                        return (Outcome::MaxSteps, sim.config.max_steps, None);
+                    }
+                    t = t.max(r);
+                }
+                None => return (Outcome::Completed, t, None), // discarded remainder
+            }
+        }
+        while let Some(&m) = sim.release_order.get(sim.next_pending) {
+            if sim.specs[m as usize].release <= t {
+                st.runnable.push(m);
+                st.indep_cached = None;
+                sim.next_pending += 1;
+            } else {
+                break;
+            }
+        }
+        if st.runnable.is_empty() {
+            // Every released worm is parked on a full edge; releases only
+            // come from moves, so nothing will ever move again. This is
+            // the same step at which the legacy stepper's no-movement test
+            // fires (parking is impossible under Discard, so the policy is
+            // necessarily Stall here).
+            debug_assert!(st.n_parked > 0);
+            debug_assert_eq!(sim.config.blocked, BlockedPolicy::Stall);
+            return deadlock(sim, &mut st, t);
+        }
+        // Contention-free fast-forward. Only sound while nothing is
+        // parked: parked worms observe releases, and a free-running worm
+        // could otherwise collide with a parked worm's held edges.
+        if st.n_parked == 0
+            && (all_draining(sim, &st) || independent(sim, &mut st))
+            && ff_batch(sim, &mut st, &mut t)
+        {
+            continue;
+        }
+        let moved = step(sim, &mut st, t);
+        if !moved && st.n_active() > 0 && sim.config.blocked == BlockedPolicy::Stall {
+            return deadlock(sim, &mut st, t);
+        }
+        if sim.config.check_invariants {
+            validate(sim, &st);
+        }
+        t += 1;
+    }
+}
+
+/// One full-bandwidth step over the runnable set. Mirrors the legacy
+/// stepper's classify → arbitrate → apply phases, then parks losers and
+/// wakes the waiters of every edge that released a VC.
+fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
+    sim.movers.clear();
+    sim.blocked.clear();
+    sim.buckets.clear();
+    sim.released.clear();
+    // Classify. Parked worms are exactly the contenders of full edges, so
+    // leaving them out changes no arbitration outcome (a full edge blocks
+    // every contender regardless).
+    for i in 0..st.runnable.len() {
+        let m = st.runnable[i];
+        let w = &sim.worms[m as usize];
+        if w.advance >= w.hops {
+            sim.movers.push(m); // draining into the delivery buffer
+        } else {
+            let next = w.advance + 1;
+            if sim.needs_vc(w, next) {
+                let e = sim.path_edge(m, next);
+                sim.buckets.push(e, m);
+            } else {
+                sim.movers.push(m);
+            }
+        }
+    }
+    // Arbitrate on start-of-step holder counts.
+    let groups = sim.buckets.group();
+    for gi in 0..groups {
+        let e = sim.buckets.edge(gi);
+        let free = (sim.config.vcs as usize).saturating_sub(sim.holders[e] as usize);
+        let group = sim.buckets.group_mut(gi);
+        if group.len() > free {
+            if free == 0 {
+                sim.blocked.extend_from_slice(group);
+                continue;
+            }
+            order_contenders(sim.config, sim.specs, t, e, group);
+            sim.blocked.extend_from_slice(&group[free..]);
+            sim.movers.extend_from_slice(&group[..free]);
+        } else {
+            sim.movers.extend_from_slice(group);
+        }
+    }
+    // Apply.
+    let moved = !sim.movers.is_empty();
+    for i in 0..sim.movers.len() {
+        let m = sim.movers[i];
+        sim.apply_advance(m, t);
+    }
+    // Losers stall, then discard or park. Parking checks the *end-of-step*
+    // holder count: if this step's releases already freed a VC on the
+    // wanted edge, the worm stays runnable and re-contends at `t+1`,
+    // exactly as the legacy stepper would.
+    for i in 0..sim.blocked.len() {
+        let m = sim.blocked[i];
+        sim.outcomes[m as usize].stalls += 1;
+        if sim.config.blocked == BlockedPolicy::Discard {
+            sim.discard(m, t);
+        } else {
+            let e = sim.path_edge(m, sim.worms[m as usize].advance + 1);
+            if sim.holders[e] as u32 >= sim.config.vcs {
+                park(sim, st, m, e, t);
+            }
+        }
+    }
+    // Wake the waiters of every edge that released a VC this step; they
+    // contend from `t+1` (release at `t` is visible at `t+1`).
+    for i in 0..sim.released.len() {
+        let e = sim.released[i] as usize;
+        wake_all(sim, st, e, t);
+    }
+    // Retire finished, discarded, and freshly parked worms.
+    let before = st.runnable.len();
+    let worms = &sim.worms;
+    let outcomes = &sim.outcomes;
+    let parked = &st.parked;
+    st.runnable.retain(|&m| {
+        !worms[m as usize].done() && !outcomes[m as usize].discarded && !parked[m as usize]
+    });
+    if st.runnable.len() != before {
+        st.indep_cached = None;
+    }
+    sim.settle_max_vcs();
+    moved
+}
+
+fn park(sim: &mut Sim, st: &mut EventState, m: u32, e: usize, t: u64) {
+    let mi = m as usize;
+    st.next_waiter[mi] = st.waiter_head[e];
+    st.waiter_head[e] = m;
+    st.parked[mi] = true;
+    st.parked_at[mi] = t;
+    st.n_parked += 1;
+    st.indep_cached = None;
+    sim.track_releases = true;
+}
+
+/// Unparks every waiter of `e`, settling their arithmetic stalls. A worm
+/// parked earlier this same step is still in `runnable` and is only
+/// unflagged.
+fn wake_all(sim: &mut Sim, st: &mut EventState, e: usize, t: u64) {
+    let mut m = st.waiter_head[e];
+    st.waiter_head[e] = NONE;
+    while m != NONE {
+        let mi = m as usize;
+        st.parked[mi] = false;
+        st.n_parked -= 1;
+        sim.outcomes[mi].stalls += t - st.parked_at[mi];
+        if st.parked_at[mi] < t {
+            st.runnable.push(m);
+        }
+        st.indep_cached = None;
+        m = std::mem::replace(&mut st.next_waiter[mi], NONE);
+    }
+    if st.n_parked == 0 {
+        sim.track_releases = false;
+    }
+}
+
+/// Settles the per-step stalls the legacy stepper would have counted for
+/// every still-parked worm through step `through`.
+fn top_up_stalls(sim: &mut Sim, st: &mut EventState, through: u64) {
+    if st.n_parked == 0 {
+        return;
+    }
+    for m in 0..st.parked.len() {
+        if st.parked[m] {
+            sim.outcomes[m].stalls += through - st.parked_at[m];
+        }
+    }
+}
+
+fn deadlock(sim: &mut Sim, st: &mut EventState, t: u64) -> (Outcome, u64, Option<DeadlockReport>) {
+    // Legacy counted a stall for every blocked worm during step `t`.
+    top_up_stalls(sim, st, t);
+    sim.rebuild_active();
+    let report = sim.build_deadlock_report();
+    (Outcome::Deadlock(sim.active.clone()), t, Some(report))
+}
+
+/// Exclusive upper bound on fast-forwarded time: the next release (new
+/// contender) or the step cap, whichever is first.
+fn ff_stop(sim: &Sim) -> u64 {
+    let next_rel = sim
+        .release_order
+        .get(sim.next_pending)
+        .map(|&m| sim.specs[m as usize].release)
+        .unwrap_or(u64::MAX);
+    sim.config.max_steps.min(next_rel)
+}
+
+fn all_draining(sim: &Sim, st: &EventState) -> bool {
+    st.runnable.iter().all(|&m| {
+        let w = &sim.worms[m as usize];
+        w.advance >= w.hops
+    })
+}
+
+/// Whether the runnable worms' paths are pairwise edge-disjoint (repeated
+/// edges within one path count as a collision — conservative), memoized
+/// until the runnable membership changes. Disjoint worms can never
+/// contend, block, or observe each other's holder counts, so each one
+/// free-runs exactly as it would alone.
+fn independent(sim: &Sim, st: &mut EventState) -> bool {
+    if let Some(v) = st.indep_cached {
+        return v;
+    }
+    st.mark_epoch += 1;
+    let mut ok = true;
+    'scan: for &m in &st.runnable {
+        for e in sim.specs[m as usize].path.edges() {
+            let mark = &mut st.edge_mark[e.idx()];
+            if *mark == st.mark_epoch {
+                ok = false;
+                break 'scan;
+            }
+            *mark = st.mark_epoch;
+        }
+    }
+    st.indep_cached = Some(ok);
+    ok
+}
+
+/// Fast-forwards a non-interacting runnable set (all draining, or
+/// pairwise disjoint — the caller guarantees one of the two and that
+/// nothing is parked): each worm independently free-runs to
+/// `min(next release, cap, finish)` — header advances in an `O(1)`
+/// per-step loop, drain phases collapsed by [`Sim::fast_drain`] — then
+/// simulated time jumps to the stop point. Returns whether time moved.
+fn ff_batch(sim: &mut Sim, st: &mut EventState, t: &mut u64) -> bool {
+    let stop = ff_stop(sim);
+    if *t >= stop {
+        return false;
+    }
+    for i in 0..st.runnable.len() {
+        let m = st.runnable[i];
+        let mi = m as usize;
+        let mut ti = *t;
+        loop {
+            let w = &sim.worms[mi];
+            if w.done() || ti >= stop {
+                break;
+            }
+            if w.advance >= w.hops {
+                sim.fast_drain(m, &mut ti, stop);
+            } else {
+                sim.apply_advance(m, ti);
+                sim.settle_max_vcs();
+                ti += 1;
+            }
+        }
+    }
+    let before = st.runnable.len();
+    let worms = &sim.worms;
+    st.runnable.retain(|&m| !worms[m as usize].done());
+    if st.runnable.len() != before {
+        st.indep_cached = None;
+    }
+    if sim.config.check_invariants {
+        validate(sim, st);
+    }
+    *t = stop;
+    true
+}
+
+/// Full state validation (shared invariants plus the engine's own): the
+/// wait queues must partition the active set with `runnable`, and every
+/// parked worm's wanted edge must be full — the property that makes
+/// arithmetic stall accounting exact.
+fn validate(sim: &mut Sim, st: &EventState) {
+    sim.rebuild_active();
+    sim.validate();
+    let mut n = 0;
+    for m in 0..st.parked.len() {
+        if st.parked[m] {
+            n += 1;
+            let w = &sim.worms[m];
+            let e = sim.path_edge(m as u32, w.advance + 1);
+            assert_eq!(
+                sim.holders[e] as u32, sim.config.vcs,
+                "parked worm {m} waits on a non-full edge"
+            );
+        }
+    }
+    assert_eq!(n, st.n_parked, "parked count out of sync");
+    assert_eq!(
+        st.n_active(),
+        sim.active.len(),
+        "runnable/parked must partition the active set"
+    );
+}

@@ -19,6 +19,12 @@
 //! measurement windows, latency percentiles, accepted throughput, and
 //! saturation detection).
 //!
+//! The full-bandwidth wormhole model has two bit-identical cores behind
+//! [`config::Engine`]: the default event-driven engine (wait-queue
+//! wakeups, contention-free fast-forward) and the legacy per-step
+//! stepper kept as its differential oracle — see the [`wormhole`]
+//! module docs for the equivalence invariants.
+//!
 //! # Example
 //!
 //! ```
@@ -38,6 +44,7 @@
 
 pub mod config;
 pub mod cut_through;
+mod engine;
 pub mod events;
 pub mod message;
 pub mod open_loop;
@@ -45,7 +52,7 @@ pub mod stats;
 pub mod store_forward;
 pub mod wormhole;
 
-pub use config::{Arbitration, BandwidthModel, BlockedPolicy, FinalEdgePolicy, SimConfig};
+pub use config::{Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, SimConfig};
 pub use events::{DeadlockReport, TraceEvent, WaitFor};
 pub use message::{specs_from_paths, MessageSpec};
 pub use open_loop::{run_open_loop, OpenLoopConfig};

@@ -339,6 +339,27 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_capped_open_loop_runs() {
+        // Open-loop runs end at the step cap under saturation; the event
+        // engine's jumps and arithmetic stall top-ups must land on the
+        // same capped partial state the legacy stepper walks to. (The
+        // windowed stats are pure derivation, so execution equality is
+        // the whole claim.)
+        use crate::config::Engine;
+        let (g, edges) = chain(5);
+        for (l, gap) in [(4u32, 1u64), (3, 2), (2, 25)] {
+            let specs = periodic(&edges, l, gap, 600);
+            let ol = OpenLoopConfig::new(100, 400).drain(100);
+            let ev = run_open_loop(&g, &specs, &SimConfig::new(1), &ol);
+            let lg = run_open_loop(&g, &specs, &SimConfig::new(1).engine(Engine::Legacy), &ol);
+            assert!(
+                ev.same_execution(&lg),
+                "engines diverged at L={l} gap={gap}"
+            );
+        }
+    }
+
+    #[test]
     fn config_builder_and_cap() {
         let ol = OpenLoopConfig::new(10, 20).drain(5).saturation_ratio(0.5);
         assert_eq!(ol.window_end(), 30);

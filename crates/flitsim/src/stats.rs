@@ -16,7 +16,7 @@ pub enum Outcome {
 }
 
 /// Per-message result.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MessageOutcome {
     /// Flit step (end-of-step time) at which the last flit was delivered.
     pub finished: Option<u64>,
@@ -132,6 +132,21 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Field-for-field execution equality over everything the simulator
+    /// computes (`open_loop` excluded — it is derived windowing, attached
+    /// after the run). This is the differential-oracle relation the two
+    /// full-bandwidth engines ([`crate::config::Engine`]) must satisfy on
+    /// every workload.
+    pub fn same_execution(&self, other: &SimResult) -> bool {
+        self.outcome == other.outcome
+            && self.total_steps == other.total_steps
+            && self.messages == other.messages
+            && self.max_vcs_in_use == other.max_vcs_in_use
+            && self.total_stalls == other.total_stalls
+            && self.flit_hops == other.flit_hops
+            && self.deadlock == other.deadlock
+    }
+
     /// Number of delivered messages.
     pub fn delivered(&self) -> usize {
         self.messages

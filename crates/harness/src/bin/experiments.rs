@@ -4,14 +4,61 @@
 //! experiments all            # every experiment, full-size sweeps
 //! experiments e1 e3          # selected experiments
 //! experiments --fast all     # reduced sweeps (CI-sized)
+//! experiments bench-json     # time fast x2/x7 per engine → BENCH_sim.json
 //! ```
 
 use std::time::Instant;
 
-use wormhole_harness::experiments::{all_ids, run_by_id};
+use wormhole_flitsim::config::Engine;
+use wormhole_harness::experiments::{all_ids, run_by_id, x2_open_loop, x7_dateline};
+
+/// Times the fast x2/x7 families on both simulator engines and writes the
+/// wall-clock trajectory record (`BENCH_sim.json` unless a path is given).
+/// Committed once per perf-relevant PR so regressions have a baseline.
+fn bench_json(out_path: &str) {
+    let engines = [(Engine::EventDriven, "event"), (Engine::Legacy, "legacy")];
+    let mut rows = Vec::new();
+    for (engine, ename) in engines {
+        let t0 = Instant::now();
+        let points = x2_open_loop::sweep_points_with(true, engine);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(!points.is_empty());
+        eprintln!("[bench-json] x2 {ename}: {ms:.3} ms");
+        rows.push(("x2", ename, ms));
+
+        let t0 = Instant::now();
+        let tables = x7_dateline::run_with(true, engine);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(!tables.is_empty());
+        eprintln!("[bench-json] x7 {ename}: {ms:.3} ms");
+        rows.push(("x7", ename, ms));
+    }
+    let mut json = String::from("{\n  \"benchmark\": \"experiments bench-json\",\n  \"mode\": \"fast\",\n  \"unit\": \"wall_ms\",\n  \"families\": [\n");
+    for (i, (family, engine, ms)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"family\": \"{family}\", \"engine\": \"{engine}\", \"wall_ms\": {ms:.3} }}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, json).expect("write bench json");
+    eprintln!("[bench-json] wrote {out_path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-json") {
+        // bench-json always times the fast families; tolerate a stray
+        // --fast and never mistake a flag for the output path.
+        let out = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .map(String::as_str)
+            .unwrap_or("BENCH_sim.json");
+        bench_json(out);
+        return;
+    }
     let fast = args.iter().any(|a| a == "--fast");
     let ids: Vec<String> = args.into_iter().filter(|a| a != "--fast").collect();
     let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|a| a == "all") {

@@ -17,7 +17,7 @@
 //! ([`RoutingDiscipline::DatelineClasses`]) is deadlock-free by
 //! construction and keeps accepting traffic at every `B`.
 
-use wormhole_flitsim::config::{Arbitration, SimConfig};
+use wormhole_flitsim::config::{Arbitration, Engine, SimConfig};
 use wormhole_flitsim::open_loop::{run_open_loop, OpenLoopConfig};
 use wormhole_flitsim::stats::{OpenLoopStats, Outcome};
 use wormhole_workloads::{ArrivalProcess, RoutingDiscipline, Substrate, TrafficPattern, Workload};
@@ -105,6 +105,13 @@ fn params(fast: bool) -> (u32, u64, u64) {
 /// Runs the full measurement sweep, in input order: for each pattern,
 /// each offered rate × VC count.
 pub fn sweep_points(fast: bool) -> Vec<Point> {
+    sweep_points_with(fast, Engine::EventDriven)
+}
+
+/// [`sweep_points`] on an explicit simulator engine — the differential /
+/// timing hook used by `experiments bench-json` and the benches (both
+/// engines are bit-identical; only their cost differs).
+pub fn sweep_points_with(fast: bool, engine: Engine) -> Vec<Point> {
     let (l, warmup, measure) = params(fast);
     let rates: &[f64] = if fast {
         &[0.02, 0.10, 0.25, 0.45]
@@ -136,7 +143,8 @@ pub fn sweep_points(fast: bool) -> Vec<Point> {
             let ol = OpenLoopConfig::new(warmup, measure);
             let cfg = SimConfig::new(*b)
                 .arbitration(Arbitration::Random)
-                .seed(0x5eed ^ *b as u64);
+                .seed(0x5eed ^ *b as u64)
+                .engine(engine);
             let r = run_open_loop(substrate.graph(), &specs, &cfg, &ol);
             Point {
                 pattern: pattern.name(),
@@ -345,6 +353,25 @@ mod tests {
             *dl_b1 > 0.0,
             "dateline tornado at B=1 must accept traffic, got {dl_b1}"
         );
+    }
+
+    #[test]
+    fn x2_engines_agree_pointwise() {
+        // The sweep is the engine's production workload: every measured
+        // point must be identical under the legacy differential oracle.
+        let ev = sweep_points_with(true, Engine::EventDriven);
+        let lg = sweep_points_with(true, Engine::Legacy);
+        assert_eq!(ev.len(), lg.len());
+        for (a, b) in ev.iter().zip(&lg) {
+            let ctx = format!("{} {} rate={} B={}", a.substrate, a.pattern, a.rate, a.b);
+            assert_eq!(a.outcome, b.outcome, "{ctx}");
+            assert_eq!(a.stats.latency, b.stats.latency, "{ctx}");
+            assert_eq!(a.stats.offered_msgs, b.stats.offered_msgs, "{ctx}");
+            assert_eq!(a.stats.delivered_msgs, b.stats.delivered_msgs, "{ctx}");
+            assert_eq!(a.stats.accepted_msgs, b.stats.accepted_msgs, "{ctx}");
+            assert_eq!(a.stats.backlog, b.stats.backlog, "{ctx}");
+            assert_eq!(a.stats.saturated, b.stats.saturated, "{ctx}");
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn route(ps: &PathSet, g: &wormhole_topology::graph::Graph, l: u32, b: u32) -> (
     let specs = specs_from_paths(ps, l);
     let config = SimConfig::new(b)
         .arbitration(Arbitration::Random)
-        .seed(13)
+        .seed(31)
         .max_steps(1_000_000);
     let r = wormhole::run(g, &specs, &config);
     match r.outcome {

@@ -14,7 +14,7 @@
 //!    criterion through the shared
 //!    [`wormhole_topology::dateline::channel_dependency_graph`].
 
-use wormhole_flitsim::config::SimConfig;
+use wormhole_flitsim::config::{Engine, SimConfig};
 use wormhole_flitsim::message::MessageSpec;
 use wormhole_flitsim::stats::Outcome;
 use wormhole_flitsim::wormhole;
@@ -50,6 +50,12 @@ fn outcome_cells(r: &wormhole_flitsim::stats::SimResult) -> (String, String) {
 
 /// Runs X7.
 pub fn run(fast: bool) -> Vec<Table> {
+    run_with(fast, Engine::EventDriven)
+}
+
+/// [`run`] on an explicit simulator engine — the timing hook used by
+/// `experiments bench-json` (results are engine-independent).
+pub fn run_with(fast: bool, engine: Engine) -> Vec<Table> {
     let l = 8u32;
     let mut tables = Vec::new();
 
@@ -75,7 +81,7 @@ pub fn run(fast: bool) -> Vec<Table> {
                 .iter()
                 .map(|p| MessageSpec::new(p.clone(), l))
                 .collect();
-            let r = wormhole::run(ring.graph(), &specs, &SimConfig::new(1));
+            let r = wormhole::run(ring.graph(), &specs, &SimConfig::new(1).engine(engine));
             let (outcome, cycle) = outcome_cells(&r);
             t.row(&cells!(n, scheme, acyclic, outcome, r.total_steps, cycle));
         }
@@ -109,7 +115,7 @@ pub fn run(fast: bool) -> Vec<Table> {
                 .iter()
                 .map(|p| MessageSpec::new(p.clone(), l))
                 .collect();
-            let r = wormhole::run(mesh.graph(), &specs, &SimConfig::new(1));
+            let r = wormhole::run(mesh.graph(), &specs, &SimConfig::new(1).engine(engine));
             let (outcome, cycle) = outcome_cells(&r);
             t.row(&cells!(
                 format!("{radix}^{dims}"),

@@ -1,0 +1,191 @@
+//! Differential oracle for the two full-bandwidth simulator engines.
+//!
+//! The event-driven engine (wait-queue wakeups, contention-free
+//! fast-forward, arithmetic stall accounting) must produce **bit-identical**
+//! [`SimResult`]s to the legacy per-step rescanning stepper — outcome,
+//! finish times, first moves, stalls, `flit_hops`, `max_vcs_in_use`, and
+//! deadlock reports included — on randomized workloads spanning shared
+//! chains, open-loop butterfly traffic, and torus tornado batches (where
+//! the naive arm deadlocks and the dateline arm completes).
+
+use proptest::prelude::*;
+
+use wormhole_flitsim::config::{Arbitration, Engine, SimConfig};
+use wormhole_flitsim::message::specs_from_paths;
+use wormhole_flitsim::stats::{Outcome, SimResult};
+use wormhole_flitsim::wormhole;
+use wormhole_flitsim::MessageSpec;
+use wormhole_topology::graph::Graph;
+use wormhole_topology::random_nets::{shared_chain_instance, LeveledNet};
+use wormhole_workloads::{ArrivalProcess, RoutingDiscipline, Substrate, TrafficPattern, Workload};
+
+fn arbitration(i: u32) -> Arbitration {
+    match i % 4 {
+        0 => Arbitration::FifoById,
+        1 => Arbitration::OldestFirst,
+        2 => Arbitration::PriorityRank,
+        _ => Arbitration::Random,
+    }
+}
+
+fn vcs(i: u32) -> u32 {
+    [1u32, 2, 4][i as usize % 3]
+}
+
+fn run_both(graph: &Graph, specs: &[MessageSpec], config: &SimConfig) -> (SimResult, SimResult) {
+    let ev = wormhole::run(graph, specs, &config.clone().engine(Engine::EventDriven));
+    let lg = wormhole::run(graph, specs, &config.clone().engine(Engine::Legacy));
+    (ev, lg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Shared chains with mixed lengths, staggered releases, priorities,
+    /// every arbitration policy, and occasional tight step caps (partial
+    /// state at a MaxSteps abort must match too).
+    #[test]
+    fn engines_agree_on_shared_chains(
+        c in 1u32..8,
+        d in 1u32..12,
+        l in 1u32..10,
+        b_idx in 0u32..3,
+        arb in 0u32..4,
+        stagger in 0u64..6,
+        cap_small in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let (g, ps) = shared_chain_instance(c, d);
+        let specs: Vec<MessageSpec> = specs_from_paths(&ps, 1)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let i = i as u64;
+                s.release_at((i * stagger) % 17)
+                    .with_priority(((seed + i) % 5) as u32)
+            })
+            .map(|s| MessageSpec { length: l + (s.priority % 3), ..s })
+            .collect();
+        let mut cfg = SimConfig::new(vcs(b_idx))
+            .arbitration(arbitration(arb))
+            .seed(seed)
+            .check_invariants(true);
+        if cap_small {
+            cfg = cfg.max_steps((d + l) as u64);
+        }
+        let (ev, lg) = run_both(&g, &specs, &cfg);
+        prop_assert!(
+            ev.same_execution(&lg),
+            "chains diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+    }
+
+    /// Open-loop style timed butterfly traffic across patterns, rates,
+    /// and VC counts — the production workload shape of the x2 sweep.
+    #[test]
+    fn engines_agree_on_butterfly_workloads(
+        k in 2u32..6,
+        rate_pct in 1u32..60,
+        l in 1u32..8,
+        b_idx in 0u32..3,
+        arb in 0u32..4,
+        pattern in 0u32..3,
+        seed in 0u64..1000,
+    ) {
+        let substrate = Substrate::butterfly(k);
+        let pattern = match pattern {
+            0 => TrafficPattern::UniformRandom,
+            1 => TrafficPattern::Permutation,
+            _ => TrafficPattern::BitReversal,
+        };
+        let w = Workload::new(
+            substrate.clone(),
+            pattern,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(120);
+        let cfg = SimConfig::new(vcs(b_idx))
+            .arbitration(arbitration(arb))
+            .seed(seed ^ 0xabc)
+            .max_steps(400)
+            .check_invariants(true);
+        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        prop_assert!(
+            ev.same_execution(&lg),
+            "butterfly diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+    }
+
+    /// Torus tornado traffic on both routing arms: the naive arm wedges
+    /// into deadlock at B=1 (identical blocked sets, wait-for relations,
+    /// and cycles required), the dateline arm keeps accepting.
+    #[test]
+    fn engines_agree_on_torus_tornado(
+        radix in 4u32..8,
+        dims in 1u32..3,
+        b_idx in 0u32..3,
+        l in 2u32..8,
+        rate_pct in 5u32..40,
+        naive in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let discipline = if naive {
+            RoutingDiscipline::Naive
+        } else {
+            RoutingDiscipline::DatelineClasses
+        };
+        let substrate = Substrate::torus_with(radix, dims, discipline);
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::Tornado,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(100);
+        let cfg = SimConfig::new(vcs(b_idx))
+            .arbitration(arbitration(seed as u32))
+            .seed(seed)
+            .max_steps(2_000)
+            .check_invariants(true);
+        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        prop_assert!(
+            ev.same_execution(&lg),
+            "torus diverged ({discipline:?}):\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+        if let Outcome::Deadlock(_) = ev.outcome {
+            prop_assert!(ev.deadlock.is_some());
+        }
+    }
+
+    /// Random leveled-net walks (the workload family the rest of the test
+    /// suite leans on) with the Discard policy mixed in.
+    #[test]
+    fn engines_agree_on_leveled_nets(
+        seed in 0u64..1000,
+        b_idx in 0u32..3,
+        l in 1u32..10,
+        msgs in 1usize..30,
+        discard in proptest::bool::ANY,
+        arb in 0u32..4,
+    ) {
+        use wormhole_flitsim::config::BlockedPolicy;
+        let net = LeveledNet::random(6, 4, 2, seed);
+        let ps = net.random_walk_paths(msgs, seed + 1);
+        let specs = specs_from_paths(&ps, l);
+        let mut cfg = SimConfig::new(vcs(b_idx))
+            .arbitration(arbitration(arb))
+            .seed(seed)
+            .check_invariants(true);
+        if discard {
+            cfg = cfg.blocked(BlockedPolicy::Discard);
+        }
+        let (ev, lg) = run_both(net.graph(), &specs, &cfg);
+        prop_assert!(
+            ev.same_execution(&lg),
+            "leveled diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+    }
+}
