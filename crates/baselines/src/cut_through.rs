@@ -5,7 +5,7 @@
 //! * **wormhole + virtual channels**: `B` one-flit buffers, each holding a
 //!   flit of a possibly different message → speedup `B·D^{1−1/B}`;
 //! * **virtual cut-through**: one `B`-flit buffer for a single message —
-//!   "roughly equivalent to a wormhole router [with] no virtual channels,
+//!   "roughly equivalent to a wormhole router \[with\] no virtual channels,
 //!   but in which the messages have length `L/B`" → linear speedup `B`.
 //!
 //! Both the direct VCT simulation and the paper's `L/B` wormhole emulation

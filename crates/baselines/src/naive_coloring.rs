@@ -2,7 +2,7 @@
 //!
 //! "Construct a graph with a node for each worm and an edge between any two
 //! worms whose paths share an edge. The degree of this graph is at most
-//! `D(C−1)`, [so] the graph can be colored with `D(C−1)+1` colors... route
+//! `D(C−1)`, \[so\] the graph can be colored with `D(C−1)+1` colors... route
 //! all worms with color 1, then color 2, and so on. For any color, no two
 //! worms of that color have paths that intersect... any color can be routed
 //! in `L+D−1` flit steps. This gives `O((L+D)(CD))` flit steps."

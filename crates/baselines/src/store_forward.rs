@@ -1,7 +1,7 @@
 //! Store-and-forward baselines: greedy online routing and the
 //! Leighton–Maggs–Rao-style random-delay schedule.
 //!
-//! LMR [27] proved `O(C+D)` message-step schedules exist for any instance;
+//! LMR \[27\] proved `O(C+D)` message-step schedules exist for any instance;
 //! their simple online algorithm gives `O(C + D·log n)` w.h.p. by delaying
 //! each message a uniformly random amount and then sending it at full speed.
 //! We use these as the store-and-forward side of experiment E4 (where they

@@ -1,5 +1,14 @@
 //! Shared workload builders for the criterion benches.
+//!
+//! The benches themselves live under `benches/` (one file per
+//! subsystem: butterfly relations, lower bounds, refinement, models,
+//! the wormhole simulator per engine, experiments, and workload
+//! generation); this library crate only hosts the instance constructors
+//! they share. CI builds every bench (`cargo bench --no-run`) so they
+//! cannot rot; `experiments bench-json` records the committed
+//! wall-clock baseline in `BENCH_sim.json`.
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use wormhole_core::butterfly::relation::QRelation;
 use wormhole_topology::butterfly::Butterfly;

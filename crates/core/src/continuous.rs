@@ -1,5 +1,5 @@
 //! Open-loop (continuous-injection) workloads — the setting of Dally's
-//! virtual-channel throughput studies ([16], paper §1.3.4) and of the
+//! virtual-channel throughput studies (\[16\], paper §1.3.4) and of the
 //! Scheideler–Vöcking continuous-routing result quoted in §1.3.1 (the same
 //! `D^{1/B}` factor shows up in sustainable injection rates).
 //!

@@ -57,6 +57,55 @@ pub enum Engine {
     Legacy,
 }
 
+/// How a message's route is chosen.
+///
+/// Oblivious runs fix every path at injection ([`crate::wormhole::run`]
+/// takes fully routed [`crate::message::MessageSpec`]s). The adaptive
+/// policies instead extend each worm's path **one hop at a time** at the
+/// header ([`crate::wormhole::run_adaptive`], which needs an
+/// [`wormhole_topology::adaptive::AdaptiveRouter`] substrate): each step
+/// the header picks, among its candidate adaptive-lane output channels,
+/// the one with a free VC and the lowest start-of-step occupancy (ties
+/// by edge id). When **every** adaptive candidate is full, the worm
+/// falls back to the Dally–Seitz escape pair — it contends for the first
+/// hop of the escape route from its current node, and on winning it
+/// commits to that entire route and never returns to the adaptive lane.
+/// That fallback is what keeps adaptive routing deadlock-free by
+/// construction (the escape subnetwork's channel-dependency graph is
+/// acyclic; see `wormhole_topology::adaptive`).
+///
+/// Selection is a pure function of start-of-step state, so the two
+/// [`Engine`]s remain bit-identical under every policy; the differential
+/// proptest suite covers all three.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteSelection {
+    /// Follow the precomputed [`crate::message::MessageSpec::path`]
+    /// verbatim. The only policy [`crate::wormhole::run`] accepts.
+    Oblivious,
+    /// Per-hop adaptive over **minimal** (distance-reducing) candidates
+    /// only; escape fallback when all are full. Route length equals the
+    /// minimal distance.
+    MinimalAdaptive,
+    /// Like [`RouteSelection::MinimalAdaptive`], but when no profitable
+    /// candidate has a free VC the worm may also *misroute* (take a
+    /// non-minimal adaptive hop, never an immediate u-turn) while its
+    /// per-message budget [`SimConfig::misroute_quota`] lasts. With the
+    /// budget spent it degrades to minimal-adaptive, so delivery stays
+    /// guaranteed (no livelock).
+    FullyAdaptive,
+}
+
+impl RouteSelection {
+    /// Short lowercase name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteSelection::Oblivious => "oblivious",
+            RouteSelection::MinimalAdaptive => "minimal",
+            RouteSelection::FullyAdaptive => "fully",
+        }
+    }
+}
+
 /// What happens to a worm whose header cannot advance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BlockedPolicy {
@@ -69,21 +118,63 @@ pub enum BlockedPolicy {
 }
 
 /// Full simulator configuration.
+///
+/// # Which knob combinations are differential-tested
+///
+/// The two [`Engine`]s are required to be bit-identical on every
+/// full-bandwidth configuration. `tests/proptest_engine_diff.rs`
+/// sweeps, on random chain / butterfly / torus workloads:
+///
+/// * all four [`Arbitration`] policies (including the stateless
+///   `(seed, step, edge)`-keyed [`Arbitration::Random`] stream),
+/// * `B ∈ {1, 2, 4}`, staggered releases, priorities, tight
+///   [`SimConfig::max_steps`] caps (partial state at an abort must
+///   match), [`BlockedPolicy::Discard`], deadlocking naive-torus arms
+///   (reports compared field for field), and
+/// * all three [`RouteSelection`] policies on `AdaptiveEscape` tori —
+///   adaptive runs are where the equality is subtlest, because route
+///   choice reads VC occupancy; see [`crate::wormhole`] for why the
+///   shared start-of-step convention keeps it exact.
+///
+/// [`BandwidthModel::OneFlitPerStep`] has a single stepper (the
+/// `engine` knob is ignored) and rejects adaptive selection.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Virtual channels per physical channel (`B ≥ 1`).
+    /// Virtual channels per **routing edge** (`B ≥ 1`). On a
+    /// multi-class graph (dateline or adaptive-escape disciplines, where
+    /// each physical channel is several parallel edges) this is the VC
+    /// count *per class*: a 2-class channel with `b` VCs per class
+    /// models a `2b`-VC Dally–Seitz router.
     pub vcs: u32,
     /// Bandwidth model (see [`BandwidthModel`]).
     pub bandwidth: BandwidthModel,
-    /// Header arbitration policy.
+    /// Header arbitration policy: which contender wins the free VCs of
+    /// an edge when too many headers want it in the same step.
+    /// [`Arbitration::Random`] draws from a **stateless RNG keyed by
+    /// `(seed, step, edge)`** — not a sequential global stream — so the
+    /// draw is independent of how many arbitration events preceded it;
+    /// this is what lets the event-driven engine skip blocked steps and
+    /// still reproduce the legacy stepper bit for bit.
     pub arbitration: Arbitration,
     /// Final-edge VC policy.
     pub final_edge: FinalEdgePolicy,
     /// Blocked-worm policy.
     pub blocked: BlockedPolicy,
-    /// Full-bandwidth stepper (see [`Engine`]). Ignored by the restricted
-    /// bandwidth model, which has a single per-flit stepper.
+    /// Full-bandwidth stepper (see [`Engine`]): the event-driven core
+    /// (default) or the legacy per-step rescanner kept as its
+    /// differential oracle. Both produce bit-identical
+    /// [`crate::stats::SimResult`]s; only their cost differs. Ignored by
+    /// the restricted bandwidth model, which has a single per-flit
+    /// stepper.
     pub engine: Engine,
+    /// Route selection policy (see [`RouteSelection`]). Adaptive values
+    /// require [`crate::wormhole::run_adaptive`]; [`crate::wormhole::run`]
+    /// rejects them because it has no router to enumerate candidates.
+    pub route_selection: RouteSelection,
+    /// Per-message misroute budget for [`RouteSelection::FullyAdaptive`]
+    /// (non-minimal adaptive hops a worm may take before degrading to
+    /// minimal-adaptive). Ignored by the other policies.
+    pub misroute_quota: u32,
     /// Hard step cap: the run aborts with [`crate::stats::Outcome::MaxSteps`]
     /// if any message is still unfinished after this many flit steps.
     pub max_steps: u64,
@@ -106,6 +197,8 @@ impl SimConfig {
             final_edge: FinalEdgePolicy::RequiresVc,
             blocked: BlockedPolicy::Stall,
             engine: Engine::EventDriven,
+            route_selection: RouteSelection::Oblivious,
+            misroute_quota: 4,
             max_steps: 100_000_000,
             seed: 0,
             check_invariants: false,
@@ -142,6 +235,18 @@ impl SimConfig {
         self
     }
 
+    /// Sets the route-selection policy.
+    pub fn route_selection(mut self, r: RouteSelection) -> Self {
+        self.route_selection = r;
+        self
+    }
+
+    /// Sets the fully-adaptive misroute budget.
+    pub fn misroute_quota(mut self, q: u32) -> Self {
+        self.misroute_quota = q;
+        self
+    }
+
     /// Sets the step cap.
     pub fn max_steps(mut self, s: u64) -> Self {
         self.max_steps = s;
@@ -173,6 +278,8 @@ mod tests {
             .final_edge(FinalEdgePolicy::Unlimited)
             .blocked(BlockedPolicy::Discard)
             .engine(Engine::Legacy)
+            .route_selection(RouteSelection::FullyAdaptive)
+            .misroute_quota(9)
             .max_steps(10)
             .seed(7)
             .check_invariants(true);
@@ -182,6 +289,8 @@ mod tests {
         assert_eq!(c.final_edge, FinalEdgePolicy::Unlimited);
         assert_eq!(c.blocked, BlockedPolicy::Discard);
         assert_eq!(c.engine, Engine::Legacy);
+        assert_eq!(c.route_selection, RouteSelection::FullyAdaptive);
+        assert_eq!(c.misroute_quota, 9);
         assert_eq!(c.max_steps, 10);
         assert_eq!(c.seed, 7);
         assert!(c.check_invariants);

@@ -259,6 +259,8 @@ pub fn run(graph: &Graph, specs: &[MessageSpec], config: &VctConfig) -> SimResul
         max_vcs_in_use: max_occ,
         total_stalls,
         flit_hops,
+        escape_fallbacks: 0,
+        misroute_hops: 0,
         deadlock: None,
         open_loop: None,
     }

@@ -128,8 +128,13 @@ pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
         // Contention-free fast-forward. Only sound while nothing is
         // parked: parked worms observe releases, and a free-running worm
         // could otherwise collide with a parked worm's held edges.
+        // Adaptive runs keep the all-draining jump (arrived worms make
+        // no further route decisions, and drains only decrement holder
+        // counts) but drop the disjoint-paths one: a pending worm's next
+        // hop reads *other* worms' occupancies, so path disjointness no
+        // longer implies non-interaction.
         if st.n_parked == 0
-            && (all_draining(sim, &st) || independent(sim, &mut st))
+            && (all_draining(sim, &st) || (sim.adaptive.is_none() && independent(sim, &mut st)))
             && ff_batch(sim, &mut st, &mut t)
         {
             continue;
@@ -155,21 +160,12 @@ fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
     sim.released.clear();
     // Classify. Parked worms are exactly the contenders of full edges, so
     // leaving them out changes no arbitration outcome (a full edge blocks
-    // every contender regardless).
+    // every contender regardless). Pending adaptive worms select their
+    // wanted hop inside classify — they are never parked, so they
+    // re-select here every step exactly like the legacy stepper.
     for i in 0..st.runnable.len() {
         let m = st.runnable[i];
-        let w = &sim.worms[m as usize];
-        if w.advance >= w.hops {
-            sim.movers.push(m); // draining into the delivery buffer
-        } else {
-            let next = w.advance + 1;
-            if sim.needs_vc(w, next) {
-                let e = sim.path_edge(m, next);
-                sim.buckets.push(e, m);
-            } else {
-                sim.movers.push(m);
-            }
-        }
+        sim.classify(m);
     }
     // Arbitrate on start-of-step holder counts.
     let groups = sim.buckets.group();
@@ -198,13 +194,19 @@ fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
     // Losers stall, then discard or park. Parking checks the *end-of-step*
     // holder count: if this step's releases already freed a VC on the
     // wanted edge, the worm stays runnable and re-contends at `t+1`,
-    // exactly as the legacy stepper would.
+    // exactly as the legacy stepper would. *Pending* adaptive worms
+    // never park: their wanted edge is a fresh occupancy-dependent
+    // selection each step, so no single edge's release is the unique
+    // wake condition — they stay runnable and re-classify like the
+    // legacy stepper. A frozen-route adaptive worm (arrived or committed
+    // to its escape tail) wants the same fixed edge every step, exactly
+    // like an oblivious worm, so it parks normally.
     for i in 0..sim.blocked.len() {
         let m = sim.blocked[i];
         sim.outcomes[m as usize].stalls += 1;
         if sim.config.blocked == BlockedPolicy::Discard {
             sim.discard(m, t);
-        } else {
+        } else if !sim.worms[m as usize].pending_route {
             let e = sim.path_edge(m, sim.worms[m as usize].advance + 1);
             if sim.holders[e] as u32 >= sim.config.vcs {
                 park(sim, st, m, e, t);
@@ -300,7 +302,9 @@ fn ff_stop(sim: &Sim) -> u64 {
 fn all_draining(sim: &Sim, st: &EventState) -> bool {
     st.runnable.iter().all(|&m| {
         let w = &sim.worms[m as usize];
-        w.advance >= w.hops
+        // A pending adaptive worm at `advance == hops` is awaiting its
+        // next hop, not draining.
+        !w.pending_route && w.advance >= w.hops
     })
 }
 

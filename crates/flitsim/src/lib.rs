@@ -25,6 +25,12 @@
 //! stepper kept as its differential oracle — see the [`wormhole`]
 //! module docs for the equivalence invariants.
 //!
+//! Routes are fixed at injection under
+//! [`config::RouteSelection::Oblivious`]; the adaptive policies
+//! ([`wormhole::run_adaptive`]) instead extend each worm's path one hop
+//! at a time by local VC occupancy, with the Dally–Seitz dateline pair
+//! as deadlock-free escape channels.
+//!
 //! # Example
 //!
 //! ```
@@ -52,8 +58,10 @@ pub mod stats;
 pub mod store_forward;
 pub mod wormhole;
 
-pub use config::{Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, SimConfig};
+pub use config::{
+    Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, RouteSelection, SimConfig,
+};
 pub use events::{DeadlockReport, TraceEvent, WaitFor};
 pub use message::{specs_from_paths, MessageSpec};
-pub use open_loop::{run_open_loop, OpenLoopConfig};
+pub use open_loop::{run_open_loop, run_open_loop_adaptive, OpenLoopConfig};
 pub use stats::{LatencyStats, MessageOutcome, OpenLoopStats, Outcome, SimResult};

@@ -10,8 +10,9 @@
 //!
 //! 1. runs the wormhole simulator with a hard step cap of
 //!    `warmup + measure + drain` (a saturated network never drains, so
-//!    an open-loop run must be allowed to end with [`Outcome::MaxSteps`]
-//!    without that being an error);
+//!    an open-loop run must be allowed to end with
+//!    [`Outcome::MaxSteps`](crate::stats::Outcome::MaxSteps) without that
+//!    being an error);
 //! 2. discards the warmup transient, and summarizes latency percentiles
 //!    over messages *released* inside the measurement window;
 //! 3. reports accepted throughput — flits of messages *finished* inside
@@ -98,6 +99,24 @@ pub fn run_open_loop(
     let mut capped = config.clone();
     capped.max_steps = capped.max_steps.min(ol.step_cap());
     let mut result = wormhole::run(graph, specs, &capped);
+    result.open_loop = Some(windowed_stats(specs, &result, ol));
+    result
+}
+
+/// [`run_open_loop`] with per-hop adaptive route selection over
+/// `router`'s substrate (see
+/// [`crate::config::RouteSelection`] and [`wormhole::run_adaptive`]):
+/// the specs supply endpoints and timing, the routes are chosen hop by
+/// hop under load. The windowing/saturation bookkeeping is identical.
+pub fn run_open_loop_adaptive(
+    router: &dyn wormhole_topology::adaptive::AdaptiveRouter,
+    specs: &[MessageSpec],
+    config: &SimConfig,
+    ol: &OpenLoopConfig,
+) -> SimResult {
+    let mut capped = config.clone();
+    capped.max_steps = capped.max_steps.min(ol.step_cap());
+    let mut result = wormhole::run_adaptive(router, specs, &capped);
     result.open_loop = Some(windowed_stats(specs, &result, ol));
     result
 }

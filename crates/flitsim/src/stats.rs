@@ -123,6 +123,15 @@ pub struct SimResult {
     pub total_stalls: u64,
     /// Total flit-edge crossings performed (a work measure).
     pub flit_hops: u64,
+    /// Adaptive runs: number of worms that fell back onto the
+    /// Dally–Seitz escape network (all adaptive candidates full at
+    /// selection time). Always 0 under
+    /// [`crate::config::RouteSelection::Oblivious`].
+    pub escape_fallbacks: u64,
+    /// Adaptive runs: total non-minimal (misroute) hops taken, summed
+    /// over messages. Nonzero only under
+    /// [`crate::config::RouteSelection::FullyAdaptive`].
+    pub misroute_hops: u64,
     /// On [`Outcome::Deadlock`]: the wait-for post-mortem (who waits on
     /// which edge held by whom, plus a concrete cycle).
     pub deadlock: Option<DeadlockReport>,
@@ -144,6 +153,8 @@ impl SimResult {
             && self.max_vcs_in_use == other.max_vcs_in_use
             && self.total_stalls == other.total_stalls
             && self.flit_hops == other.flit_hops
+            && self.escape_fallbacks == other.escape_fallbacks
+            && self.misroute_hops == other.misroute_hops
             && self.deadlock == other.deadlock
     }
 
@@ -211,6 +222,8 @@ mod tests {
             max_vcs_in_use: 2,
             total_stalls: 2,
             flit_hops: 99,
+            escape_fallbacks: 0,
+            misroute_hops: 0,
             deadlock: None,
             open_loop: None,
         };

@@ -77,14 +77,50 @@
 //! [`run_traced`] always uses the legacy stepper: its per-step `Blocked`
 //! events are inherently step-enumerated, which is exactly what the event
 //! engine avoids materializing.
+//!
+//! # Adaptive route selection
+//!
+//! Under [`crate::config::RouteSelection::MinimalAdaptive`] /
+//! [`crate::config::RouteSelection::FullyAdaptive`] (entry point
+//! [`run_adaptive`], which takes an
+//! [`wormhole_topology::adaptive::AdaptiveRouter`] substrate) the "route
+//! is fixed at injection" assumption is dropped: a worm's path is built
+//! **one hop at a time** as its header advances. Per step, a worm whose
+//! known path is exhausted (`pending_route`) *selects* a wanted edge —
+//! a pure function of start-of-step state:
+//!
+//! 1. among the profitable adaptive-lane candidates with a free VC,
+//!    take the one with the lowest start-of-step holder count (ties by
+//!    edge id);
+//! 2. otherwise, under `FullyAdaptive` with misroute budget left, the
+//!    same rule over the non-minimal candidates (u-turns excluded);
+//! 3. otherwise fall back to the **escape network**: the worm contends
+//!    for the first hop of the Dally–Seitz dateline route from its
+//!    current node, and on winning it commits to that whole route and
+//!    never returns to the adaptive lane (deadlock freedom by
+//!    construction — see `wormhole_topology::adaptive`).
+//!
+//! The selected edge then enters the ordinary per-edge arbitration;
+//! winners extend their route and advance, losers stall and re-select
+//! next step (occupancies have changed). Because selection reads only
+//! start-of-step holder counts — the same convention arbitration already
+//! uses — the two engines stay bit-identical; the event engine merely
+//! runs *pending* worms park-free (a blocked pending worm's candidate
+//! set must be re-evaluated every step, so there is no single edge whose
+//! release is the unique wake condition; a frozen-route worm wants one
+//! fixed edge and parks like any oblivious worm) and restricts
+//! fast-forwarding to the still-exact all-draining and idle-network
+//! jumps (route choice observes other worms' occupancies, so the
+//! edge-disjointness argument no longer applies).
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use wormhole_topology::graph::Graph;
+use wormhole_topology::adaptive::AdaptiveRouter;
+use wormhole_topology::graph::{EdgeId, Graph, NodeId};
 
 use crate::config::{
-    Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, SimConfig,
+    Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, RouteSelection, SimConfig,
 };
 use crate::events::{DeadlockReport, TraceEvent, WaitFor};
 use crate::message::MessageSpec;
@@ -98,14 +134,25 @@ const FLIT_DELIVERED: u32 = u32::MAX;
 pub(crate) struct Worm {
     /// Edges crossed by the (virtual) header pipeline; see module docs.
     pub(crate) advance: u32,
+    /// Known path length. Fixed for oblivious worms; for adaptive worms
+    /// it grows with each route extension (and equals `advance` while
+    /// `pending_route`), freezing when the header reaches the
+    /// destination or the escape tail is appended.
     pub(crate) hops: u32,
     pub(crate) length: u32,
+    /// `true` while the route may still grow (adaptive worm whose header
+    /// has not committed to a complete path). Always `false` under
+    /// [`RouteSelection::Oblivious`].
+    pub(crate) pending_route: bool,
 }
 
 impl Worm {
     #[inline]
     pub(crate) fn done(&self) -> bool {
-        self.advance == self.hops + self.length - 1
+        // A pending worm is never done: `advance == hops` merely means
+        // its header sits at the end of the known path awaiting the next
+        // hop (for L = 1 that coincides with `hops + length − 1`).
+        !self.pending_route && self.advance == self.hops + self.length - 1
     }
 
     /// 1-based range of path edges on which this worm currently holds a VC.
@@ -129,16 +176,64 @@ impl Worm {
     }
 }
 
-/// Runs the wormhole simulation of `specs` over `graph` under `config`.
+/// Runs the wormhole simulation of `specs` over `graph` under `config`,
+/// following each spec's precomputed path verbatim.
 ///
-/// Panics if any spec has an empty path or an invalid edge id.
+/// Panics if any spec has an empty path or an invalid edge id, or if
+/// `config` asks for adaptive route selection (which needs a router to
+/// enumerate per-hop candidates — use [`run_adaptive`]).
 pub fn run(graph: &Graph, specs: &[MessageSpec], config: &SimConfig) -> SimResult {
-    Sim::new(graph, specs, config, false).run_inner().0
+    assert_eq!(
+        config.route_selection,
+        RouteSelection::Oblivious,
+        "adaptive route selection needs run_adaptive (per-hop candidates come from a router)"
+    );
+    Sim::new(graph, None, specs, config, false).run_inner().0
 }
 
 /// Runs and asserts the routing completed (no deadlock / step-cap abort).
 pub fn run_to_completion(graph: &Graph, specs: &[MessageSpec], config: &SimConfig) -> SimResult {
     let r = run(graph, specs, config);
+    assert_eq!(r.outcome, Outcome::Completed, "simulation did not complete");
+    r
+}
+
+/// Runs the wormhole simulation with per-hop route selection over
+/// `router`'s substrate (see [`RouteSelection`] and the module docs).
+///
+/// Each spec's [`MessageSpec::path`] supplies only the endpoints (and
+/// the oblivious baseline the workload generators produce anyway);
+/// under an adaptive policy the actual route is built hop by hop at the
+/// header. With [`RouteSelection::Oblivious`] this is exactly [`run`].
+///
+/// Panics on empty paths, on a path not belonging to `router`'s graph,
+/// or under the restricted bandwidth model (the per-flit stepper does
+/// not support route extension).
+pub fn run_adaptive(
+    router: &dyn AdaptiveRouter,
+    specs: &[MessageSpec],
+    config: &SimConfig,
+) -> SimResult {
+    if config.route_selection == RouteSelection::Oblivious {
+        return run(router.graph(), specs, config);
+    }
+    assert_eq!(
+        config.bandwidth,
+        BandwidthModel::BFlitsPerStep,
+        "adaptive route selection requires the full-bandwidth model"
+    );
+    Sim::new(router.graph(), Some(router), specs, config, false)
+        .run_inner()
+        .0
+}
+
+/// [`run_adaptive`], asserting the routing completed.
+pub fn run_adaptive_to_completion(
+    router: &dyn AdaptiveRouter,
+    specs: &[MessageSpec],
+    config: &SimConfig,
+) -> SimResult {
+    let r = run_adaptive(router, specs, config);
     assert_eq!(r.outcome, Outcome::Completed, "simulation did not complete");
     r
 }
@@ -154,7 +249,12 @@ pub fn run_traced(
     specs: &[MessageSpec],
     config: &SimConfig,
 ) -> (SimResult, Vec<TraceEvent>) {
-    Sim::new(graph, specs, config, true).run_inner()
+    assert_eq!(
+        config.route_selection,
+        RouteSelection::Oblivious,
+        "adaptive route selection needs run_adaptive (tracing is oblivious-only)"
+    );
+    Sim::new(graph, None, specs, config, true).run_inner()
 }
 
 /// Seeds the stateless per-arbitration RNG for `(seed, t, e)`.
@@ -290,6 +390,59 @@ impl FlatBuckets {
     }
 }
 
+/// The wanted-hop decision of a pending adaptive worm, refreshed every
+/// step it classifies (occupancies change, so yesterday's choice is
+/// stale). Read back by the apply phase (route extension) and by the
+/// deadlock report / blocked tracing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SelectedHop {
+    /// Not yet classified this run (fresh worm before its first step).
+    None,
+    /// Extend by one adaptive-lane hop. `misroute` spends one unit of
+    /// the worm's [`SimConfig::misroute_quota`] when crossed.
+    Adaptive { edge: u32, misroute: bool },
+    /// Fall back to the escape network: contend for `edge` (the first
+    /// escape hop from the current node) and, on winning, append the
+    /// whole escape route and freeze the path.
+    Escape { edge: u32 },
+}
+
+impl SelectedHop {
+    /// The wanted edge id, if a selection was made.
+    #[inline]
+    fn edge(self) -> Option<u32> {
+        match self {
+            SelectedHop::None => None,
+            SelectedHop::Adaptive { edge, .. } | SelectedHop::Escape { edge } => Some(edge),
+        }
+    }
+}
+
+/// Per-run adaptive routing state (present iff the config asks for a
+/// non-oblivious [`RouteSelection`]).
+pub(crate) struct AdaptiveState<'a> {
+    /// Candidate enumeration and escape continuations.
+    router: &'a dyn AdaptiveRouter,
+    /// Incrementally built route per message: the adaptive prefix plus,
+    /// after a fallback, the escape tail. Replaces `spec.path` as the
+    /// source of truth for [`Sim::path_edge`].
+    routes: Vec<Vec<EdgeId>>,
+    /// Injection node per message (head position at `advance == 0`).
+    src: Vec<NodeId>,
+    /// Destination node per message.
+    dst: Vec<NodeId>,
+    /// Remaining misroute budget per message (`FullyAdaptive`).
+    budget: Vec<u32>,
+    /// Wanted-hop selection per message (see [`SelectedHop`]).
+    selected: Vec<SelectedHop>,
+    /// Candidate scratch for [`AdaptiveRouter::candidates`].
+    cand: Vec<(EdgeId, bool)>,
+    /// Worms that fell back onto the escape network.
+    escape_fallbacks: u64,
+    /// Non-minimal hops crossed.
+    misroute_hops: u64,
+}
+
 pub(crate) struct Sim<'a> {
     pub(crate) specs: &'a [MessageSpec],
     pub(crate) config: &'a SimConfig,
@@ -333,24 +486,54 @@ pub(crate) struct Sim<'a> {
     /// `L` positions every step.
     rfirst: Vec<u32>,
     pub(crate) num_edges: usize,
+    /// Adaptive routing state; `Some` iff `config.route_selection` is
+    /// non-oblivious.
+    pub(crate) adaptive: Option<AdaptiveState<'a>>,
     tracing: bool,
     trace: Vec<TraceEvent>,
 }
 
 impl<'a> Sim<'a> {
-    fn new(graph: &Graph, specs: &'a [MessageSpec], config: &'a SimConfig, tracing: bool) -> Self {
+    fn new(
+        graph: &Graph,
+        router: Option<&'a dyn AdaptiveRouter>,
+        specs: &'a [MessageSpec],
+        config: &'a SimConfig,
+        tracing: bool,
+    ) -> Self {
         for (i, s) in specs.iter().enumerate() {
             assert!(!s.path.is_empty(), "message {i} has an empty path");
             for &e in s.path.edges() {
                 assert!(e.idx() < graph.num_edges(), "message {i}: bad edge id");
             }
         }
+        let adaptive_mode = config.route_selection != RouteSelection::Oblivious;
+        let adaptive = if adaptive_mode {
+            let router = router.expect("adaptive route selection needs a router");
+            Some(AdaptiveState {
+                router,
+                routes: specs
+                    .iter()
+                    .map(|s| Vec::with_capacity(s.hops() as usize))
+                    .collect(),
+                src: specs.iter().map(|s| s.path.src(graph)).collect(),
+                dst: specs.iter().map(|s| s.path.dst(graph)).collect(),
+                budget: vec![config.misroute_quota; specs.len()],
+                selected: vec![SelectedHop::None; specs.len()],
+                cand: Vec::new(),
+                escape_fallbacks: 0,
+                misroute_hops: 0,
+            })
+        } else {
+            None
+        };
         let worms = specs
             .iter()
             .map(|s| Worm {
                 advance: 0,
-                hops: s.hops(),
+                hops: if adaptive_mode { 0 } else { s.hops() },
                 length: s.length,
+                pending_route: adaptive_mode,
             })
             .collect();
         let mut release_order: Vec<u32> = (0..specs.len() as u32).collect();
@@ -389,19 +572,177 @@ impl<'a> Sim<'a> {
             rdelivered: vec![0; specs.len()],
             rfirst: vec![0; if restricted { specs.len() } else { 0 }],
             num_edges: graph.num_edges(),
+            adaptive,
             tracing,
             trace: Vec::new(),
         }
     }
 
+    /// Whether crossing 1-based path edge `edge_1based` requires holding
+    /// a VC. An edge strictly before the end of the path always does; so
+    /// does the newest edge of a still-growing route (`pending_route` —
+    /// nothing marks it final yet, and `hops` only grows, so the answer
+    /// is stable from acquisition to release); the true final edge
+    /// follows [`FinalEdgePolicy`].
     #[inline]
     pub(crate) fn needs_vc(&self, worm: &Worm, edge_1based: u32) -> bool {
-        edge_1based < worm.hops || self.config.final_edge == FinalEdgePolicy::RequiresVc
+        edge_1based < worm.hops
+            || worm.pending_route
+            || self.config.final_edge == FinalEdgePolicy::RequiresVc
     }
 
     #[inline]
     pub(crate) fn path_edge(&self, msg: u32, edge_1based: u32) -> usize {
-        self.specs[msg as usize].path.edges()[edge_1based as usize - 1].idx()
+        match &self.adaptive {
+            Some(ad) => ad.routes[msg as usize][edge_1based as usize - 1].idx(),
+            None => self.specs[msg as usize].path.edges()[edge_1based as usize - 1].idx(),
+        }
+    }
+
+    /// Selects the wanted hop for pending worm `m` from start-of-step
+    /// state and records it in the adaptive scratch. Pure in the sense
+    /// that two engines evaluating it at the same step with the same
+    /// holder counts make the same choice:
+    ///
+    /// 1. profitable adaptive candidate with a free VC, minimizing
+    ///    `(holder count, edge id)`;
+    /// 2. else (fully adaptive, budget left) the same rule over the
+    ///    misroute candidates, u-turns excluded;
+    /// 3. else the first hop of the escape route from the current node.
+    fn select_pending(&mut self, m: u32) -> SelectedHop {
+        let mi = m as usize;
+        let a = self.worms[mi].advance as usize;
+        let fully = self.config.route_selection == RouteSelection::FullyAdaptive;
+        let vcs = self.config.vcs;
+        let Sim {
+            adaptive, holders, ..
+        } = self;
+        let ad = adaptive.as_mut().expect("pending worm without a router");
+        let router = ad.router;
+        let g = router.graph();
+        let (head, prev) = if a == 0 {
+            (ad.src[mi], None)
+        } else {
+            let e = ad.routes[mi][a - 1];
+            (g.dst(e), Some(g.src(e)))
+        };
+        let dst = ad.dst[mi];
+        debug_assert_ne!(head, dst, "pending worm already at its destination");
+        let misroutes_ok = fully && ad.budget[mi] > 0;
+        ad.cand.clear();
+        router.candidates(head, dst, misroutes_ok, &mut ad.cand);
+        // Tie-break key: (start-of-step holder count, edge id). Both are
+        // engine-independent, which is what keeps adaptive runs inside
+        // the differential-oracle relation.
+        let best = |want_profitable: bool, skip: Option<NodeId>| {
+            ad.cand
+                .iter()
+                .filter(|&&(e, p)| p == want_profitable && (holders[e.idx()] as u32) < vcs)
+                .filter(|&&(e, _)| skip != Some(g.dst(e)))
+                .map(|&(e, _)| (holders[e.idx()], e.0))
+                .min()
+        };
+        let sel = if let Some((_, edge)) = best(true, None) {
+            SelectedHop::Adaptive {
+                edge,
+                misroute: false,
+            }
+        } else if let Some((_, edge)) = misroutes_ok.then(|| best(false, prev)).flatten() {
+            SelectedHop::Adaptive {
+                edge,
+                misroute: true,
+            }
+        } else {
+            SelectedHop::Escape {
+                edge: router.escape_hop(head, dst).0,
+            }
+        };
+        ad.selected[mi] = sel;
+        sel
+    }
+
+    /// Classifies one active worm for this step: draining worms and
+    /// VC-free final hops go to `movers`, everything else contends in
+    /// `buckets` for its wanted edge. Shared by both engines (they only
+    /// differ in which list they iterate).
+    pub(crate) fn classify(&mut self, m: u32) {
+        let w = &self.worms[m as usize];
+        if w.pending_route {
+            // Header at the end of the known path: select the next hop.
+            let edge = self
+                .select_pending(m)
+                .edge()
+                .expect("selection always yields a hop");
+            let ad = self.adaptive.as_ref().unwrap();
+            let lands_final = ad.router.graph().dst(EdgeId(edge)) == ad.dst[m as usize];
+            if lands_final && self.config.final_edge == FinalEdgePolicy::Unlimited {
+                self.movers.push(m); // delivery absorbs without a VC
+            } else {
+                self.buckets.push(edge as usize, m);
+            }
+            return;
+        }
+        if w.advance >= w.hops {
+            self.movers.push(m); // draining into the delivery buffer
+        } else {
+            let next = w.advance + 1;
+            if self.needs_vc(w, next) {
+                let e = self.path_edge(m, next);
+                self.buckets.push(e, m);
+            } else {
+                self.movers.push(m);
+            }
+        }
+    }
+
+    /// The edge a blocked worm wanted this step (for traces and the
+    /// deadlock report): the freshly selected hop for pending worms, the
+    /// next path edge otherwise.
+    pub(crate) fn blocked_edge(&self, m: u32) -> u32 {
+        let w = &self.worms[m as usize];
+        if w.pending_route {
+            self.adaptive.as_ref().unwrap().selected[m as usize]
+                .edge()
+                .expect("blocked pending worm was classified")
+        } else {
+            self.path_edge(m, w.advance + 1) as u32
+        }
+    }
+
+    /// Commits pending worm `m`'s selected hop just before it advances:
+    /// one adaptive edge (spending misroute budget where flagged), or
+    /// the whole escape tail — after which the route is frozen and the
+    /// worm is an ordinary oblivious worm for the rest of its journey.
+    fn extend_route(&mut self, m: u32) {
+        let mi = m as usize;
+        let ad = self.adaptive.as_mut().expect("pending worm without state");
+        debug_assert_eq!(ad.routes[mi].len() as u32, self.worms[mi].advance);
+        match ad.selected[mi] {
+            SelectedHop::Adaptive { edge, misroute } => {
+                let e = EdgeId(edge);
+                ad.routes[mi].push(e);
+                if misroute {
+                    ad.misroute_hops += 1;
+                    ad.budget[mi] -= 1;
+                }
+                let arrived = ad.router.graph().dst(e) == ad.dst[mi];
+                self.worms[mi].hops += 1;
+                if arrived {
+                    self.worms[mi].pending_route = false;
+                }
+            }
+            SelectedHop::Escape { edge } => {
+                let router = ad.router;
+                let head = router.graph().src(EdgeId(edge));
+                let tail = router.escape_route(head, ad.dst[mi]);
+                debug_assert_eq!(tail.edges()[0], EdgeId(edge));
+                ad.routes[mi].extend_from_slice(tail.edges());
+                ad.escape_fallbacks += 1;
+                self.worms[mi].hops += tail.len() as u32;
+                self.worms[mi].pending_route = false;
+            }
+            SelectedHop::None => unreachable!("pending worm advanced without a selection"),
+        }
     }
 
     fn run_inner(mut self) -> (SimResult, Vec<TraceEvent>) {
@@ -419,6 +760,10 @@ impl<'a> Sim<'a> {
             _ => t,
         };
         let total_stalls = self.outcomes.iter().map(|o| o.stalls).sum();
+        let (escape_fallbacks, misroute_hops) = self
+            .adaptive
+            .as_ref()
+            .map_or((0, 0), |a| (a.escape_fallbacks, a.misroute_hops));
         (
             SimResult {
                 outcome,
@@ -427,6 +772,8 @@ impl<'a> Sim<'a> {
                 max_vcs_in_use: self.max_vcs as u32,
                 total_stalls,
                 flit_hops: self.flit_hops,
+                escape_fallbacks,
+                misroute_hops,
                 deadlock: deadlock_report,
                 open_loop: None,
             },
@@ -564,6 +911,17 @@ impl<'a> Sim<'a> {
         for &m in &self.active {
             let mi = m as usize;
             let w = &self.worms[mi];
+            if w.pending_route {
+                // A pending worm waits on the hop it selected during the
+                // (movement-free) step that detected the deadlock.
+                let e = self.blocked_edge(m) as usize;
+                waits.push(WaitFor {
+                    message: m,
+                    edge: e as u32,
+                    holders: hold[start[e] as usize..start[e + 1] as usize].to_vec(),
+                });
+                continue;
+            }
             let wanted = if self.config.bandwidth == BandwidthModel::BFlitsPerStep {
                 w.advance + 1
             } else {
@@ -593,21 +951,11 @@ impl<'a> Sim<'a> {
         self.movers.clear();
         self.blocked.clear();
         self.buckets.clear();
-        // Phase 1: classify worms into drains, contenders, free movers.
+        // Phase 1: classify worms into drains, contenders, free movers
+        // (pending adaptive worms select their wanted hop here).
         for i in 0..self.active.len() {
             let m = self.active[i];
-            let w = &self.worms[m as usize];
-            if w.advance >= w.hops {
-                self.movers.push(m); // draining into the delivery buffer
-            } else {
-                let next = w.advance + 1;
-                if self.needs_vc(w, next) {
-                    let e = self.path_edge(m, next);
-                    self.buckets.push(e, m);
-                } else {
-                    self.movers.push(m);
-                }
-            }
+            self.classify(m);
         }
         // Phase 2: per-edge arbitration using start-of-step holder counts.
         let groups = self.buckets.group();
@@ -637,8 +985,7 @@ impl<'a> Sim<'a> {
             let m = self.blocked[i];
             self.outcomes[m as usize].stalls += 1;
             if self.tracing {
-                let wanted = self.worms[m as usize].advance + 1;
-                let edge = self.path_edge(m, wanted) as u32;
+                let edge = self.blocked_edge(m);
                 self.trace.push(TraceEvent::Blocked { t, msg: m, edge });
             }
             if self.config.blocked == BlockedPolicy::Discard {
@@ -786,6 +1133,12 @@ impl<'a> Sim<'a> {
     }
 
     pub(crate) fn apply_advance(&mut self, m: u32, t: u64) {
+        // A pending worm that won its wanted edge extends its route
+        // first, so the acquisition below sees the updated path/hops
+        // (and the possibly-final edge under its final-edge policy).
+        if self.worms[m as usize].pending_route {
+            self.extend_route(m);
+        }
         let (hops, length, width) = {
             let w = &self.worms[m as usize];
             (w.hops, w.length, w.crossing_width())
@@ -963,18 +1316,46 @@ impl<'a> Sim<'a> {
         for &m in &self.active {
             let w = &self.worms[m as usize];
             let injected = w.advance.min(w.length);
-            let delivered = (w.advance + 1).saturating_sub(w.hops).min(w.length);
+            // A pending worm's header sits in the buffer of its newest
+            // edge (advance == hops) and has delivered nothing — the
+            // oblivious formula would misread that as an arrival.
+            let (delivered, slack) = if w.pending_route {
+                (0, 0)
+            } else {
+                // The held-edge count equals the in-network flit count,
+                // except that once the header has arrived (advance ≥
+                // hops) the destination edge's buffer clears instantly
+                // while its VC is still held — one extra held edge.
+                (
+                    (w.advance + 1).saturating_sub(w.hops).min(w.length),
+                    u32::from(w.advance >= w.hops),
+                )
+            };
             let in_net = (w.held_range().1 + 1).saturating_sub(w.held_range().0);
             let expected = injected - delivered;
-            // The held-edge count equals the in-network flit count, except
-            // that once the header has arrived (advance ≥ hops) the
-            // destination edge's buffer clears instantly while its VC is
-            // still held — exactly one extra held edge.
-            let slack = u32::from(w.advance >= w.hops);
             assert!(
                 in_net == expected + slack,
                 "flit conservation violated for message {m}: in_net={in_net} injected={injected} delivered={delivered}"
             );
+        }
+        // Adaptive bookkeeping: routes and worm state agree.
+        if let Some(ad) = &self.adaptive {
+            for &m in &self.active {
+                let mi = m as usize;
+                let w = &self.worms[mi];
+                assert_eq!(
+                    ad.routes[mi].len() as u32,
+                    w.hops,
+                    "route length out of sync for message {m}"
+                );
+                if w.pending_route {
+                    assert_eq!(w.advance, w.hops, "pending worm ahead of its route");
+                } else {
+                    let g = ad.router.graph();
+                    let last = *ad.routes[mi].last().expect("fixed route is nonempty");
+                    assert_eq!(g.dst(last), ad.dst[mi], "frozen route misses dst");
+                }
+            }
         }
     }
 
@@ -1550,6 +1931,173 @@ mod tests {
             assert_eq!(b.edge(2), 7);
             assert_eq!(b.group_mut(2), &[40]);
         }
+    }
+
+    // ---- adaptive route selection ------------------------------------
+
+    use wormhole_topology::mesh::{Mesh, RoutingDiscipline};
+
+    fn adaptive_torus(radix: u32, dims: u32) -> Mesh {
+        Mesh::new_disciplined(radix, dims, true, RoutingDiscipline::AdaptiveEscape)
+    }
+
+    /// Specs whose paths are the oblivious dateline routes (adaptive runs
+    /// only read the endpoints from them).
+    fn adaptive_specs(m: &Mesh, pairs: &[(u32, u32)], l: u32) -> Vec<MessageSpec> {
+        pairs
+            .iter()
+            .map(|&(s, d)| MessageSpec::new(m.route(NodeId(s), NodeId(d)), l))
+            .collect()
+    }
+
+    #[test]
+    fn lone_adaptive_worm_is_minimal_and_unslowed() {
+        // An uncontended minimal-adaptive worm still takes d + L − 1
+        // steps: per-hop selection never lengthens a minimal route.
+        let t = adaptive_torus(8, 1);
+        let specs = adaptive_specs(&t, &[(0, 3)], 4);
+        for sel in [
+            RouteSelection::MinimalAdaptive,
+            RouteSelection::FullyAdaptive,
+        ] {
+            let cfg = cfg(2).route_selection(sel);
+            let r = run_adaptive_to_completion(&t, &specs, &cfg);
+            assert_eq!(r.total_steps, (3 + 4 - 1) as u64, "{sel:?}");
+            assert_eq!(r.total_stalls, 0);
+            assert_eq!(r.escape_fallbacks, 0);
+            assert_eq!(r.misroute_hops, 0);
+            assert_eq!(r.flit_hops, 3 * 4);
+        }
+    }
+
+    #[test]
+    fn adaptive_oblivious_config_falls_back_to_fixed_paths() {
+        // RouteSelection::Oblivious through run_adaptive is exactly run().
+        let t = adaptive_torus(4, 2);
+        let specs = adaptive_specs(&t, &[(0, 5), (3, 9), (12, 2)], 3);
+        let a = run_adaptive(&t, &specs, &cfg(2));
+        let b = run(t.graph(), &specs, &cfg(2));
+        assert!(a.same_execution(&b));
+    }
+
+    #[test]
+    fn minimal_adaptive_spreads_over_dimensions_under_contention() {
+        // Two worms from the same source to the same far corner of a 2D
+        // torus with B = 1 on the adaptive lane: oblivious dimension-order
+        // serializes them on the first hop, minimal-adaptive routes the
+        // second worm around the other dimension — both finish without
+        // either falling back or serializing fully.
+        let t = adaptive_torus(4, 2);
+        let pairs = [(0u32, 10u32), (0, 10)]; // (0,0) -> (2,2)
+        let specs = adaptive_specs(&t, &pairs, 6);
+        let adaptive = run_adaptive_to_completion(
+            &t,
+            &specs,
+            &cfg(1).route_selection(RouteSelection::MinimalAdaptive),
+        );
+        let oblivious = run_to_completion(t.graph(), &specs, &cfg(1));
+        assert!(
+            adaptive.total_steps < oblivious.total_steps,
+            "path diversity must beat dimension-order serialization: \
+             adaptive {} vs oblivious {}",
+            adaptive.total_steps,
+            oblivious.total_steps
+        );
+        // Both worms pick the same least-occupied edge in step 0 (their
+        // views are identical), so the loser stalls once and then routes
+        // around the other dimension — contention ends there.
+        assert!(
+            adaptive.total_stalls < oblivious.total_stalls,
+            "adaptive {} vs oblivious {} stalls",
+            adaptive.total_stalls,
+            oblivious.total_stalls
+        );
+    }
+
+    #[test]
+    fn saturated_adaptive_lane_drains_via_escape_channels() {
+        // All four worms circle the same 1D ring direction (distance 2,
+        // ties break toward +) with B = 1: each grabs its first adaptive
+        // hop, then finds its second held by the next worm — the classic
+        // wrap cycle. Every second hop must fall back to the escape pair,
+        // and every worm still completes (the escape network is
+        // deadlock-free by construction).
+        let t = adaptive_torus(4, 1);
+        let pairs: Vec<(u32, u32)> = (0..4).map(|i| (i, (i + 2) % 4)).collect();
+        let specs = adaptive_specs(&t, &pairs, 8);
+        let cfg = cfg(1).route_selection(RouteSelection::MinimalAdaptive);
+        let r = run_adaptive_to_completion(&t, &specs, &cfg);
+        assert!(r.escape_fallbacks > 0, "adaptive lane must saturate: {r:?}");
+        assert_eq!(r.delivered(), 4);
+    }
+
+    #[test]
+    fn misroute_budget_bounds_fully_adaptive_wandering() {
+        let t = adaptive_torus(4, 2);
+        let pairs: Vec<(u32, u32)> = (0..16).map(|i| (i, (i + 5) % 16)).collect();
+        for quota in [0u32, 2, 4] {
+            let specs = adaptive_specs(&t, &pairs, 6);
+            let cfg = cfg(1)
+                .route_selection(RouteSelection::FullyAdaptive)
+                .misroute_quota(quota);
+            let r = run_adaptive_to_completion(&t, &specs, &cfg);
+            assert_eq!(r.delivered(), 16);
+            assert!(
+                r.misroute_hops <= (quota as u64) * 16,
+                "quota {quota}: {} misroutes",
+                r.misroute_hops
+            );
+            if quota == 0 {
+                assert_eq!(r.misroute_hops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_engines_agree_on_contended_tori() {
+        for sel in [
+            RouteSelection::MinimalAdaptive,
+            RouteSelection::FullyAdaptive,
+        ] {
+            for (radix, dims, b, l) in [(4u32, 2u32, 1u32, 6u32), (8, 1, 2, 4), (4, 2, 2, 3)] {
+                let t = adaptive_torus(radix, dims);
+                let n = t.num_nodes();
+                let pairs: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + n / 2) % n)).collect();
+                let specs = adaptive_specs(&t, &pairs, l);
+                let config = cfg(b).route_selection(sel).arbitration(Arbitration::Random);
+                let ev = run_adaptive(&t, &specs, &config.clone().engine(Engine::EventDriven));
+                let lg = run_adaptive(&t, &specs, &config.clone().engine(Engine::Legacy));
+                assert!(
+                    ev.same_execution(&lg),
+                    "{sel:?} {radix}^{dims} B={b} diverged:\n event: {ev:?}\nlegacy: {lg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_routes_respect_the_unlimited_final_edge() {
+        // Many single-hop messages into one sink under Unlimited: the
+        // selected hop lands on the destination, so no VC is needed and
+        // they all finish together — mirroring the oblivious semantics.
+        let t = adaptive_torus(4, 1);
+        let pairs = [(0u32, 1u32), (0, 1), (0, 1), (0, 1), (0, 1)];
+        let specs = adaptive_specs(&t, &pairs, 3);
+        let config = cfg(1)
+            .route_selection(RouteSelection::MinimalAdaptive)
+            .final_edge(FinalEdgePolicy::Unlimited);
+        let r = run_adaptive_to_completion(&t, &specs, &config);
+        assert_eq!(r.total_steps, 1 + 3 - 1);
+        assert_eq!(r.total_stalls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs run_adaptive")]
+    fn oblivious_entry_point_rejects_adaptive_configs() {
+        let t = adaptive_torus(4, 1);
+        let specs = adaptive_specs(&t, &[(0, 2)], 2);
+        let config = cfg(1).route_selection(RouteSelection::MinimalAdaptive);
+        let _ = run(t.graph(), &specs, &config);
     }
 
     #[test]

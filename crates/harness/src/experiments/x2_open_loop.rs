@@ -2,7 +2,7 @@
 //! synthetic traffic suite (`wormhole-workloads`), sweeping the VC count.
 //!
 //! The paper's theorems are batch statements; the standard NoC evidence
-//! for virtual-channel benefit (Dally [16]; Onsori–Safaei; Stergiou) is
+//! for virtual-channel benefit (Dally \[16\]; Onsori–Safaei; Stergiou) is
 //! open-loop: every endpoint injects by a timed process, and the latency
 //! curve's saturation knee moves right as `B` grows. This experiment
 //! sweeps offered load × traffic pattern × `B ∈ {1,2,4,8}` and reports

@@ -1,5 +1,5 @@
 //! X3 (extension) — latency–throughput curves under continuous injection
-//! (Dally [16], §1.3.4 category 2): virtual channels raise the saturation
+//! (Dally \[16\], §1.3.4 category 2): virtual channels raise the saturation
 //! load of a butterfly. The batch theorems' `log^{1/B} n` factor shows up
 //! here as a higher knee in the latency curve.
 

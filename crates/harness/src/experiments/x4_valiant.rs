@@ -1,5 +1,5 @@
-//! X4 (extension) — Valiant's two-phase trick (§1.3.3, [47]) on the
-//! hypercube, and the VC-class requirement it drags in (Aiello et al. [1],
+//! X4 (extension) — Valiant's two-phase trick (§1.3.3, \[47\]) on the
+//! hypercube, and the VC-class requirement it drags in (Aiello et al. \[1\],
 //! §1.3.4: bit-serial hypercube routing "requires the number of virtual
 //! channels to be a small constant larger than one").
 //!

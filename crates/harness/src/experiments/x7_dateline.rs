@@ -1,5 +1,5 @@
 //! X7 (extension) — Dally–Seitz deadlock avoidance (paper §1, citation
-//! [14]): the *original* reason virtual channels exist.
+//! \[14\]): the *original* reason virtual channels exist.
 //!
 //! Two stages:
 //!

@@ -1,0 +1,359 @@
+//! X8 (extension) — adaptive route selection on escape VCs: open-loop
+//! latency-vs-load knees for oblivious vs minimal-adaptive vs
+//! fully-adaptive routing on the three-class `AdaptiveEscape` torus.
+//!
+//! The paper's claim is that virtual channels buy throughput when worms
+//! block on each other; adaptive route *selection* is the classic way to
+//! convert spare VCs into usable path diversity (Dally \[16\]; Duato's
+//! escape-channel framework; the multi-lane MIN studies in PAPERS.md).
+//! Every arm runs on the **same hardware** — the
+//! `RoutingDiscipline::AdaptiveEscape` torus, whose physical channels
+//! carry a class-0/class-1 Dally–Seitz escape pair plus a class-2
+//! adaptive lane, each with `B` VCs:
+//!
+//! * **oblivious** — the dateline dimension-order route fixed at
+//!   injection (never touches the adaptive lane; the control arm);
+//! * **minimal** — per-hop selection among profitable adaptive-lane
+//!   hops by start-of-step occupancy, escape fallback when all are full;
+//! * **fully** — minimal plus budgeted misroutes when no profitable
+//!   hop has a free VC.
+//!
+//! Adaptive arms never deadlock (the escape subnetwork is acyclic and a
+//! worm that enters it never leaves), and on tornado traffic their
+//! measured saturation throughput is at least the oblivious arm's at
+//! equal `B` — the acceptance headline, asserted by this module's tests.
+
+use wormhole_flitsim::config::{Arbitration, RouteSelection, SimConfig};
+use wormhole_flitsim::open_loop::{run_open_loop, run_open_loop_adaptive, OpenLoopConfig};
+use wormhole_flitsim::stats::{OpenLoopStats, Outcome};
+use wormhole_workloads::{ArrivalProcess, RoutingDiscipline, Substrate, TrafficPattern, Workload};
+
+use crate::cells;
+use crate::sweep::{default_threads, parallel_map};
+use crate::table::{fnum, Table};
+
+/// One measured point of the sweep.
+pub struct Point {
+    /// Pattern name.
+    pub pattern: &'static str,
+    /// Route-selection arm.
+    pub selection: RouteSelection,
+    /// Offered load, messages per endpoint per step.
+    pub rate: f64,
+    /// Virtual channels per lane.
+    pub b: u32,
+    /// Endpoint count (for per-endpoint normalization).
+    pub endpoints: f64,
+    /// How the underlying simulation ended.
+    pub outcome: Outcome,
+    /// Worms that fell back onto the escape network.
+    pub escape_fallbacks: u64,
+    /// Non-minimal hops taken (fully-adaptive only).
+    pub misroute_hops: u64,
+    /// Windowed measurement.
+    pub stats: OpenLoopStats,
+}
+
+impl Point {
+    /// Accepted throughput in flits per endpoint per step.
+    pub fn accepted_per_endpoint(&self) -> f64 {
+        self.stats.accepted_flits_per_step / self.endpoints
+    }
+}
+
+/// Sweep geometry per mode: (radix, dims, message length, warmup,
+/// measurement window).
+fn params(fast: bool) -> (u32, u32, u32, u64, u64) {
+    if fast {
+        (4, 2, 4, 150, 400)
+    } else {
+        (8, 2, 8, 500, 1500)
+    }
+}
+
+fn patterns(fast: bool) -> Vec<TrafficPattern> {
+    let n = {
+        let (radix, dims, ..) = params(fast);
+        radix.pow(dims)
+    };
+    vec![
+        TrafficPattern::Tornado,
+        TrafficPattern::Transpose,
+        TrafficPattern::Hotspot {
+            fraction: 0.2,
+            hotspots: vec![0, n / 2],
+        },
+    ]
+}
+
+const ARMS: [RouteSelection; 3] = [
+    RouteSelection::Oblivious,
+    RouteSelection::MinimalAdaptive,
+    RouteSelection::FullyAdaptive,
+];
+
+/// Runs the full measurement sweep, in input order: per pattern, per
+/// offered rate × VC count × route-selection arm. All three arms of a
+/// point share the same workload (substrate, traffic, seed) — only the
+/// route selection differs.
+pub fn sweep_points(fast: bool) -> Vec<Point> {
+    let (radix, dims, l, warmup, measure) = params(fast);
+    let rates: &[f64] = if fast {
+        &[0.02, 0.10, 0.25, 0.45]
+    } else {
+        &[0.02, 0.05, 0.10, 0.20, 0.30, 0.45]
+    };
+    let bs: &[u32] = if fast { &[2, 4] } else { &[2, 4, 8] };
+
+    let mut jobs = Vec::new();
+    for (pi, pattern) in patterns(fast).into_iter().enumerate() {
+        for &rate in rates {
+            for &b in bs {
+                for sel in ARMS {
+                    jobs.push((pi, pattern.clone(), rate, b, sel));
+                }
+            }
+        }
+    }
+    parallel_map(jobs, default_threads(), |(pi, pattern, rate, b, sel)| {
+        let substrate = Substrate::torus_with(radix, dims, RoutingDiscipline::AdaptiveEscape);
+        let w = Workload::new(
+            substrate.clone(),
+            pattern.clone(),
+            ArrivalProcess::bernoulli(*rate),
+            l,
+            0xada9 ^ ((*pi as u64) << 4),
+        );
+        let specs = w.generate(warmup + measure);
+        let ol = OpenLoopConfig::new(warmup, measure);
+        let cfg = SimConfig::new(*b)
+            .arbitration(Arbitration::Random)
+            .seed(0x5eed ^ *b as u64)
+            .route_selection(*sel);
+        let r = match sel {
+            RouteSelection::Oblivious => run_open_loop(substrate.graph(), &specs, &cfg, &ol),
+            _ => {
+                let mesh = substrate.as_mesh().expect("adaptive torus is mesh-based");
+                run_open_loop_adaptive(mesh, &specs, &cfg, &ol)
+            }
+        };
+        Point {
+            pattern: pattern.name(),
+            selection: *sel,
+            rate: *rate,
+            b: *b,
+            endpoints: substrate.endpoints() as f64,
+            outcome: r.outcome.clone(),
+            escape_fallbacks: r.escape_fallbacks,
+            misroute_hops: r.misroute_hops,
+            stats: r.open_loop.expect("open-loop run carries stats"),
+        }
+    })
+}
+
+/// Saturation throughput (max accepted flit rate over the rate sweep)
+/// per `(pattern, selection, B)`, in first-appearance order.
+pub fn saturation_throughputs(points: &[Point]) -> Vec<(&'static str, RouteSelection, u32, f64)> {
+    let mut out: Vec<(&'static str, RouteSelection, u32, f64)> = Vec::new();
+    for p in points {
+        let v = p.accepted_per_endpoint();
+        match out
+            .iter_mut()
+            .find(|(pat, sel, b, _)| *pat == p.pattern && *sel == p.selection && *b == p.b)
+        {
+            Some(entry) => entry.3 = entry.3.max(v),
+            None => out.push((p.pattern, p.selection, p.b, v)),
+        }
+    }
+    out
+}
+
+/// Runs X8.
+pub fn run(fast: bool) -> Vec<Table> {
+    let (radix, dims, l, warmup, measure) = params(fast);
+    let points = sweep_points(fast);
+
+    let mut tables = Vec::new();
+    let mut curves = Table::new(
+        format!(
+            "X8 — adaptive routing on escape VCs: torus({radix}^{dims},adaptive), \
+             L = {l}, warmup {warmup}, window {measure}"
+        ),
+        &[
+            "pattern",
+            "selection",
+            "offered (msg/ep/step)",
+            "B",
+            "mean lat",
+            "p50",
+            "p99",
+            "accepted (flit/ep/step)",
+            "escapes",
+            "misroutes",
+            "saturated",
+            "outcome",
+        ],
+    );
+    for p in &points {
+        let outcome = match &p.outcome {
+            Outcome::Completed => "ok",
+            Outcome::MaxSteps => "cap",
+            Outcome::Deadlock(_) => "DEADLOCK",
+        };
+        curves.row(&cells!(
+            p.pattern,
+            p.selection.name(),
+            fnum(p.rate),
+            p.b,
+            fnum(p.stats.latency.mean),
+            p.stats.latency.p50,
+            p.stats.latency.p99,
+            fnum(p.accepted_per_endpoint()),
+            p.escape_fallbacks,
+            p.misroute_hops,
+            if p.stats.saturated { "yes" } else { "-" },
+            outcome
+        ));
+    }
+    curves.note(
+        "All arms share one substrate (escape pair + adaptive lane, B VCs per lane) and one \
+         workload; only route selection differs. The oblivious arm rides the dateline route and \
+         leaves the adaptive lane idle; the adaptive arms convert it into path diversity, falling \
+         back to the escape pair ('escapes') when it saturates — which is why they never deadlock.",
+    );
+    tables.push(curves);
+
+    let mut sat = Table::new(
+        "X8 — measured saturation throughput (max accepted load over the rate sweep)",
+        &[
+            "pattern",
+            "selection",
+            "B",
+            "sat. throughput (flit/ep/step)",
+        ],
+    );
+    for (pat, sel, b, best) in saturation_throughputs(&points) {
+        sat.row(&cells!(pat, sel.name(), b, fnum(best)));
+    }
+    sat.note(
+        "On tornado traffic the adaptive arms' saturation throughput is ≥ the oblivious arm's at \
+         every B (the acceptance criterion, asserted in tests): minimal adaptivity spreads the \
+         per-dimension rotation over both dimensions' spare VCs, and the budgeted fully-adaptive \
+         arm adds misroutes on top.",
+    );
+    tables.push(sat);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared fast sweep (deterministic, so every assertion can read
+    /// the same points).
+    fn fast_points() -> Vec<Point> {
+        sweep_points(true)
+    }
+
+    #[test]
+    fn x8_adaptive_beats_oblivious_on_tornado_and_never_deadlocks() {
+        let points = fast_points();
+
+        // No arm may deadlock: oblivious rides dateline routes, adaptive
+        // arms have the escape network. (This is the whole design.)
+        for p in &points {
+            assert!(
+                !matches!(p.outcome, Outcome::Deadlock(_)),
+                "{} {} B={} rate={} deadlocked",
+                p.pattern,
+                p.selection.name(),
+                p.b,
+                p.rate
+            );
+        }
+
+        // Acceptance: on torus tornado, each adaptive arm's saturation
+        // throughput >= the oblivious arm's at equal B.
+        let sat = saturation_throughputs(&points);
+        let lookup = |sel: RouteSelection, b: u32| {
+            sat.iter()
+                .find(|(pat, s, bb, _)| *pat == "tornado" && *s == sel && *bb == b)
+                .map(|(_, _, _, v)| *v)
+                .expect("tornado arm swept")
+        };
+        for &b in &[2u32, 4] {
+            let obl = lookup(RouteSelection::Oblivious, b);
+            for sel in [
+                RouteSelection::MinimalAdaptive,
+                RouteSelection::FullyAdaptive,
+            ] {
+                let adp = lookup(sel, b);
+                assert!(
+                    adp >= obl,
+                    "B={b}: {} saturation {adp} < oblivious {obl}",
+                    sel.name()
+                );
+            }
+            assert!(obl > 0.0, "oblivious arm must carry traffic at B={b}");
+        }
+
+        // Where routes genuinely conflict, adaptivity wins strictly: on
+        // transpose at B=2 the minimal arm clears the oblivious knee by
+        // a wide margin (≈0.79 → ≈1.32 flit/ep/step in fast mode; the
+        // sweep is deterministic, so this is a stable regression line).
+        let transpose = |sel: RouteSelection| {
+            sat.iter()
+                .find(|(pat, s, b, _)| *pat == "transpose" && *s == sel && *b == 2)
+                .map(|(_, _, _, v)| *v)
+                .expect("transpose arm swept")
+        };
+        assert!(
+            transpose(RouteSelection::MinimalAdaptive) > 1.2 * transpose(RouteSelection::Oblivious),
+            "minimal-adaptive transpose win collapsed: {} vs {}",
+            transpose(RouteSelection::MinimalAdaptive),
+            transpose(RouteSelection::Oblivious)
+        );
+
+        // The escape network is actually exercised somewhere in the
+        // sweep: at high load the adaptive lane saturates and worms fall
+        // back (the counters are how the regression fixture sees it too).
+        assert!(
+            points
+                .iter()
+                .any(|p| p.selection != RouteSelection::Oblivious && p.escape_fallbacks > 0),
+            "no adaptive point ever used the escape network"
+        );
+        // And the fully-adaptive arm misroutes somewhere.
+        assert!(
+            points
+                .iter()
+                .any(|p| p.selection == RouteSelection::FullyAdaptive && p.misroute_hops > 0),
+            "fully-adaptive arm never misrouted"
+        );
+        // Oblivious arms never touch the adaptive machinery.
+        for p in &points {
+            if p.selection == RouteSelection::Oblivious {
+                assert_eq!(p.escape_fallbacks, 0);
+                assert_eq!(p.misroute_hops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn x8_tables_render() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        let s = tables[0].render();
+        for needle in [
+            "tornado",
+            "transpose",
+            "hotspot",
+            "oblivious",
+            "minimal",
+            "fully",
+        ] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+        assert!(tables[1].render().contains("sat. throughput"));
+    }
+}

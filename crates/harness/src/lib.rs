@@ -2,9 +2,12 @@
 //! evaluation (DESIGN.md §5 maps experiment ids to claims).
 //!
 //! Run `cargo run --release -p wormhole-harness --bin experiments -- all`
-//! to print every table; pass an id (`e1`..`e9`, `f1`, `f2`, `x1`..`x7`)
-//! for one. `x2` is the open-loop traffic family: latency-vs-offered-load
-//! curves over the `wormhole-workloads` pattern suite.
+//! to print every table; pass an id (`e1`..`e9`, `f1`, `f2`, `x1`..`x8`)
+//! for one (the README carries the full catalog with one-line purposes
+//! and key figures). `x2` is the open-loop traffic family:
+//! latency-vs-offered-load curves over the `wormhole-workloads` pattern
+//! suite; `x8` compares oblivious vs minimal- vs fully-adaptive route
+//! selection on the three-class escape torus.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -1,6 +1,6 @@
 //! Dally–Seitz deadlock avoidance on rings and tori via virtual-channel
 //! *classes* — the original motivation for virtual channels (paper §1,
-//! citation [14]).
+//! citation \[14\]).
 //!
 //! A wrap-around ring's channel-dependency graph is a cycle, so wormhole
 //! routing can deadlock: worms chase each other's tails around the ring.

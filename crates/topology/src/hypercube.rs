@@ -109,7 +109,7 @@ impl Hypercube {
         self.ecube_path_cls(src, dst, 0)
     }
 
-    /// Valiant two-phase path (§1.3.3, [47]): e-cube to a random
+    /// Valiant two-phase path (§1.3.3, \[47\]): e-cube to a random
     /// intermediate node, then e-cube to the destination. Randomizing the
     /// middle turns any permutation into two random-ish problems, defeating
     /// adversarial patterns like transpose.

@@ -13,7 +13,11 @@
 //!   work the paper compares against — tori optionally carry the two-class
 //!   Dally–Seitz dateline routing graph
 //!   ([`mesh::RoutingDiscipline::DatelineClasses`]) whose
-//!   dimension-order routes are deadlock-free by construction, and
+//!   dimension-order routes are deadlock-free by construction,
+//! * [`adaptive`] — the [`adaptive::AdaptiveRouter`] abstraction for
+//!   per-hop adaptive route selection over an adaptive VC lane with
+//!   Dally–Seitz escape channels
+//!   ([`mesh::RoutingDiscipline::AdaptiveEscape`]), and
 //! * [`random_nets`] workload generators with controllable `C` and `D`.
 //!
 //! # Example
@@ -29,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod benes;
 pub mod butterfly;
 pub mod dateline;
@@ -40,6 +45,7 @@ pub mod path;
 pub mod random_nets;
 pub mod subsets;
 
+pub use adaptive::AdaptiveRouter;
 pub use dateline::channel_dependency_graph;
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use mesh::RoutingDiscipline;

@@ -10,7 +10,7 @@
 //!
 //! A torus wraps every dimension into rings, so dimension-order wormhole
 //! routing can deadlock: worms chase each other's tails around a ring
-//! (paper §1, citation [14]). The Dally–Seitz fix splits each physical
+//! (paper §1, citation \[14\]). The Dally–Seitz fix splits each physical
 //! channel into two virtual-channel *classes*; a route uses class 0 within
 //! a dimension until it crosses that dimension's *dateline* (the wrap
 //! hop), then class 1. The per-ring dependency graph becomes a spiral
@@ -30,7 +30,7 @@
 use crate::graph::{EdgeId, Graph, GraphBuilder, NodeId};
 use crate::path::Path;
 
-/// How routes use virtual-channel classes on a wrap-around (torus) mesh.
+/// How routes use virtual-channel classes on a mesh or torus.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RoutingDiscipline {
     /// One VC class per physical channel; dimension-order routes wrap
@@ -41,6 +41,17 @@ pub enum RoutingDiscipline {
     /// that dimension's dateline (the wrap hop). Deadlock-free by
     /// construction on tori (Dally–Seitz).
     DatelineClasses,
+    /// Three VC classes per physical channel: classes 0/1 are the
+    /// Dally–Seitz **escape** pair (routed exactly like
+    /// [`RoutingDiscipline::DatelineClasses`]), class 2 is an
+    /// **adaptive lane** with no routing restriction. Adaptive route
+    /// selection (see `wormhole_flitsim::config::RouteSelection`) wanders
+    /// over the class-2 lane by local occupancy and falls back onto the
+    /// escape pair when the adaptive lane is full; because the escape
+    /// subnetwork's channel-dependency graph is acyclic and a worm that
+    /// enters it never leaves it, the whole network stays deadlock-free
+    /// (Duato's criterion with a Dally–Seitz escape network).
+    AdaptiveEscape,
 }
 
 impl RoutingDiscipline {
@@ -50,6 +61,7 @@ impl RoutingDiscipline {
         match self {
             RoutingDiscipline::Naive => 1,
             RoutingDiscipline::DatelineClasses => 2,
+            RoutingDiscipline::AdaptiveEscape => 3,
         }
     }
 
@@ -58,9 +70,14 @@ impl RoutingDiscipline {
         match self {
             RoutingDiscipline::Naive => "naive",
             RoutingDiscipline::DatelineClasses => "dateline",
+            RoutingDiscipline::AdaptiveEscape => "adaptive",
         }
     }
 }
+
+/// VC class of the adaptive lane under
+/// [`RoutingDiscipline::AdaptiveEscape`] (classes below it are escape).
+pub const ADAPTIVE_CLASS: u32 = 2;
 
 /// A `radix^dims`-node mesh (or torus) with bidirectional links represented
 /// as directed edge pairs — one parallel edge per VC class.
@@ -98,7 +115,7 @@ impl Mesh {
         assert!(radix >= 2 && dims >= 1, "mesh needs radix ≥ 2, dims ≥ 1");
         let classes = discipline.classes();
         assert!(
-            classes == 1 || wrap,
+            discipline != RoutingDiscipline::DatelineClasses || wrap,
             "dateline classes only apply to wrap-around (torus) meshes"
         );
         let n = (radix as u64).checked_pow(dims).expect("mesh too large");
@@ -192,7 +209,8 @@ impl Mesh {
         self.wrap
     }
 
-    /// Number of VC classes per physical channel (1 or 2).
+    /// Number of VC classes per physical channel (1 naive, 2 dateline,
+    /// 3 adaptive-escape).
     #[inline]
     pub fn classes(&self) -> u32 {
         self.classes
@@ -201,11 +219,23 @@ impl Mesh {
     /// The routing discipline this mesh was built with.
     #[inline]
     pub fn discipline(&self) -> RoutingDiscipline {
-        if self.classes == 2 {
-            RoutingDiscipline::DatelineClasses
-        } else {
-            RoutingDiscipline::Naive
+        match self.classes {
+            3 => RoutingDiscipline::AdaptiveEscape,
+            2 => RoutingDiscipline::DatelineClasses,
+            _ => RoutingDiscipline::Naive,
         }
+    }
+
+    /// Whether `e` belongs to the deadlock-free **escape** subnetwork.
+    ///
+    /// On an [`RoutingDiscipline::AdaptiveEscape`] mesh the escape
+    /// channels are classes 0 and 1 (the Dally–Seitz dateline pair) and
+    /// the adaptive lane is class 2; on single- and two-class meshes
+    /// every channel is part of the (only) oblivious routing structure,
+    /// so all edges count as escape.
+    #[inline]
+    pub fn is_escape_edge(&self, e: EdgeId) -> bool {
+        self.edge_vc_class(e) < ADAPTIVE_CLASS
     }
 
     /// VC class of a routing edge (0 on single-class meshes).
@@ -220,7 +250,7 @@ impl Mesh {
         (self.radix as u64).pow(self.dims) as u32
     }
 
-    /// Node id from coordinates (little-endian: `coords[0]` is dimension 0).
+    /// Node id from coordinates (little-endian: `coords\[0\]` is dimension 0).
     pub fn node(&self, coords: &[u32]) -> NodeId {
         assert_eq!(coords.len() as u32, self.dims);
         let mut v = 0u32;
@@ -229,6 +259,13 @@ impl Mesh {
             v += c * (self.radix as u64).pow(d as u32) as u32;
         }
         NodeId(v)
+    }
+
+    /// Coordinate of `v` in dimension `d` (allocation-free; used by the
+    /// per-hop hot paths instead of [`Mesh::coords`]).
+    #[inline]
+    fn coord(&self, v: NodeId, d: u32) -> u32 {
+        (v.0 / self.radix.pow(d)) % self.radix
     }
 
     /// Coordinates of a node.
@@ -243,13 +280,8 @@ impl Mesh {
     }
 
     fn step_edge(&self, v: NodeId, dim: u32, minus: bool, class: u32) -> EdgeId {
-        debug_assert!(class < self.classes);
-        let idx = ((v.idx() * self.dims as usize + dim as usize) * 2 + minus as usize)
-            * self.classes as usize
-            + class as usize;
-        let e = self.edge_lookup[idx];
-        assert_ne!(e, u32::MAX, "no edge from {v:?} in dim {dim} minus={minus}");
-        EdgeId(e)
+        self.try_step_edge(v, dim, minus, class)
+            .unwrap_or_else(|| panic!("no edge from {v:?} in dim {dim} minus={minus}"))
     }
 
     /// Whether minimal routing travels the `−` direction in dimension `d`
@@ -302,9 +334,9 @@ impl Mesh {
     /// Panics unless the mesh was built with
     /// [`RoutingDiscipline::DatelineClasses`].
     pub fn dateline_path(&self, src: NodeId, dst: NodeId) -> Path {
-        assert_eq!(
-            self.classes, 2,
-            "dateline_path needs a DatelineClasses mesh"
+        assert!(
+            self.classes >= 2,
+            "dateline_path needs a mesh with escape classes"
         );
         let sc = self.coords(src);
         let dc = self.coords(dst);
@@ -335,15 +367,129 @@ impl Mesh {
         Path::new(edges)
     }
 
-    /// The canonical route under this mesh's discipline: dateline-switched
-    /// on [`RoutingDiscipline::DatelineClasses`] meshes, plain
-    /// dimension-order otherwise.
+    /// The canonical **oblivious** route under this mesh's discipline:
+    /// dateline-switched wherever escape classes exist on a torus
+    /// ([`RoutingDiscipline::DatelineClasses`] and the escape pair of
+    /// [`RoutingDiscipline::AdaptiveEscape`]), plain dimension-order
+    /// otherwise. Adaptive route *selection* is performed per hop by the
+    /// simulator (see [`crate::adaptive::AdaptiveRouter`]); this function
+    /// is its escape-network continuation and the oblivious control arm.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Path {
-        if self.classes == 2 {
+        if self.classes >= 2 && self.wrap {
             self.dateline_path(src, dst)
         } else {
             self.dimension_order_path(src, dst)
         }
+    }
+
+    /// The edge leaving `v` in direction `(dim, ±)` on `class`, or `None`
+    /// where the mesh has no such link (non-wrap boundary).
+    fn try_step_edge(&self, v: NodeId, dim: u32, minus: bool, class: u32) -> Option<EdgeId> {
+        debug_assert!(class < self.classes);
+        let idx = ((v.idx() * self.dims as usize + dim as usize) * 2 + minus as usize)
+            * self.classes as usize
+            + class as usize;
+        let e = self.edge_lookup[idx];
+        (e != u32::MAX).then_some(EdgeId(e))
+    }
+
+    /// Whether one hop in direction `(d, ±)` strictly reduces the
+    /// (wrap-aware) distance from `have` to `want` in that dimension. On
+    /// a wrap ring at exactly half-ring distance **both** directions are
+    /// minimal (unlike the oblivious tie-break of
+    /// [`Mesh::dimension_order_path`], which must pick one).
+    fn reduces_distance(&self, have: u32, want: u32, minus: bool) -> bool {
+        if have == want {
+            return false;
+        }
+        if !self.wrap {
+            return minus == (have > want);
+        }
+        let fwd = (want + self.radix - have) % self.radix;
+        let bwd = (have + self.radix - want) % self.radix;
+        if minus {
+            bwd <= fwd
+        } else {
+            fwd <= bwd
+        }
+    }
+
+    /// Per-hop adaptive candidate enumeration on the class-2 adaptive
+    /// lane: pushes `(edge, profitable)` pairs for every direction the
+    /// header at `at` could take toward `dst`.
+    ///
+    /// *Profitable* directions strictly reduce the (wrap-aware) distance
+    /// to `dst`: the minimal way around each unresolved dimension — both
+    /// ways on a wrap ring at exactly half-ring distance, where they are
+    /// equally minimal. With `misroutes` set, every other existing
+    /// direction is pushed too, flagged unprofitable — the
+    /// fully-adaptive candidate set; the caller is responsible for
+    /// bounding misroutes (livelock) and for excluding u-turns if it
+    /// wants them excluded.
+    ///
+    /// The enumeration order is deterministic (dimension-major, `+`
+    /// before `−`, profitable and unprofitable interleaved per
+    /// dimension), so occupancy-based selection with a fixed tie-break is
+    /// reproducible. Panics unless the mesh was built with
+    /// [`RoutingDiscipline::AdaptiveEscape`].
+    pub fn adaptive_candidates(
+        &self,
+        at: NodeId,
+        dst: NodeId,
+        misroutes: bool,
+        out: &mut Vec<(EdgeId, bool)>,
+    ) {
+        assert_eq!(
+            self.classes, 3,
+            "adaptive candidates need an AdaptiveEscape mesh"
+        );
+        for d in 0..self.dims {
+            let (have, want) = (self.coord(at, d), self.coord(dst, d));
+            for minus in [false, true] {
+                let profitable = self.reduces_distance(have, want, minus);
+                if !profitable && !misroutes {
+                    continue;
+                }
+                if let Some(e) = self.try_step_edge(at, d, minus, ADAPTIVE_CLASS) {
+                    out.push((e, profitable));
+                }
+            }
+        }
+    }
+
+    /// The deadlock-free escape continuation from `at` to `dst`: the
+    /// dateline-switched dimension-order path on the class-0/class-1
+    /// escape pair (plain class-0 dimension order on a non-wrap mesh,
+    /// where dimension order is already acyclic). A worm that falls back
+    /// onto the escape network follows this path to its destination and
+    /// never returns to the adaptive lane, which is what keeps the
+    /// escape-channel dependency graph acyclic regardless of how the
+    /// adaptive prefix wandered.
+    pub fn escape_route(&self, at: NodeId, dst: NodeId) -> Path {
+        assert!(self.classes >= 2, "escape routes need escape classes");
+        if self.wrap {
+            self.dateline_path(at, dst)
+        } else {
+            self.dimension_order_path(at, dst)
+        }
+    }
+
+    /// First hop of [`Mesh::escape_route`] in O(dims): lowest unresolved
+    /// dimension, minimal direction, class 0 (a fresh escape entry is
+    /// before its dateline by definition — the class-1 switch only
+    /// happens *after* crossing the wrap hop).
+    ///
+    /// Panics if `at == dst` (there is no escape hop to take).
+    pub fn escape_first_hop(&self, at: NodeId, dst: NodeId) -> EdgeId {
+        assert!(self.classes >= 2, "escape routes need escape classes");
+        for d in 0..self.dims {
+            let (have, want) = (self.coord(at, d), self.coord(dst, d));
+            if have != want {
+                let minus = self.travels_minus(have, want);
+                return self.step_edge(at, d, minus, 0);
+            }
+        }
+        panic!("no escape hop: {at:?} == {dst:?}");
     }
 }
 

@@ -52,9 +52,25 @@ impl Substrate {
     /// A `radix`-ary `dims`-dimensional torus under an explicit
     /// [`RoutingDiscipline`]: [`RoutingDiscipline::DatelineClasses`]
     /// builds the two-class routing graph and routes with the
-    /// per-dimension dateline switch (deadlock-free by construction).
+    /// per-dimension dateline switch (deadlock-free by construction);
+    /// [`RoutingDiscipline::AdaptiveEscape`] adds a third, adaptive VC
+    /// lane on every physical channel for per-hop adaptive route
+    /// selection (`wormhole_flitsim::config::RouteSelection`), with the
+    /// dateline pair serving as its escape network. The canonical
+    /// [`Substrate::route`] stays the oblivious dateline route either
+    /// way — adaptive runs read only its endpoints.
     pub fn torus_with(radix: u32, dims: u32, discipline: RoutingDiscipline) -> Self {
         Substrate::Mesh(Mesh::new_disciplined(radix, dims, true, discipline))
+    }
+
+    /// The underlying [`Mesh`], when this substrate is mesh-based — the
+    /// [`wormhole_topology::adaptive::AdaptiveRouter`] implementation an
+    /// adaptive simulation runs against.
+    pub fn as_mesh(&self) -> Option<&Mesh> {
+        match self {
+            Substrate::Mesh(m) => Some(m),
+            _ => None,
+        }
     }
 
     /// A `2^dim`-node hypercube.
@@ -123,8 +139,13 @@ impl Substrate {
     pub fn name(&self) -> String {
         match self {
             Substrate::Butterfly(bf) => format!("butterfly(n={})", bf.n_inputs()),
-            Substrate::Mesh(m) if m.wraps() && m.classes() == 2 => {
-                format!("torus({}^{},dateline)", m.radix(), m.dims())
+            Substrate::Mesh(m) if m.wraps() && m.classes() > 1 => {
+                format!(
+                    "torus({}^{},{})",
+                    m.radix(),
+                    m.dims(),
+                    m.discipline().name()
+                )
             }
             Substrate::Mesh(m) if m.wraps() => {
                 format!("torus({}^{})", m.radix(), m.dims())
@@ -154,6 +175,7 @@ mod tests {
             Substrate::mesh(3, 2),
             Substrate::torus(4, 2),
             Substrate::torus_with(4, 2, RoutingDiscipline::DatelineClasses),
+            Substrate::torus_with(4, 2, RoutingDiscipline::AdaptiveEscape),
             Substrate::hypercube(3),
         ] {
             let n = s.endpoints();
@@ -188,7 +210,19 @@ mod tests {
             Substrate::torus_with(4, 2, RoutingDiscipline::DatelineClasses).name(),
             "torus(4^2,dateline)"
         );
+        assert_eq!(
+            Substrate::torus_with(4, 2, RoutingDiscipline::AdaptiveEscape).name(),
+            "torus(4^2,adaptive)"
+        );
         assert_eq!(Substrate::hypercube(4).name(), "hypercube(2^4)");
+    }
+
+    #[test]
+    fn as_mesh_exposes_the_adaptive_router() {
+        let s = Substrate::torus_with(4, 2, RoutingDiscipline::AdaptiveEscape);
+        let m = s.as_mesh().expect("torus is mesh-based");
+        assert_eq!(m.discipline(), RoutingDiscipline::AdaptiveEscape);
+        assert!(Substrate::butterfly(3).as_mesh().is_none());
     }
 
     #[test]

@@ -51,12 +51,15 @@ pub mod prelude {
     pub use wormhole_core::pipeline::{adaptive_min_colors, run_pipeline, RFactor};
     pub use wormhole_core::schedule::ColorSchedule;
     pub use wormhole_flitsim::config::{
-        Arbitration, BandwidthModel, BlockedPolicy, FinalEdgePolicy, SimConfig,
+        Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, RouteSelection,
+        SimConfig,
     };
     pub use wormhole_flitsim::message::{specs_from_paths, MessageSpec};
-    pub use wormhole_flitsim::open_loop::{run_open_loop, OpenLoopConfig};
+    pub use wormhole_flitsim::open_loop::{run_open_loop, run_open_loop_adaptive, OpenLoopConfig};
     pub use wormhole_flitsim::stats::{LatencyStats, OpenLoopStats, Outcome, SimResult};
     pub use wormhole_flitsim::wormhole::run as wormhole_run;
+    pub use wormhole_flitsim::wormhole::run_adaptive as wormhole_run_adaptive;
+    pub use wormhole_topology::adaptive::AdaptiveRouter;
     pub use wormhole_topology::butterfly::Butterfly;
     pub use wormhole_topology::graph::{EdgeId, Graph, GraphBuilder, NodeId};
     pub use wormhole_topology::mesh::{Mesh, RoutingDiscipline};

@@ -1,0 +1,126 @@
+//! Regression fixtures for escape-channel correctness: when
+//! minimal-adaptive traffic saturates the adaptive VC lane, worms must
+//! drain through the Dally–Seitz escape classes — completing without
+//! deadlock — and the adaptive machinery must stay within its contracts
+//! (minimal routes stay minimal, misroute budgets bind, arrival is
+//! guaranteed even at `B = 1` under rotation traffic that wedges the
+//! naive torus).
+
+use wormhole_routing::prelude::*;
+use wormhole_topology::mesh::ADAPTIVE_CLASS;
+
+fn adaptive_torus(radix: u32, dims: u32) -> Mesh {
+    Mesh::new_disciplined(radix, dims, true, RoutingDiscipline::AdaptiveEscape)
+}
+
+/// Rotation (tornado-style) batch: every node sends `stride` hops the
+/// same way around dimension 0 — the workload whose wrap cycle deadlocks
+/// the naive torus at `B = 1`.
+fn rotation_specs(t: &Mesh, stride: u32, l: u32) -> Vec<MessageSpec> {
+    let n = t.num_nodes();
+    (0..n)
+        .map(|i| {
+            let mut dc = t.coords(NodeId(i));
+            dc[0] = (dc[0] + stride) % t.radix();
+            MessageSpec::new(t.route(NodeId(i), t.node(&dc)), l)
+        })
+        .collect()
+}
+
+#[test]
+fn saturating_rotation_drains_via_the_escape_class_without_deadlock() {
+    // 8-ring, B = 1, L longer than any route: every worm's second hop is
+    // held by the worm ahead of it, so the adaptive lane wedges exactly
+    // like the naive torus would — and the escape fallback is the only
+    // way anything finishes. The run must complete, and must actually
+    // have used the escape classes.
+    let t = adaptive_torus(8, 1);
+    let specs = rotation_specs(&t, 4, 12);
+    for engine in [Engine::EventDriven, Engine::Legacy] {
+        let cfg = SimConfig::new(1)
+            .route_selection(RouteSelection::MinimalAdaptive)
+            .engine(engine)
+            .check_invariants(true);
+        let r = wormhole_run_adaptive(&t, &specs, &cfg);
+        assert_eq!(r.outcome, Outcome::Completed, "{engine:?}: {r:?}");
+        assert_eq!(r.delivered(), 8, "{engine:?}");
+        assert!(
+            r.escape_fallbacks > 0,
+            "{engine:?}: saturated adaptive lane must spill into escape channels"
+        );
+        assert_eq!(r.misroute_hops, 0, "minimal-adaptive never misroutes");
+    }
+}
+
+#[test]
+fn control_arm_same_rotation_deadlocks_without_escape_channels() {
+    // The same rotation on the naive single-class torus wedges at B = 1:
+    // this is the deadlock the escape classes exist to remove.
+    let naive = Mesh::new(8, 1, true);
+    let specs = rotation_specs(&naive, 4, 12);
+    let r = wormhole_run(naive.graph(), &specs, &SimConfig::new(1));
+    assert!(
+        matches!(r.outcome, Outcome::Deadlock(_)),
+        "control arm should wedge: {r:?}"
+    );
+}
+
+#[test]
+fn rotation_on_2d_torus_completes_at_b1_under_both_adaptive_policies() {
+    let t = adaptive_torus(4, 2);
+    let specs = rotation_specs(&t, 2, 9);
+    for sel in [
+        RouteSelection::MinimalAdaptive,
+        RouteSelection::FullyAdaptive,
+    ] {
+        let cfg = SimConfig::new(1)
+            .route_selection(sel)
+            .check_invariants(true);
+        let r = wormhole_run_adaptive(&t, &specs, &cfg);
+        assert_eq!(r.outcome, Outcome::Completed, "{sel:?}: {r:?}");
+        assert_eq!(r.delivered(), 16, "{sel:?}");
+    }
+}
+
+#[test]
+fn open_loop_adaptive_rotation_never_deadlocks_under_overload() {
+    // Open-loop overload on the ring: saturation is expected (MaxSteps
+    // is a measurement), deadlock is forbidden, and the windowed stats
+    // stay well-formed.
+    let substrate = Substrate::torus_with(8, 1, RoutingDiscipline::AdaptiveEscape);
+    let mesh = substrate.as_mesh().unwrap();
+    let w = Workload::new(
+        substrate.clone(),
+        TrafficPattern::Tornado,
+        ArrivalProcess::bernoulli(0.8),
+        6,
+        11,
+    );
+    let specs = w.generate(400);
+    let ol = OpenLoopConfig::new(100, 300).drain(100);
+    let cfg = SimConfig::new(1).route_selection(RouteSelection::MinimalAdaptive);
+    let r = run_open_loop_adaptive(mesh, &specs, &cfg, &ol);
+    assert!(
+        !matches!(r.outcome, Outcome::Deadlock(_)),
+        "escape-backed adaptive routing must not wedge: {r:?}"
+    );
+    let s = r.open_loop.as_ref().unwrap();
+    assert!(s.offered_msgs > 0);
+    assert!(s.accepted_msgs > 0, "traffic must keep flowing: {s:?}");
+    assert!(
+        r.escape_fallbacks > 0,
+        "overload must exercise the escape class"
+    );
+}
+
+#[test]
+fn adaptive_class_constant_matches_mesh_tagging() {
+    let t = adaptive_torus(4, 2);
+    for e in Mesh::graph(&t).edges() {
+        assert_eq!(
+            t.is_escape_edge(e),
+            t.edge_vc_class(e) < ADAPTIVE_CLASS,
+            "escape tagging disagrees on {e:?}"
+        );
+    }
+}

@@ -5,8 +5,10 @@
 //! [`SimResult`]s to the legacy per-step rescanning stepper — outcome,
 //! finish times, first moves, stalls, `flit_hops`, `max_vcs_in_use`, and
 //! deadlock reports included — on randomized workloads spanning shared
-//! chains, open-loop butterfly traffic, and torus tornado batches (where
-//! the naive arm deadlocks and the dateline arm completes).
+//! chains, open-loop butterfly traffic, torus tornado batches (where
+//! the naive arm deadlocks and the dateline arm completes), and
+//! adaptive route selection on three-class escape tori (where route
+//! choice itself depends on VC occupancy).
 
 use proptest::prelude::*;
 
@@ -158,6 +160,61 @@ proptest! {
         if let Outcome::Deadlock(_) = ev.outcome {
             prop_assert!(ev.deadlock.is_some());
         }
+    }
+
+    /// Adaptive route selection on three-class tori: route choice reads
+    /// VC occupancy, so this is where the start-of-step conventions are
+    /// load-bearing — wanted-hop selections, escape fallbacks, misroute
+    /// budgets, and the escape/misroute counters must all land
+    /// identically under the park-free event engine and the legacy
+    /// rescanner, including at tight step caps.
+    #[test]
+    fn engines_agree_on_adaptive_tori(
+        radix in 3u32..8,
+        dims in 1u32..3,
+        b_idx in 0u32..3,
+        l in 1u32..8,
+        rate_pct in 5u32..40,
+        fully in proptest::bool::ANY,
+        quota in 0u32..5,
+        cap_small in proptest::bool::ANY,
+        arb in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_flitsim::config::RouteSelection;
+        let substrate = Substrate::torus_with(radix, dims, RoutingDiscipline::AdaptiveEscape);
+        let mesh = substrate.as_mesh().expect("torus is mesh-based");
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(100);
+        let sel = if fully {
+            RouteSelection::FullyAdaptive
+        } else {
+            RouteSelection::MinimalAdaptive
+        };
+        let mut cfg = SimConfig::new(vcs(b_idx))
+            .arbitration(arbitration(arb))
+            .seed(seed)
+            .route_selection(sel)
+            .misroute_quota(quota)
+            .max_steps(2_000)
+            .check_invariants(true);
+        if cap_small {
+            cfg = cfg.max_steps((l + radix) as u64);
+        }
+        let ev = wormhole::run_adaptive(mesh, &specs, &cfg.clone().engine(Engine::EventDriven));
+        let lg = wormhole::run_adaptive(mesh, &specs, &cfg.clone().engine(Engine::Legacy));
+        prop_assert!(
+            ev.same_execution(&lg),
+            "adaptive ({sel:?}) diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+        // Adaptive-escape runs can stall but never wedge.
+        prop_assert!(!matches!(ev.outcome, Outcome::Deadlock(_)));
     }
 
     /// Random leveled-net walks (the workload family the rest of the test
