@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use wormhole_bench::butterfly_permutation;
-use wormhole_flitsim::config::{Arbitration, BandwidthModel, Engine, SimConfig};
+use wormhole_flitsim::config::{Arbitration, BandwidthModel, Engine, SimConfig, VcPolicy};
 use wormhole_flitsim::message::specs_from_paths;
 use wormhole_flitsim::open_loop::{run_open_loop, OpenLoopConfig};
 use wormhole_flitsim::wormhole;
@@ -112,12 +112,51 @@ fn bench_dateline_torus(c: &mut Criterion) {
     group.finish();
 }
 
+/// Static vs router-pooled VC allocation on saturated dateline-torus
+/// tornado traffic, per engine: the pooled arbitration path (ascending
+/// edge-id shared-credit grants) and the router-keyed park/wake lists
+/// against the static baseline at equal aggregate buffer budget. This is
+/// the hot loop the x9 experiment sweeps.
+fn bench_pooled_vcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("open_loop_pooled_torus");
+    group.sample_size(10);
+    let substrate = Substrate::torus_with(8, 2, RoutingDiscipline::DatelineClasses);
+    let fanout = substrate.graph().max_out_degree() as u32;
+    let w = Workload::new(
+        substrate.clone(),
+        TrafficPattern::Tornado,
+        ArrivalProcess::bernoulli(0.35),
+        4,
+        0x9001,
+    );
+    let specs = w.generate(1200);
+    let ol = OpenLoopConfig::new(200, 1000);
+    let arms = [
+        ("static", VcPolicy::Static(2)),
+        ("pooled", VcPolicy::pooled(2 * fanout, 1, 2 * fanout)),
+    ];
+    for (aname, policy) in arms {
+        for (ename, engine) in ENGINES {
+            let cfg = SimConfig::new(1)
+                .vc_policy(policy)
+                .arbitration(Arbitration::Random)
+                .seed(3)
+                .engine(engine);
+            group.bench_function(format!("{aname}/{ename}"), |b| {
+                b.iter(|| run_open_loop(substrate.graph(), &specs, &cfg, &ol))
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_wormhole_scaling,
     bench_wormhole_vcs,
     bench_restricted_model,
     bench_open_loop_low_load,
-    bench_dateline_torus
+    bench_dateline_torus,
+    bench_pooled_vcs
 );
 criterion_main!(benches);

@@ -14,6 +14,132 @@ pub enum BandwidthModel {
     OneFlitPerStep,
 }
 
+/// How each router's virtual-channel capacity is provisioned across its
+/// outgoing routing edges — the knob the dynamic-VC-allocation studies
+/// (Onsori–Safaei; Stergiou's multi-lane storage comparison) turn while
+/// holding total buffer storage fixed.
+///
+/// The free-VC test every acquisition runs is a *policy query*:
+///
+/// * [`VcPolicy::Static`]`(B)` — the paper's model: every routing edge
+///   owns `B` dedicated VCs. An edge is acquirable iff it holds fewer
+///   than `B`.
+/// * [`VcPolicy::RouterPooled`] — each router shares one pool of `pool`
+///   VCs across its outgoing edges. Every edge keeps a guaranteed floor
+///   of `per_edge_min` VCs (reserved whether used or not) and may grow
+///   to `per_edge_max` by drawing the excess from the router's *shared*
+///   portion, `pool − per_edge_min · fanout`. An edge is acquirable iff
+///   it is below `per_edge_max` **and** either below its floor or the
+///   shared portion has credit left.
+///
+/// `Static(B)` is exactly `RouterPooled { pool: B · fanout,
+/// per_edge_min: B, per_edge_max: B }` (the floors exhaust the pool and
+/// the shared portion is empty) — a policy-equivalence proptest holds
+/// the two bit-identical across both engines.
+///
+/// # Why `per_edge_min ≥ 1` is mandatory
+///
+/// Every deadlock-freedom argument in this codebase (Dally–Seitz
+/// dateline classes, the Duato escape pair under adaptive routing) is an
+/// acyclicity proof over the channel-dependency graph, and it assumes
+/// each routing edge eventually serves its holders — which needs at
+/// least one VC that pooling can never take away. The floor guarantees
+/// exactly that: escape-class edges always retain a dedicated VC, so the
+/// proofs survive pooling unchanged. Validation therefore rejects
+/// `per_edge_min == 0`.
+///
+/// Pooling requires the full-bandwidth model
+/// ([`BandwidthModel::BFlitsPerStep`]); the restricted per-flit stepper
+/// only supports `Static`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcPolicy {
+    /// `B` dedicated virtual channels on every routing edge (`B ≥ 1`) —
+    /// the paper's capacity model and the default.
+    Static(u32),
+    /// Demand-driven per-router pooling: outgoing edges share `pool` VCs
+    /// with a reserved floor of `per_edge_min` each and a hard per-edge
+    /// cap of `per_edge_max`.
+    RouterPooled {
+        /// Total VCs available at each router, shared across its
+        /// outgoing routing edges.
+        pool: u32,
+        /// Guaranteed (reserved) VCs per outgoing edge. Must be ≥ 1 so
+        /// the escape-channel deadlock-freedom arguments survive; the
+        /// simulator additionally checks `per_edge_min · fanout ≤ pool`
+        /// for every router of the actual graph at run start.
+        per_edge_min: u32,
+        /// Hard cap on VCs any single edge may hold simultaneously.
+        per_edge_max: u32,
+    },
+}
+
+impl VcPolicy {
+    /// A validated [`VcPolicy::RouterPooled`]. Panics on `pool == 0`,
+    /// `per_edge_min == 0`, or `per_edge_min > per_edge_max` (the
+    /// graph-dependent `per_edge_min · fanout ≤ pool` check runs at
+    /// simulation start, when the fanout is known).
+    pub fn pooled(pool: u32, per_edge_min: u32, per_edge_max: u32) -> Self {
+        let p = VcPolicy::RouterPooled {
+            pool,
+            per_edge_min,
+            per_edge_max,
+        };
+        p.validate();
+        p
+    }
+
+    /// Panics unless the policy's graph-independent invariants hold (the
+    /// same contract [`SimConfig::new`] enforces for the static scalar).
+    pub fn validate(&self) {
+        match *self {
+            VcPolicy::Static(b) => assert!(b >= 1, "need at least one virtual channel"),
+            VcPolicy::RouterPooled {
+                pool,
+                per_edge_min,
+                per_edge_max,
+            } => {
+                assert!(pool >= 1, "pooled VC policy needs a nonempty pool");
+                assert!(
+                    per_edge_min >= 1,
+                    "per_edge_min must be >= 1: a zero floor lets pooling starve an \
+                     escape channel and voids the deadlock-freedom arguments"
+                );
+                assert!(
+                    per_edge_min <= per_edge_max,
+                    "per_edge_min {per_edge_min} exceeds per_edge_max {per_edge_max}"
+                );
+                assert!(
+                    per_edge_max <= u16::MAX as u32,
+                    "per_edge_max exceeds the simulator's u16 holder counters"
+                );
+            }
+        }
+    }
+
+    /// The hard per-edge VC cap (`B`, or `per_edge_max`).
+    #[inline]
+    pub fn max_per_edge(&self) -> u32 {
+        match *self {
+            VcPolicy::Static(b) => b,
+            VcPolicy::RouterPooled { per_edge_max, .. } => per_edge_max,
+        }
+    }
+
+    /// Whether this policy shares capacity across a router's edges.
+    #[inline]
+    pub fn is_pooled(&self) -> bool {
+        matches!(self, VcPolicy::RouterPooled { .. })
+    }
+
+    /// Short lowercase name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VcPolicy::Static(_) => "static",
+            VcPolicy::RouterPooled { .. } => "pooled",
+        }
+    }
+}
+
 /// Which message wins when several headers contend for the free virtual
 /// channels of an edge.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,18 +260,29 @@ pub enum BlockedPolicy {
 /// * all three [`RouteSelection`] policies on `AdaptiveEscape` tori —
 ///   adaptive runs are where the equality is subtlest, because route
 ///   choice reads VC occupancy; see [`crate::wormhole`] for why the
-///   shared start-of-step convention keeps it exact.
+///   shared start-of-step convention keeps it exact, and
+/// * both [`VcPolicy`] arms — static and router-pooled — on chains,
+///   dateline tori, and adaptive tori, plus a policy-equivalence suite
+///   asserting `Static(B)` ≡ the degenerate
+///   `RouterPooled { pool: B·fanout, per_edge_min: B, per_edge_max: B }`
+///   field for field on both engines.
 ///
 /// [`BandwidthModel::OneFlitPerStep`] has a single stepper (the
-/// `engine` knob is ignored) and rejects adaptive selection.
+/// `engine` knob is ignored) and rejects adaptive selection and pooled
+/// VC policies.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Virtual channels per **routing edge** (`B ≥ 1`). On a
-    /// multi-class graph (dateline or adaptive-escape disciplines, where
-    /// each physical channel is several parallel edges) this is the VC
-    /// count *per class*: a 2-class channel with `b` VCs per class
-    /// models a `2b`-VC Dally–Seitz router.
-    pub vcs: u32,
+    /// How VC capacity is provisioned (see [`VcPolicy`]). The default
+    /// [`VcPolicy::Static`]`(B)` gives every **routing edge** `B ≥ 1`
+    /// dedicated VCs; on a multi-class graph (dateline or
+    /// adaptive-escape disciplines, where each physical channel is
+    /// several parallel edges) that is the VC count *per class*: a
+    /// 2-class channel with `b` VCs per class models a `2b`-VC
+    /// Dally–Seitz router. [`VcPolicy::RouterPooled`] instead lets each
+    /// router's outgoing edges share a VC pool on demand (equal total
+    /// storage, floors preserved — both engines remain bit-identical
+    /// under either policy).
+    pub vc_policy: VcPolicy,
     /// Bandwidth model (see [`BandwidthModel`]).
     pub bandwidth: BandwidthModel,
     /// Header arbitration policy: which contender wins the free VCs of
@@ -186,12 +323,13 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// A config with `b` virtual channels and defaults matching the paper's
-    /// primary model.
+    /// A config with `b` static virtual channels per edge and defaults
+    /// matching the paper's primary model.
     pub fn new(b: u32) -> Self {
-        assert!(b >= 1, "need at least one virtual channel");
+        let vc_policy = VcPolicy::Static(b);
+        vc_policy.validate();
         Self {
-            vcs: b,
+            vc_policy,
             bandwidth: BandwidthModel::BFlitsPerStep,
             arbitration: Arbitration::FifoById,
             final_edge: FinalEdgePolicy::RequiresVc,
@@ -203,6 +341,13 @@ impl SimConfig {
             seed: 0,
             check_invariants: false,
         }
+    }
+
+    /// Sets the VC capacity policy (validated; see [`VcPolicy`]).
+    pub fn vc_policy(mut self, p: VcPolicy) -> Self {
+        p.validate();
+        self.vc_policy = p;
+        self
     }
 
     /// Sets the bandwidth model.
@@ -283,7 +428,7 @@ mod tests {
             .max_steps(10)
             .seed(7)
             .check_invariants(true);
-        assert_eq!(c.vcs, 3);
+        assert_eq!(c.vc_policy, VcPolicy::Static(3));
         assert_eq!(c.bandwidth, BandwidthModel::OneFlitPerStep);
         assert_eq!(c.arbitration, Arbitration::Random);
         assert_eq!(c.final_edge, FinalEdgePolicy::Unlimited);
@@ -300,5 +445,46 @@ mod tests {
     #[should_panic(expected = "at least one virtual channel")]
     fn rejects_zero_vcs() {
         SimConfig::new(0);
+    }
+
+    #[test]
+    fn pooled_builder_roundtrip() {
+        let p = VcPolicy::pooled(16, 1, 6);
+        let c = SimConfig::new(2).vc_policy(p);
+        assert_eq!(c.vc_policy, p);
+        assert!(p.is_pooled());
+        assert_eq!(p.max_per_edge(), 6);
+        assert_eq!(p.name(), "pooled");
+        assert!(!VcPolicy::Static(2).is_pooled());
+        assert_eq!(VcPolicy::Static(2).max_per_edge(), 2);
+        assert_eq!(VcPolicy::Static(2).name(), "static");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty pool")]
+    fn rejects_zero_pool() {
+        VcPolicy::pooled(0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "per_edge_min must be >= 1")]
+    fn rejects_zero_floor() {
+        VcPolicy::pooled(8, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds per_edge_max")]
+    fn rejects_floor_above_cap() {
+        VcPolicy::pooled(8, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty pool")]
+    fn builder_validates_the_policy() {
+        let _ = SimConfig::new(1).vc_policy(VcPolicy::RouterPooled {
+            pool: 0,
+            per_edge_min: 1,
+            per_edge_max: 1,
+        });
     }
 }

@@ -257,6 +257,7 @@ pub fn run(graph: &Graph, specs: &[MessageSpec], config: &VctConfig) -> SimResul
         total_steps,
         messages: outcomes,
         max_vcs_in_use: max_occ,
+        max_pool_in_use: 0,
         total_stalls,
         flit_hops,
         escape_fallbacks: 0,

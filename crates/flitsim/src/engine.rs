@@ -16,8 +16,10 @@
 //!   runnable set provably cannot interact before the next release —
 //!   either every worm is draining into its delivery buffer (drains only
 //!   ever *decrement* holder counts, which commutes), or the worms'
-//!   paths are pairwise edge-disjoint (checked with an epoch-stamped
-//!   per-edge scratch and memoized until the membership changes) — each
+//!   paths are pairwise edge- and source-router-disjoint (checked with
+//!   epoch-stamped per-edge/per-router scratch and memoized until the
+//!   membership changes; router-disjointness keeps the per-router
+//!   occupancy samples behind `max_pool_in_use` engine-exact) — each
 //!   worm free-runs independently to `min(next release, step cap, its
 //!   finish)`: header steps in a tight `O(1)`-per-advance loop, and the
 //!   deterministic drain phase (`finish at advance = hops + L − 1`)
@@ -36,12 +38,19 @@
 use crate::config::BlockedPolicy;
 use crate::events::DeadlockReport;
 use crate::stats::Outcome;
-use crate::wormhole::{order_contenders, Sim};
+use crate::wormhole::Sim;
 
 const NONE: u32 = u32::MAX;
 
 struct EventState {
-    /// Head of the waiter list per edge (`NONE` = empty).
+    /// Head of the waiter list per wait key (`NONE` = empty). The key is
+    /// the wanted **edge** under the static VC policy and the wanted
+    /// edge's **source router** under [`VcPolicy::RouterPooled`]
+    /// ([`Sim::wait_key`]): pooling lets a release on any sibling edge
+    /// return shared credit, so every waiter of the router must be
+    /// reconsidered — the pool-release wakeup rule.
+    ///
+    /// [`VcPolicy::RouterPooled`]: crate::config::VcPolicy::RouterPooled
     waiter_head: Vec<u32>,
     /// Next waiter per message (intrusive list through the parked set).
     next_waiter: Vec<u32>,
@@ -51,11 +60,16 @@ struct EventState {
     /// Released, unretired, unparked worms — the per-step working set.
     runnable: Vec<u32>,
     n_parked: usize,
-    /// Memoized "runnable paths are pairwise edge-disjoint" verdict;
-    /// invalidated whenever the runnable membership changes.
+    /// Memoized "runnable paths are pairwise edge- and
+    /// source-router-disjoint" verdict; invalidated whenever the
+    /// runnable membership changes.
     indep_cached: Option<bool>,
-    /// Epoch-stamped scratch for the disjointness check.
+    /// Epoch-stamped per-edge scratch for the disjointness check.
     edge_mark: Vec<u64>,
+    /// Epoch-stamped per-router scratch for the disjointness check
+    /// (edge-disjoint worms can still share a source router's pool
+    /// counters).
+    node_mark: Vec<u64>,
     mark_epoch: u64,
 }
 
@@ -71,8 +85,13 @@ impl EventState {
 /// step, deadlock report)` exactly as the legacy driver would.
 pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
     let n_msgs = sim.specs.len();
+    let n_wait_keys = if sim.pooled {
+        sim.num_nodes()
+    } else {
+        sim.num_edges
+    };
     let mut st = EventState {
-        waiter_head: vec![NONE; sim.num_edges],
+        waiter_head: vec![NONE; n_wait_keys],
         next_waiter: vec![NONE; n_msgs],
         parked_at: vec![0; n_msgs],
         parked: vec![false; n_msgs],
@@ -80,6 +99,7 @@ pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
         n_parked: 0,
         indep_cached: Some(true), // empty set is trivially disjoint
         edge_mark: vec![0; sim.num_edges],
+        node_mark: vec![0; sim.num_nodes()],
         mark_epoch: 0,
     };
     let mut t: u64 = 0;
@@ -132,9 +152,13 @@ pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
         // no further route decisions, and drains only decrement holder
         // counts) but drop the disjoint-paths one: a pending worm's next
         // hop reads *other* worms' occupancies, so path disjointness no
-        // longer implies non-interaction.
+        // longer implies non-interaction. Pooled runs drop it for the
+        // analogous reason — edge-disjoint worms still compete for a
+        // shared router pool — while the all-draining jump stays exact
+        // (drains only return capacity, which commutes).
         if st.n_parked == 0
-            && (all_draining(sim, &st) || (sim.adaptive.is_none() && independent(sim, &mut st)))
+            && (all_draining(sim, &st)
+                || (sim.adaptive.is_none() && !sim.pooled && independent(sim, &mut st)))
             && ff_batch(sim, &mut st, &mut t)
         {
             continue;
@@ -152,39 +176,24 @@ pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
 
 /// One full-bandwidth step over the runnable set. Mirrors the legacy
 /// stepper's classify → arbitrate → apply phases, then parks losers and
-/// wakes the waiters of every edge that released a VC.
+/// wakes the waiters of every wait key that released capacity.
 fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
     sim.movers.clear();
     sim.blocked.clear();
     sim.buckets.clear();
     sim.released.clear();
-    // Classify. Parked worms are exactly the contenders of full edges, so
-    // leaving them out changes no arbitration outcome (a full edge blocks
-    // every contender regardless). Pending adaptive worms select their
-    // wanted hop inside classify — they are never parked, so they
-    // re-select here every step exactly like the legacy stepper.
+    // Classify. Parked worms are exactly the contenders of non-acquirable
+    // edges, so leaving them out changes no arbitration outcome (such an
+    // edge blocks every contender regardless). Pending adaptive worms
+    // select their wanted hop inside classify — they are never parked, so
+    // they re-select here every step exactly like the legacy stepper.
     for i in 0..st.runnable.len() {
         let m = st.runnable[i];
         sim.classify(m);
     }
-    // Arbitrate on start-of-step holder counts.
-    let groups = sim.buckets.group();
-    for gi in 0..groups {
-        let e = sim.buckets.edge(gi);
-        let free = (sim.config.vcs as usize).saturating_sub(sim.holders[e] as usize);
-        let group = sim.buckets.group_mut(gi);
-        if group.len() > free {
-            if free == 0 {
-                sim.blocked.extend_from_slice(group);
-                continue;
-            }
-            order_contenders(sim.config, sim.specs, t, e, group);
-            sim.blocked.extend_from_slice(&group[free..]);
-            sim.movers.extend_from_slice(&group[..free]);
-        } else {
-            sim.movers.extend_from_slice(group);
-        }
-    }
+    // Arbitrate on start-of-step holder counts (the canonical shared
+    // phase-2 — including the pooled ascending-edge-id credit grants).
+    sim.arbitrate(t);
     // Apply.
     let moved = !sim.movers.is_empty();
     for i in 0..sim.movers.len() {
@@ -192,15 +201,16 @@ fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
         sim.apply_advance(m, t);
     }
     // Losers stall, then discard or park. Parking checks the *end-of-step*
-    // holder count: if this step's releases already freed a VC on the
-    // wanted edge, the worm stays runnable and re-contends at `t+1`,
+    // acquirability: if this step's releases already freed capacity on
+    // the wanted edge, the worm stays runnable and re-contends at `t+1`,
     // exactly as the legacy stepper would. *Pending* adaptive worms
     // never park: their wanted edge is a fresh occupancy-dependent
     // selection each step, so no single edge's release is the unique
     // wake condition — they stay runnable and re-classify like the
     // legacy stepper. A frozen-route adaptive worm (arrived or committed
     // to its escape tail) wants the same fixed edge every step, exactly
-    // like an oblivious worm, so it parks normally.
+    // like an oblivious worm, so it parks normally — keyed by the edge
+    // (static) or its source router (pooled; see `Sim::wait_key`).
     for i in 0..sim.blocked.len() {
         let m = sim.blocked[i];
         sim.outcomes[m as usize].stalls += 1;
@@ -208,16 +218,21 @@ fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
             sim.discard(m, t);
         } else if !sim.worms[m as usize].pending_route {
             let e = sim.path_edge(m, sim.worms[m as usize].advance + 1);
-            if sim.holders[e] as u32 >= sim.config.vcs {
-                park(sim, st, m, e, t);
+            if !sim.edge_acquirable(e) {
+                let key = sim.wait_key(e);
+                park(sim, st, m, key, t);
             }
         }
     }
-    // Wake the waiters of every edge that released a VC this step; they
-    // contend from `t+1` (release at `t` is visible at `t+1`).
+    // Wake the waiters of every wait key that released capacity this
+    // step — the edge itself, or under pooling its source router (a
+    // sibling edge's release can return shared credit to every edge of
+    // the router). Woken worms contend from `t+1` (release at `t` is
+    // visible at `t+1`); a waiter whose edge is still blocked just loses
+    // again and re-parks, exactly as the legacy stepper would count it.
     for i in 0..sim.released.len() {
-        let e = sim.released[i] as usize;
-        wake_all(sim, st, e, t);
+        let key = sim.wait_key(sim.released[i] as usize);
+        wake_all(sim, st, key, t);
     }
     // Retire finished, discarded, and freshly parked worms.
     let before = st.runnable.len();
@@ -234,10 +249,10 @@ fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
     moved
 }
 
-fn park(sim: &mut Sim, st: &mut EventState, m: u32, e: usize, t: u64) {
+fn park(sim: &mut Sim, st: &mut EventState, m: u32, key: usize, t: u64) {
     let mi = m as usize;
-    st.next_waiter[mi] = st.waiter_head[e];
-    st.waiter_head[e] = m;
+    st.next_waiter[mi] = st.waiter_head[key];
+    st.waiter_head[key] = m;
     st.parked[mi] = true;
     st.parked_at[mi] = t;
     st.n_parked += 1;
@@ -245,12 +260,13 @@ fn park(sim: &mut Sim, st: &mut EventState, m: u32, e: usize, t: u64) {
     sim.track_releases = true;
 }
 
-/// Unparks every waiter of `e`, settling their arithmetic stalls. A worm
-/// parked earlier this same step is still in `runnable` and is only
-/// unflagged.
-fn wake_all(sim: &mut Sim, st: &mut EventState, e: usize, t: u64) {
-    let mut m = st.waiter_head[e];
-    st.waiter_head[e] = NONE;
+/// Unparks every waiter of wait key `key` (an edge, or a router under
+/// pooling), settling their arithmetic stalls. A worm parked earlier
+/// this same step is still in `runnable` and is only unflagged. Repeated
+/// calls for one key in one step are cheap no-ops (the list is taken).
+fn wake_all(sim: &mut Sim, st: &mut EventState, key: usize, t: u64) {
+    let mut m = st.waiter_head[key];
+    st.waiter_head[key] = NONE;
     while m != NONE {
         let mi = m as usize;
         st.parked[mi] = false;
@@ -308,11 +324,19 @@ fn all_draining(sim: &Sim, st: &EventState) -> bool {
     })
 }
 
-/// Whether the runnable worms' paths are pairwise edge-disjoint (repeated
-/// edges within one path count as a collision — conservative), memoized
-/// until the runnable membership changes. Disjoint worms can never
-/// contend, block, or observe each other's holder counts, so each one
-/// free-runs exactly as it would alone.
+/// Whether the runnable worms' paths are pairwise edge-disjoint **and**
+/// source-router-disjoint (repeats within one path count as a collision
+/// — conservative), memoized until the runnable membership changes.
+/// Disjoint worms can never contend, block, or observe each other's
+/// holder counts, so each one free-runs exactly as it would alone.
+///
+/// The router half matters even under the static policy: edge-disjoint
+/// worms whose edges leave a common router touch the same `pool_used`
+/// counter, and `max_pool_in_use` samples it at end of step — serially
+/// free-running such worms would visit per-router occupancies the
+/// legacy lock-step never produces. (Under pooling they additionally
+/// compete for shared credits, which is why the caller disables this
+/// fast-forward outright there.)
 fn independent(sim: &Sim, st: &mut EventState) -> bool {
     if let Some(v) = st.indep_cached {
         return v;
@@ -327,6 +351,12 @@ fn independent(sim: &Sim, st: &mut EventState) -> bool {
                 break 'scan;
             }
             *mark = st.mark_epoch;
+            let nmark = &mut st.node_mark[sim.edge_src[e.idx()] as usize];
+            if *nmark == st.mark_epoch {
+                ok = false;
+                break 'scan;
+            }
+            *nmark = st.mark_epoch;
         }
     }
     st.indep_cached = Some(ok);
@@ -377,8 +407,9 @@ fn ff_batch(sim: &mut Sim, st: &mut EventState, t: &mut u64) -> bool {
 
 /// Full state validation (shared invariants plus the engine's own): the
 /// wait queues must partition the active set with `runnable`, and every
-/// parked worm's wanted edge must be full — the property that makes
-/// arithmetic stall accounting exact.
+/// parked worm's wanted edge must be non-acquirable (full, or starved of
+/// shared pool credit) — the property that makes arithmetic stall
+/// accounting exact.
 fn validate(sim: &mut Sim, st: &EventState) {
     sim.rebuild_active();
     sim.validate();
@@ -388,9 +419,9 @@ fn validate(sim: &mut Sim, st: &EventState) {
             n += 1;
             let w = &sim.worms[m];
             let e = sim.path_edge(m as u32, w.advance + 1);
-            assert_eq!(
-                sim.holders[e] as u32, sim.config.vcs,
-                "parked worm {m} waits on a non-full edge"
+            assert!(
+                !sim.edge_acquirable(e),
+                "parked worm {m} waits on an acquirable edge"
             );
         }
     }

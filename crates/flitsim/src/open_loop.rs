@@ -379,6 +379,27 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_pooled_open_loop_runs() {
+        // Saturated open-loop traffic under router-pooled VC allocation:
+        // the router-keyed park/wake path runs hot here, and the capped
+        // partial state must still match the legacy stepper exactly.
+        use crate::config::{Engine, VcPolicy};
+        let (g, edges) = chain(5);
+        for (pool, min, max) in [(2u32, 1u32, 2u32), (3, 1, 3), (4, 2, 3)] {
+            let specs = periodic(&edges, 4, 1, 600);
+            let ol = OpenLoopConfig::new(100, 400).drain(100);
+            let cfg = SimConfig::new(1).vc_policy(VcPolicy::pooled(pool, min, max));
+            let ev = run_open_loop(&g, &specs, &cfg, &ol);
+            let lg = run_open_loop(&g, &specs, &cfg.clone().engine(Engine::Legacy), &ol);
+            assert!(
+                ev.same_execution(&lg),
+                "pooled engines diverged at pool={pool} min={min} max={max}"
+            );
+            assert!(ev.open_loop.unwrap().saturated, "overload must saturate");
+        }
+    }
+
+    #[test]
     fn config_builder_and_cap() {
         let ol = OpenLoopConfig::new(10, 20).drain(5).saturation_ratio(0.5);
         assert_eq!(ol.window_end(), 30);

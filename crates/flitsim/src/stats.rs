@@ -117,8 +117,19 @@ pub struct SimResult {
     pub total_steps: u64,
     /// Per-message outcomes, indexed like the input specs.
     pub messages: Vec<MessageOutcome>,
-    /// Maximum number of VCs simultaneously in use on any edge (≤ B).
+    /// Maximum number of VCs simultaneously in use on any edge (≤ B
+    /// under [`crate::config::VcPolicy::Static`], ≤ `per_edge_max`
+    /// under [`crate::config::VcPolicy::RouterPooled`]).
     pub max_vcs_in_use: u32,
+    /// Maximum number of VCs simultaneously in use across the outgoing
+    /// edges of any single router — the pool-occupancy high-water mark
+    /// under [`crate::config::VcPolicy::RouterPooled`] (≤ `pool`), and
+    /// the same per-router sum under the static policy (≤ `B · fanout`).
+    /// Sampled at end of step, like [`SimResult::max_vcs_in_use`], so it
+    /// is engine-identical. Tracked by the wormhole simulators only;
+    /// the comparison disciplines without per-router VC pools (e.g. the
+    /// virtual-cut-through engine) report 0.
+    pub max_pool_in_use: u32,
     /// Total blocked-step count across messages.
     pub total_stalls: u64,
     /// Total flit-edge crossings performed (a work measure).
@@ -151,6 +162,7 @@ impl SimResult {
             && self.total_steps == other.total_steps
             && self.messages == other.messages
             && self.max_vcs_in_use == other.max_vcs_in_use
+            && self.max_pool_in_use == other.max_pool_in_use
             && self.total_stalls == other.total_stalls
             && self.flit_hops == other.flit_hops
             && self.escape_fallbacks == other.escape_fallbacks
@@ -220,6 +232,7 @@ mod tests {
                 },
             ],
             max_vcs_in_use: 2,
+            max_pool_in_use: 2,
             total_stalls: 2,
             flit_hops: 99,
             escape_fallbacks: 0,

@@ -3,7 +3,10 @@
 //! Implements the model of §1.1 exactly (see DESIGN.md §3):
 //!
 //! * each directed edge carries `B` virtual channels, each owning a one-flit
-//!   buffer at the head of the edge;
+//!   buffer at the head of the edge — or, under
+//!   [`crate::config::VcPolicy::RouterPooled`], draws VCs on demand from a
+//!   pool shared across its source router's outgoing edges (see *VC
+//!   capacity policies* below);
 //! * a worm holds one VC on every edge its flits currently occupy; the VC is
 //!   acquired when the header crosses the edge and released when the tail
 //!   flit leaves its buffer;
@@ -40,7 +43,8 @@
 //!   worm that loses arbitration on a wait queue of the edge it wants and
 //!   reconsiders it only when that edge releases a VC; contention-free
 //!   stretches — nothing parked and the in-flight worms provably unable
-//!   to interact (all draining, or pairwise edge-disjoint paths) —
+//!   to interact (all draining, or pairwise edge- and
+//!   source-router-disjoint paths) —
 //!   fast-forward to the next release with drain phases collapsed to
 //!   closed form, and a fully idle network jumps straight to the next
 //!   message release.
@@ -77,6 +81,35 @@
 //! [`run_traced`] always uses the legacy stepper: its per-step `Blocked`
 //! events are inherently step-enumerated, which is exactly what the event
 //! engine avoids materializing.
+//!
+//! # VC capacity policies
+//!
+//! Every capacity decision is a query against
+//! [`crate::config::SimConfig::vc_policy`] rather than a comparison with
+//! a scalar `B`:
+//!
+//! * **acquirability** (`Sim::free_vcs`) — static: `holders < B`;
+//!   pooled: below the per-edge floor, or below the per-edge cap with
+//!   shared credit left at the source router;
+//! * **arbitration** (`Sim::arbitrate`, shared by both engines) —
+//!   under pooling, sibling edges of one router competing for the same
+//!   shared credits within a step are granted in **ascending edge-id
+//!   order**, a canonical rule that reads only start-of-step state and
+//!   the (engine-independent) contender sets, so the engines cannot
+//!   diverge;
+//! * **park/wake keying** (`Sim::wait_key`) — a blocked worm's edge
+//!   can become acquirable when a VC releases on the edge itself
+//!   (static) or on *any* outgoing edge of its source router (pooled:
+//!   the release may return shared credit). Acquirability is monotone
+//!   non-increasing between releases on that key under both policies,
+//!   which is what keeps the event engine's parked-interval stall
+//!   arithmetic exact.
+//!
+//! `Static(B)` is the degenerate pooling `pool = B · fanout,
+//! per_edge_min = per_edge_max = B` — asserted bit-identical by the
+//! policy-equivalence proptests — and pooled floors are never below 1,
+//! so the dateline/escape deadlock-freedom arguments survive pooling
+//! (every escape-class edge keeps a dedicated VC).
 //!
 //! # Adaptive route selection
 //!
@@ -450,6 +483,37 @@ pub(crate) struct Sim<'a> {
     pub(crate) outcomes: Vec<MessageOutcome>,
     /// VCs currently held per edge.
     pub(crate) holders: Vec<u16>,
+    /// Edge → source-router index (`graph.edge_sources()` copy): the
+    /// `O(1)` hop from an acquisition/release to the router whose pool
+    /// it debits.
+    pub(crate) edge_src: Vec<u32>,
+    /// VCs currently held across the outgoing edges of each router
+    /// (Σ `holders` per source node) — maintained under both policies so
+    /// `max_pool_in_use` is policy- and engine-identical.
+    pool_used: Vec<u32>,
+    /// [`VcPolicy::RouterPooled`] only: VCs drawn from each router's
+    /// *shared* portion, Σ over out-edges of `max(0, holders − floor)`.
+    /// Empty under the static policy.
+    shared_used: Vec<u32>,
+    /// Pooled only: each router's shared-portion capacity,
+    /// `pool − per_edge_min · fanout`. Empty under the static policy.
+    shared_cap: Vec<u32>,
+    /// Pooled arbitration scratch: shared credits already granted to
+    /// earlier (lower-id) edges of the same router within this step.
+    planned_shared: Vec<u32>,
+    /// Routers with nonzero `planned_shared` this step (reset list).
+    touched_routers: Vec<u32>,
+    /// Pooled arbitration scratch: bucket-group indices in ascending
+    /// edge-id order (the canonical shared-credit grant order).
+    group_order: Vec<u32>,
+    /// Cached [`VcPolicy`] decomposition: `true` iff router-pooled.
+    pub(crate) pooled: bool,
+    /// Guaranteed VCs per edge (`B` under the static policy).
+    per_edge_min: u32,
+    /// Hard per-edge cap (`B` under the static policy).
+    per_edge_max: u32,
+    /// Pool size per router (0 under the static policy — unused).
+    pool: u32,
     /// Per-step contender scratch (see [`FlatBuckets`]).
     pub(crate) buckets: FlatBuckets,
     /// Released-and-unretired message ids in `(release, id)` order. The
@@ -462,6 +526,7 @@ pub(crate) struct Sim<'a> {
     pub(crate) movers: Vec<u32>,
     pub(crate) blocked: Vec<u32>,
     max_vcs: u16,
+    max_pool: u32,
     flit_hops: u64,
     pub(crate) last_finish: u64,
     pub(crate) unfinished: usize,
@@ -507,6 +572,38 @@ impl<'a> Sim<'a> {
                 assert!(e.idx() < graph.num_edges(), "message {i}: bad edge id");
             }
         }
+        config.vc_policy.validate();
+        let (pooled, per_edge_min, per_edge_max, pool) = match config.vc_policy {
+            crate::config::VcPolicy::Static(b) => (false, b, b, 0),
+            crate::config::VcPolicy::RouterPooled {
+                pool,
+                per_edge_min,
+                per_edge_max,
+            } => (true, per_edge_min, per_edge_max, pool),
+        };
+        let shared_cap = if pooled {
+            assert_eq!(
+                config.bandwidth,
+                BandwidthModel::BFlitsPerStep,
+                "RouterPooled VC allocation requires the full-bandwidth model"
+            );
+            // Graph-dependent validation: every router must be able to
+            // honor its floors out of the pool.
+            graph
+                .nodes()
+                .map(|v| {
+                    let fanout = graph.out_degree(v) as u32;
+                    pool.checked_sub(per_edge_min * fanout).unwrap_or_else(|| {
+                        panic!(
+                            "router {v:?}: per_edge_min {per_edge_min} x fanout {fanout} \
+                             exceeds pool {pool}"
+                        )
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let adaptive_mode = config.route_selection != RouteSelection::Oblivious;
         let adaptive = if adaptive_mode {
             let router = router.expect("adaptive route selection needs a router");
@@ -553,6 +650,17 @@ impl<'a> Sim<'a> {
             worms,
             outcomes: vec![MessageOutcome::default(); specs.len()],
             holders: vec![0; graph.num_edges()],
+            edge_src: graph.edge_sources().to_vec(),
+            pool_used: vec![0; graph.num_nodes()],
+            shared_used: vec![0; if pooled { graph.num_nodes() } else { 0 }],
+            shared_cap,
+            planned_shared: vec![0; if pooled { graph.num_nodes() } else { 0 }],
+            touched_routers: Vec::new(),
+            group_order: Vec::new(),
+            pooled,
+            per_edge_min,
+            per_edge_max,
+            pool,
             buckets: FlatBuckets::with_edges(graph.num_edges()),
             active: Vec::new(),
             release_order,
@@ -560,6 +668,7 @@ impl<'a> Sim<'a> {
             movers: Vec::new(),
             blocked: Vec::new(),
             max_vcs: 0,
+            max_pool: 0,
             flit_hops: 0,
             last_finish: 0,
             unfinished: specs.len(),
@@ -576,6 +685,12 @@ impl<'a> Sim<'a> {
             tracing,
             trace: Vec::new(),
         }
+    }
+
+    /// Number of routers (nodes) in the simulated graph.
+    #[inline]
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.pool_used.len()
     }
 
     /// Whether crossing 1-based path edge `edge_1based` requires holding
@@ -599,6 +714,99 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// How many additional VCs edge `e` can grant right now — the
+    /// policy query every capacity decision routes through. Static:
+    /// `B − holders`. Pooled: below the floor is free; past it, each VC
+    /// draws one credit from the source router's shared portion; the
+    /// per-edge cap always binds.
+    #[inline]
+    pub(crate) fn free_vcs(&self, e: usize) -> u32 {
+        let h = self.holders[e] as u32;
+        let cap_free = self.per_edge_max.saturating_sub(h);
+        if !self.pooled {
+            return cap_free;
+        }
+        let r = self.edge_src[e] as usize;
+        let floor_free = self.per_edge_min.saturating_sub(h);
+        cap_free.min(floor_free + (self.shared_cap[r] - self.shared_used[r]))
+    }
+
+    /// Whether edge `e` could grant at least one VC right now. Under
+    /// either policy this is **monotone**: acquisitions by other worms
+    /// only reduce it, and it recovers only when a release lands on `e`
+    /// itself (static) or on any outgoing edge of `e`'s source router
+    /// (pooled) — the property the event engine's park/wake keying
+    /// relies on.
+    #[inline]
+    pub(crate) fn edge_acquirable(&self, e: usize) -> bool {
+        self.free_vcs(e) > 0
+    }
+
+    /// The event engine's park/wake key for a worm blocked on edge `e`:
+    /// the edge itself under the static policy (only a release there can
+    /// unblock it), the source router under pooling (a release on *any*
+    /// sibling edge can return shared credit — the pool-release wakeup
+    /// rule).
+    #[inline]
+    pub(crate) fn wait_key(&self, e: usize) -> usize {
+        if self.pooled {
+            self.edge_src[e] as usize
+        } else {
+            e
+        }
+    }
+
+    /// Hard capacity-invariant check for edge `e`: the per-edge cap, and
+    /// under pooling the source router's shared-portion and total-pool
+    /// bounds. One checked helper instead of per-call-site assertions.
+    pub(crate) fn check_capacity(&self, e: usize) {
+        let h = self.holders[e] as u32;
+        assert!(
+            h <= self.per_edge_max,
+            "edge {e} holds {h} > {} VCs",
+            self.per_edge_max
+        );
+        if self.pooled {
+            let r = self.edge_src[e] as usize;
+            assert!(
+                self.shared_used[r] <= self.shared_cap[r],
+                "router {r} draws {} > {} shared VCs",
+                self.shared_used[r],
+                self.shared_cap[r]
+            );
+            assert!(
+                self.pool_used[r] <= self.pool,
+                "router {r} holds {} > pool {} VCs",
+                self.pool_used[r],
+                self.pool
+            );
+        }
+    }
+
+    /// [`Sim::check_capacity`] in debug builds only (the hot-path guard
+    /// at every acquisition).
+    #[inline]
+    fn debug_check_capacity(&self, e: usize) {
+        if cfg!(debug_assertions) {
+            self.check_capacity(e);
+        }
+    }
+
+    /// Acquires one VC on `e`, updating the per-router pool accounting.
+    /// The caller handles `acquired`/`max_vcs` bookkeeping (it differs
+    /// between the full-bandwidth and restricted steppers).
+    #[inline]
+    fn acquire_vc(&mut self, e: usize) {
+        let h = self.holders[e];
+        self.holders[e] = h + 1;
+        let r = self.edge_src[e] as usize;
+        self.pool_used[r] += 1;
+        if self.pooled && h as u32 >= self.per_edge_min {
+            self.shared_used[r] += 1;
+        }
+        self.debug_check_capacity(e);
+    }
+
     /// Selects the wanted hop for pending worm `m` from start-of-step
     /// state and records it in the adaptive scratch. Pure in the sense
     /// that two engines evaluating it at the same step with the same
@@ -613,11 +821,18 @@ impl<'a> Sim<'a> {
         let mi = m as usize;
         let a = self.worms[mi].advance as usize;
         let fully = self.config.route_selection == RouteSelection::FullyAdaptive;
-        let vcs = self.config.vcs;
-        let Sim {
-            adaptive, holders, ..
-        } = self;
-        let ad = adaptive.as_mut().expect("pending worm without a router");
+        // Take the candidate scratch out of the adaptive state so the
+        // filter below can call the shared [`Sim::edge_acquirable`]
+        // policy query (one implementation for arbitration, parking,
+        // and candidate filtering) without a conflicting borrow.
+        let mut cand = std::mem::take(
+            &mut self
+                .adaptive
+                .as_mut()
+                .expect("pending worm without a router")
+                .cand,
+        );
+        let ad = self.adaptive.as_ref().unwrap();
         let router = ad.router;
         let g = router.graph();
         let (head, prev) = if a == 0 {
@@ -629,17 +844,18 @@ impl<'a> Sim<'a> {
         let dst = ad.dst[mi];
         debug_assert_ne!(head, dst, "pending worm already at its destination");
         let misroutes_ok = fully && ad.budget[mi] > 0;
-        ad.cand.clear();
-        router.candidates(head, dst, misroutes_ok, &mut ad.cand);
-        // Tie-break key: (start-of-step holder count, edge id). Both are
-        // engine-independent, which is what keeps adaptive runs inside
-        // the differential-oracle relation.
+        cand.clear();
+        router.candidates(head, dst, misroutes_ok, &mut cand);
+        // Candidate filter: the same acquirability query the arbitration
+        // phase runs, on start-of-step state — so both engines see
+        // identical candidate sets. Tie-break key: (start-of-step holder
+        // count, edge id), both engine-independent, which is what keeps
+        // adaptive runs inside the differential-oracle relation.
         let best = |want_profitable: bool, skip: Option<NodeId>| {
-            ad.cand
-                .iter()
-                .filter(|&&(e, p)| p == want_profitable && (holders[e.idx()] as u32) < vcs)
+            cand.iter()
+                .filter(|&&(e, p)| p == want_profitable && self.edge_acquirable(e.idx()))
                 .filter(|&&(e, _)| skip != Some(g.dst(e)))
-                .map(|&(e, _)| (holders[e.idx()], e.0))
+                .map(|&(e, _)| (self.holders[e.idx()], e.0))
                 .min()
         };
         let sel = if let Some((_, edge)) = best(true, None) {
@@ -657,6 +873,8 @@ impl<'a> Sim<'a> {
                 edge: router.escape_hop(head, dst).0,
             }
         };
+        let ad = self.adaptive.as_mut().unwrap();
+        ad.cand = cand;
         ad.selected[mi] = sel;
         sel
     }
@@ -707,6 +925,89 @@ impl<'a> Sim<'a> {
         } else {
             self.path_edge(m, w.advance + 1) as u32
         }
+    }
+
+    /// Phase-2 arbitration, shared by both engines: groups this step's
+    /// contenders ([`FlatBuckets::group`]), splits each edge's group
+    /// into winners (`movers`) and losers (`blocked`) from start-of-step
+    /// holder counts.
+    ///
+    /// Under [`VcPolicy::RouterPooled`] sibling edges of one router can
+    /// compete for the same shared credits within a single step, so the
+    /// per-edge `free` counts are **allocated in ascending edge-id
+    /// order** (tracked in `planned_shared`): a canonical rule that
+    /// depends only on start-of-step state and the contender *sets* —
+    /// both engine-independent — never on the order the engines
+    /// discovered the groups in. The static policy needs no such
+    /// cross-edge accounting and keeps the plain per-edge split.
+    ///
+    /// [`VcPolicy::RouterPooled`]: crate::config::VcPolicy::RouterPooled
+    pub(crate) fn arbitrate(&mut self, t: u64) {
+        let groups = self.buckets.group();
+        if !self.pooled {
+            for gi in 0..groups {
+                let e = self.buckets.edge(gi);
+                let free = self.free_vcs(e) as usize;
+                let group = self.buckets.group_mut(gi);
+                if group.len() > free {
+                    if free == 0 {
+                        self.blocked.extend_from_slice(group);
+                        continue;
+                    }
+                    order_contenders(self.config, self.specs, t, e, group);
+                    self.blocked.extend_from_slice(&group[free..]);
+                    self.movers.extend_from_slice(&group[..free]);
+                } else {
+                    self.movers.extend_from_slice(group);
+                }
+            }
+            return;
+        }
+        {
+            let Sim {
+                group_order,
+                buckets,
+                ..
+            } = self;
+            group_order.clear();
+            group_order.extend(0..groups as u32);
+            group_order.sort_unstable_by_key(|&gi| buckets.edge(gi as usize));
+        }
+        for i in 0..self.group_order.len() {
+            let gi = self.group_order[i] as usize;
+            let e = self.buckets.edge(gi);
+            let r = self.edge_src[e] as usize;
+            let h = self.holders[e] as u32;
+            let floor_free = self.per_edge_min.saturating_sub(h);
+            let shared_free =
+                (self.shared_cap[r] - self.shared_used[r]).saturating_sub(self.planned_shared[r]);
+            let free = (self.per_edge_max.saturating_sub(h)).min(floor_free + shared_free) as usize;
+            let group = self.buckets.group_mut(gi);
+            if free == 0 {
+                self.blocked.extend_from_slice(group);
+                continue;
+            }
+            let granted = if group.len() > free {
+                order_contenders(self.config, self.specs, t, e, group);
+                self.blocked.extend_from_slice(&group[free..]);
+                self.movers.extend_from_slice(&group[..free]);
+                free as u32
+            } else {
+                self.movers.extend_from_slice(group);
+                group.len() as u32
+            };
+            let shared_taken = granted.saturating_sub(floor_free);
+            if shared_taken > 0 {
+                if self.planned_shared[r] == 0 {
+                    self.touched_routers.push(r as u32);
+                }
+                self.planned_shared[r] += shared_taken;
+            }
+        }
+        for i in 0..self.touched_routers.len() {
+            self.planned_shared[self.touched_routers[i] as usize] = 0;
+        }
+        self.touched_routers.clear();
     }
 
     /// Commits pending worm `m`'s selected hop just before it advances:
@@ -770,6 +1071,7 @@ impl<'a> Sim<'a> {
                 total_steps,
                 messages: self.outcomes,
                 max_vcs_in_use: self.max_vcs as u32,
+                max_pool_in_use: self.max_pool,
                 total_stalls,
                 flit_hops: self.flit_hops,
                 escape_fallbacks,
@@ -958,23 +1260,7 @@ impl<'a> Sim<'a> {
             self.classify(m);
         }
         // Phase 2: per-edge arbitration using start-of-step holder counts.
-        let groups = self.buckets.group();
-        for gi in 0..groups {
-            let e = self.buckets.edge(gi);
-            let free = (self.config.vcs as usize).saturating_sub(self.holders[e] as usize);
-            let group = self.buckets.group_mut(gi);
-            if group.len() > free {
-                if free == 0 {
-                    self.blocked.extend_from_slice(group);
-                    continue;
-                }
-                order_contenders(self.config, self.specs, t, e, group);
-                self.blocked.extend_from_slice(&group[free..]);
-                self.movers.extend_from_slice(&group[..free]);
-            } else {
-                self.movers.extend_from_slice(group);
-            }
-        }
+        self.arbitrate(t);
         // Phase 3: apply.
         let moved = !self.movers.is_empty();
         for i in 0..self.movers.len() {
@@ -1051,7 +1337,7 @@ impl<'a> Sim<'a> {
                 } else {
                     // Head flit: acquires a VC on the edge it crosses.
                     if self.needs_vc(&self.worms[mi], target)
-                        && (self.holders[self.path_edge(m, target)] as u32) >= self.config.vcs
+                        && !self.edge_acquirable(self.path_edge(m, target))
                     {
                         continue;
                     }
@@ -1071,9 +1357,10 @@ impl<'a> Sim<'a> {
                 }
                 if k == 0 {
                     if self.needs_vc(&self.worms[mi], target) {
-                        self.holders[e] += 1;
-                        debug_assert!(self.holders[e] as u32 <= self.config.vcs);
+                        self.acquire_vc(e);
                         self.max_vcs = self.max_vcs.max(self.holders[e]);
+                        self.max_pool =
+                            self.max_pool.max(self.pool_used[self.edge_src[e] as usize]);
                         if self.tracing {
                             self.trace.push(TraceEvent::Acquire {
                                 t,
@@ -1091,10 +1378,10 @@ impl<'a> Sim<'a> {
                     // the final edge's VC.
                     if p != FLIT_UNINJECTED && self.needs_vc(&self.worms[mi], p) {
                         let e_old = self.path_edge(m, p);
-                        self.holders[e_old] -= 1;
+                        self.release_vc(e_old);
                     }
                     if delivered && self.needs_vc(&self.worms[mi], d) {
-                        self.holders[e] -= 1;
+                        self.release_vc(e);
                     }
                 }
                 if delivered {
@@ -1122,11 +1409,17 @@ impl<'a> Sim<'a> {
         any_moved
     }
 
-    /// Releases one VC on `e`, notifying the event engine's wait queues
-    /// when any worm is parked.
+    /// Releases one VC on `e`, returning per-router pool accounting and
+    /// notifying the event engine's wait queues when any worm is parked.
     #[inline]
     fn release_vc(&mut self, e: usize) {
-        self.holders[e] -= 1;
+        let h = self.holders[e];
+        self.holders[e] = h - 1;
+        let r = self.edge_src[e] as usize;
+        self.pool_used[r] -= 1;
+        if self.pooled && h as u32 > self.per_edge_min {
+            self.shared_used[r] -= 1;
+        }
         if self.track_releases {
             self.released.push(e as u32);
         }
@@ -1153,11 +1446,7 @@ impl<'a> Sim<'a> {
         // Acquire the newly crossed edge.
         if a <= hops && self.needs_vc(&self.worms[m as usize], a) {
             let e = self.path_edge(m, a);
-            self.holders[e] += 1;
-            debug_assert!(
-                self.holders[e] as u32 <= self.config.vcs,
-                "VC oversubscribed"
-            );
+            self.acquire_vc(e);
             self.acquired.push(e as u32);
             if self.tracing {
                 self.trace.push(TraceEvent::Acquire {
@@ -1263,6 +1552,8 @@ impl<'a> Sim<'a> {
         for i in 0..self.acquired.len() {
             let e = self.acquired[i] as usize;
             self.max_vcs = self.max_vcs.max(self.holders[e]);
+            let r = self.edge_src[e] as usize;
+            self.max_pool = self.max_pool.max(self.pool_used[r]);
         }
         self.acquired.clear();
     }
@@ -1309,9 +1600,7 @@ impl<'a> Sim<'a> {
             }
         }
         assert_eq!(expect, self.holders, "VC accounting mismatch");
-        for (e, &h) in self.holders.iter().enumerate() {
-            assert!(h as u32 <= self.config.vcs, "edge {e} holds {h} > B VCs");
-        }
+        self.validate_capacity();
         // Flit conservation per worm: injected − delivered == in-network.
         for &m in &self.active {
             let w = &self.worms[m as usize];
@@ -1356,6 +1645,32 @@ impl<'a> Sim<'a> {
                     assert_eq!(g.dst(last), ad.dst[mi], "frozen route misses dst");
                 }
             }
+        }
+    }
+
+    /// Recomputes the per-router pool counters from the holder counts
+    /// and runs [`Sim::check_capacity`] on every edge — the shared
+    /// capacity/pool validation both bandwidth models end with.
+    fn validate_capacity(&self) {
+        let mut pool_expect = vec![0u32; self.pool_used.len()];
+        let mut shared_expect = vec![0u32; self.shared_used.len()];
+        for (e, &h) in self.holders.iter().enumerate() {
+            let r = self.edge_src[e] as usize;
+            pool_expect[r] += h as u32;
+            if self.pooled {
+                shared_expect[r] += (h as u32).saturating_sub(self.per_edge_min);
+            }
+        }
+        assert_eq!(
+            pool_expect, self.pool_used,
+            "router pool accounting mismatch"
+        );
+        assert_eq!(
+            shared_expect, self.shared_used,
+            "shared-portion accounting mismatch"
+        );
+        for e in 0..self.num_edges {
+            self.check_capacity(e);
         }
     }
 
@@ -1410,6 +1725,7 @@ impl<'a> Sim<'a> {
             );
         }
         assert_eq!(expect, self.holders, "restricted VC accounting mismatch");
+        self.validate_capacity();
     }
 }
 #[cfg(test)]
@@ -2098,6 +2414,196 @@ mod tests {
         let specs = adaptive_specs(&t, &[(0, 2)], 2);
         let config = cfg(1).route_selection(RouteSelection::MinimalAdaptive);
         let _ = run(t.graph(), &specs, &config);
+    }
+
+    // ---- dynamic (router-pooled) VC allocation ------------------------
+
+    use crate::config::VcPolicy;
+
+    /// A 1→2 star: router 0 owns edges `e01` and `e02` (fanout 2), each
+    /// continuing one more hop so worms can be held in-network.
+    fn star() -> (Graph, EdgeId, EdgeId) {
+        let mut b = GraphBuilder::new(5);
+        let e01 = b.add_edge(NodeId(0), NodeId(1));
+        let e02 = b.add_edge(NodeId(0), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(3));
+        b.add_edge(NodeId(2), NodeId(4));
+        (b.build(), e01, e02)
+    }
+
+    fn pooled_cfg(pool: u32, min: u32, max: u32) -> SimConfig {
+        SimConfig::new(1)
+            .vc_policy(VcPolicy::pooled(pool, min, max))
+            .check_invariants(true)
+    }
+
+    #[test]
+    fn degenerate_pooled_is_bit_identical_to_static() {
+        // pool = B·fanout with min = max = B leaves the shared portion
+        // empty: every field of the result must match Static(B).
+        let (g, ps) = shared_chain_instance(5, 6);
+        let specs = specs_from_paths(&ps, 4);
+        for b in [1u32, 2, 3] {
+            let stat = run(&g, &specs, &cfg(b));
+            let fanout = g.max_out_degree() as u32;
+            let pooled = run(&g, &specs, &pooled_cfg(b * fanout, b, b));
+            assert!(
+                stat.same_execution(&pooled),
+                "B={b} diverged:\nstatic: {stat:?}\npooled: {pooled:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_edges_share_the_router_pool_on_demand() {
+        // Equal aggregate storage at router 0 (4 VCs over fanout 2):
+        // static B=2 admits only 2 of the 3 worms wanting e01 in step 0;
+        // pooled (floor 1, cap 4) lends the idle sibling's spare VC to
+        // the hot edge, admits all 3, and finishes sooner.
+        let (g, e01, e02) = star();
+        let mk = |e: EdgeId| MessageSpec::new(Path::new(vec![e]), 3);
+        let specs = vec![mk(e01), mk(e01), mk(e01), mk(e02)];
+        let stat = run_to_completion(&g, &specs, &cfg(2).check_invariants(true));
+        let pooled = run_to_completion(&g, &specs, &pooled_cfg(4, 1, 4));
+        assert_eq!(stat.max_vcs_in_use, 2);
+        assert_eq!(
+            pooled.max_vcs_in_use, 3,
+            "hot edge must borrow from the pool"
+        );
+        assert!(pooled.max_pool_in_use <= 4);
+        assert!(
+            pooled.total_steps < stat.total_steps,
+            "pooled {} !< static {}",
+            pooled.total_steps,
+            stat.total_steps
+        );
+        assert_eq!(pooled.total_stalls, 0);
+    }
+
+    #[test]
+    fn pooled_floor_reserves_capacity_for_the_idle_edge() {
+        // Pool 3 over fanout 2 (shared portion 1): two worms saturate
+        // e01 (floor + the only shared credit), yet a later worm on e02
+        // must still advance immediately — its floor VC is reserved, not
+        // poolable.
+        let (g, e01, e02) = star();
+        let specs = vec![
+            MessageSpec::new(Path::new(vec![e01]), 8),
+            MessageSpec::new(Path::new(vec![e01]), 8),
+            MessageSpec::new(Path::new(vec![e02]), 2).release_at(1),
+        ];
+        let r = run_to_completion(&g, &specs, &pooled_cfg(3, 1, 3));
+        assert_eq!(r.messages[2].first_move, Some(1), "floor VC must be free");
+        assert_eq!(r.messages[2].stalls, 0);
+        assert_eq!(r.max_pool_in_use, 3);
+    }
+
+    #[test]
+    fn pooled_per_edge_max_caps_a_single_edge() {
+        // Plenty of pool, but per_edge_max = 2: the third worm on e01
+        // stalls even though shared credit remains.
+        let (g, e01, _) = star();
+        let mk = || MessageSpec::new(Path::new(vec![e01]), 3);
+        let r = run_to_completion(&g, &[mk(), mk(), mk()], &pooled_cfg(6, 1, 2));
+        assert_eq!(r.max_vcs_in_use, 2);
+        assert!(r.total_stalls > 0, "third worm must wait for the cap");
+    }
+
+    #[test]
+    fn pooled_engines_agree_on_sibling_release_wakeups() {
+        // The pool-release wakeup rule end to end: w3 parks on e01
+        // needing *shared* credit (its floor is taken by the long-held
+        // w2), and the credit only returns when the sibling edge e02
+        // releases — an event the edge-keyed static wakeup would never
+        // see. Both engines must agree on the stall accounting.
+        let (g, e01, e02) = star();
+        let specs = vec![
+            MessageSpec::new(Path::new(vec![e02]), 6),
+            MessageSpec::new(Path::new(vec![e02]), 6),
+            MessageSpec::new(Path::new(vec![e01]), 20),
+            MessageSpec::new(Path::new(vec![e01]), 2).release_at(1),
+        ];
+        let config = pooled_cfg(3, 1, 2);
+        let r = assert_engines_agree(&g, &specs, &config);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(
+            r.messages[3].stalls > 0,
+            "w3 must wait for the sibling release: {r:?}"
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_edge_disjoint_router_sharing_paths() {
+        // Regression: two worms with edge-disjoint paths that both leave
+        // router 0. The disjoint-paths fast-forward must NOT serialize
+        // them — they share router 0's `pool_used` counter, and the
+        // legacy lock-step sees both VCs at the router simultaneously
+        // (`max_pool_in_use = 2`), a state a serial free-run would never
+        // visit. The independence check therefore requires source-router
+        // disjointness too, under both policies.
+        let (g, e01, e02) = star();
+        let e13 = Graph::find_edge(&g, NodeId(1), NodeId(3)).unwrap();
+        let e24 = Graph::find_edge(&g, NodeId(2), NodeId(4)).unwrap();
+        let specs = vec![
+            MessageSpec::new(Path::new(vec![e01, e13]), 4),
+            MessageSpec::new(Path::new(vec![e02, e24]), 4),
+        ];
+        let r = assert_engines_agree(&g, &specs, &cfg(1));
+        assert_eq!(r.max_pool_in_use, 2, "both worms hold router 0 at once");
+        let rp = assert_engines_agree(&g, &specs, &pooled_cfg(2, 1, 1));
+        assert_eq!(rp.max_pool_in_use, 2);
+    }
+
+    #[test]
+    fn truly_disjoint_worms_still_fast_forward_exactly() {
+        // Control: worms on fully node- and edge-disjoint chains keep
+        // the fast-forward path and stay engine-identical.
+        let mut b = GraphBuilder::new(6);
+        let a0 = b.add_edge(NodeId(0), NodeId(1));
+        let a1 = b.add_edge(NodeId(1), NodeId(2));
+        let b0 = b.add_edge(NodeId(3), NodeId(4));
+        let b1 = b.add_edge(NodeId(4), NodeId(5));
+        let g = b.build();
+        let specs = vec![
+            MessageSpec::new(Path::new(vec![a0, a1]), 5),
+            MessageSpec::new(Path::new(vec![b0, b1]), 3).release_at(1),
+        ];
+        let r = assert_engines_agree(&g, &specs, &cfg(1));
+        assert_eq!(r.total_stalls, 0);
+        assert_eq!(r.max_pool_in_use, 1);
+    }
+
+    #[test]
+    fn pooled_engines_agree_on_contended_chains() {
+        for (c, d, l, pool, min, max) in [
+            (4u32, 6u32, 3u32, 2u32, 1u32, 2u32),
+            (6, 8, 5, 3, 1, 3),
+            (5, 5, 4, 4, 2, 3),
+            (3, 4, 9, 2, 1, 1),
+        ] {
+            let (g, ps) = shared_chain_instance(c, d);
+            let specs = specs_from_paths(&ps, l);
+            let r = assert_engines_agree(&g, &specs, &pooled_cfg(pool, min, max));
+            assert_eq!(r.delivered(), c as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pool")]
+    fn pooled_rejects_floors_the_pool_cannot_honor() {
+        let (g, e01, _) = star();
+        let specs = vec![MessageSpec::new(Path::new(vec![e01]), 2)];
+        // fanout 2 at router 0, floor 2 each, pool 3: 2·2 > 3.
+        let _ = run(&g, &specs, &pooled_cfg(3, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "full-bandwidth model")]
+    fn pooled_rejects_the_restricted_model() {
+        let (g, e01, _) = star();
+        let specs = vec![MessageSpec::new(Path::new(vec![e01]), 2)];
+        let config = pooled_cfg(4, 1, 2).bandwidth(BandwidthModel::OneFlitPerStep);
+        let _ = run(&g, &specs, &config);
     }
 
     #[test]

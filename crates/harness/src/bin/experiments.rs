@@ -4,17 +4,20 @@
 //! experiments all            # every experiment, full-size sweeps
 //! experiments e1 e3          # selected experiments
 //! experiments --fast all     # reduced sweeps (CI-sized)
-//! experiments bench-json     # time fast x2/x7 per engine → BENCH_sim.json
+//! experiments bench-json     # time fast x2/x7/x9 per engine → BENCH_sim.json
 //! ```
 
 use std::time::Instant;
 
 use wormhole_flitsim::config::Engine;
-use wormhole_harness::experiments::{all_ids, run_by_id, x2_open_loop, x7_dateline};
+use wormhole_harness::experiments::{
+    all_ids, run_by_id, x2_open_loop, x7_dateline, x9_dynamic_vcs,
+};
 
-/// Times the fast x2/x7 families on both simulator engines and writes the
-/// wall-clock trajectory record (`BENCH_sim.json` unless a path is given).
-/// Committed once per perf-relevant PR so regressions have a baseline.
+/// Times the fast x2/x7/x9 families on both simulator engines and writes
+/// the wall-clock trajectory record (`BENCH_sim.json` unless a path is
+/// given). Committed once per perf-relevant PR so regressions have a
+/// baseline.
 fn bench_json(out_path: &str) {
     let engines = [(Engine::EventDriven, "event"), (Engine::Legacy, "legacy")];
     let mut rows = Vec::new();
@@ -32,6 +35,13 @@ fn bench_json(out_path: &str) {
         assert!(!tables.is_empty());
         eprintln!("[bench-json] x7 {ename}: {ms:.3} ms");
         rows.push(("x7", ename, ms));
+
+        let t0 = Instant::now();
+        let points = x9_dynamic_vcs::sweep_points_with(true, engine);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(!points.is_empty());
+        eprintln!("[bench-json] x9 {ename}: {ms:.3} ms");
+        rows.push(("x9", ename, ms));
     }
     let mut json = String::from("{\n  \"benchmark\": \"experiments bench-json\",\n  \"mode\": \"fast\",\n  \"unit\": \"wall_ms\",\n  \"families\": [\n");
     for (i, (family, engine, ms)) in rows.iter().enumerate() {

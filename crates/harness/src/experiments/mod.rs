@@ -18,6 +18,7 @@ pub mod x5_arbitration;
 pub mod x6_waksman;
 pub mod x7_dateline;
 pub mod x8_adaptive;
+pub mod x9_dynamic_vcs;
 
 use crate::table::Table;
 
@@ -25,7 +26,7 @@ use crate::table::Table;
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "x1", "x2", "x3", "x4",
-        "x5", "x6", "x7", "x8",
+        "x5", "x6", "x7", "x8", "x9",
     ]
 }
 
@@ -58,6 +59,7 @@ pub fn run_by_id(id: &str, fast: bool) -> Option<(String, Vec<Table>)> {
         "x6" => (String::new(), x6_waksman::run(fast)),
         "x7" => (String::new(), x7_dateline::run(fast)),
         "x8" => (String::new(), x8_adaptive::run(fast)),
+        "x9" => (String::new(), x9_dynamic_vcs::run(fast)),
         _ => return None,
     })
 }

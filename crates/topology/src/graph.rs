@@ -193,6 +193,17 @@ impl Graph {
         (self.offsets[v.idx() + 1] - self.offsets[v.idx()]) as usize
     }
 
+    /// The flat edge → source-router index: `edge_sources()[e]` is the
+    /// node whose router owns the *output* side of edge `e` (its VC
+    /// buffers live there). Per-router resource accounting — e.g. a
+    /// shared VC pool drawn on by every outgoing channel of one router —
+    /// stays `O(1)` per acquisition/release by indexing this slice
+    /// instead of re-deriving ownership from the CSR adjacency.
+    #[inline]
+    pub fn edge_sources(&self) -> &[u32] {
+        &self.srcs
+    }
+
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.num_nodes() as u32).map(NodeId)
@@ -352,6 +363,21 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn edge_sources_is_the_src_map() {
+        let (g, _) = diamond();
+        let srcs = g.edge_sources();
+        assert_eq!(srcs.len(), g.num_edges());
+        for e in g.edges() {
+            assert_eq!(NodeId(srcs[e.idx()]), g.src(e));
+        }
+        // And it partitions edges exactly like the CSR out-degree view.
+        for v in g.nodes() {
+            let owned = srcs.iter().filter(|&&s| s == v.0).count();
+            assert_eq!(owned, g.out_degree(v));
+        }
     }
 
     #[test]

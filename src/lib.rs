@@ -52,7 +52,7 @@ pub mod prelude {
     pub use wormhole_core::schedule::ColorSchedule;
     pub use wormhole_flitsim::config::{
         Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, RouteSelection,
-        SimConfig,
+        SimConfig, VcPolicy,
     };
     pub use wormhole_flitsim::message::{specs_from_paths, MessageSpec};
     pub use wormhole_flitsim::open_loop::{run_open_loop, run_open_loop_adaptive, OpenLoopConfig};

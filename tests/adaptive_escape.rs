@@ -53,6 +53,45 @@ fn saturating_rotation_drains_via_the_escape_class_without_deadlock() {
 }
 
 #[test]
+fn pooled_saturating_rotation_drains_via_the_escape_class_without_deadlock() {
+    // The same saturate-then-drain regression under router-pooled VC
+    // allocation: the pool equals the static budget (1 VC × fanout) but
+    // is shared on demand, with the mandatory per-edge floor of 1. The
+    // floors keep every escape channel serviceable, so the rotation
+    // still wedges the adaptive lane, spills into the escape classes,
+    // and completes — on both engines, bit-identically.
+    let t = adaptive_torus(8, 1);
+    let specs = rotation_specs(&t, 4, 12);
+    let fanout = Mesh::graph(&t).max_out_degree() as u32;
+    let mut results = Vec::new();
+    for engine in [Engine::EventDriven, Engine::Legacy] {
+        let cfg = SimConfig::new(1)
+            .vc_policy(VcPolicy::pooled(fanout, 1, fanout))
+            .route_selection(RouteSelection::MinimalAdaptive)
+            .engine(engine)
+            .check_invariants(true);
+        let r = wormhole_run_adaptive(&t, &specs, &cfg);
+        assert_eq!(r.outcome, Outcome::Completed, "{engine:?}: {r:?}");
+        assert_eq!(r.delivered(), 8, "{engine:?}");
+        assert!(
+            r.escape_fallbacks > 0,
+            "{engine:?}: saturated adaptive lane must spill into escape channels"
+        );
+        assert!(
+            r.max_pool_in_use <= fanout,
+            "{engine:?}: pool oversubscribed"
+        );
+        results.push(r);
+    }
+    assert!(
+        results[0].same_execution(&results[1]),
+        "pooled engines diverged:\n event: {:?}\nlegacy: {:?}",
+        results[0],
+        results[1]
+    );
+}
+
+#[test]
 fn control_arm_same_rotation_deadlocks_without_escape_channels() {
     // The same rotation on the naive single-class torus wedges at B = 1:
     // this is the deadlock the escape classes exist to remove.

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 
-use wormhole_flitsim::config::{Arbitration, Engine, SimConfig};
+use wormhole_flitsim::config::{Arbitration, Engine, SimConfig, VcPolicy};
 use wormhole_flitsim::message::specs_from_paths;
 use wormhole_flitsim::stats::{Outcome, SimResult};
 use wormhole_flitsim::wormhole;
@@ -32,6 +32,27 @@ fn arbitration(i: u32) -> Arbitration {
 
 fn vcs(i: u32) -> u32 {
     [1u32, 2, 4][i as usize % 3]
+}
+
+/// A valid [`VcPolicy::RouterPooled`] for a graph of maximum fanout
+/// `max_fanout`: floor from `min_idx`, pool = floors + `extra` shared
+/// credits, cap between the floor and the whole pool.
+fn pooled_policy(max_fanout: u32, min_idx: u32, extra: u32, cap_idx: u32) -> VcPolicy {
+    let per_edge_min = 1 + min_idx % 2;
+    let pool = per_edge_min * max_fanout + extra;
+    let per_edge_max = match cap_idx % 3 {
+        0 => per_edge_min,
+        1 => (per_edge_min + 1 + extra / 2).min(pool),
+        _ => pool,
+    };
+    VcPolicy::pooled(pool, per_edge_min, per_edge_max)
+}
+
+/// The degenerate pooling every static config is equivalent to:
+/// `pool = B · fanout, per_edge_min = per_edge_max = B` (floors exhaust
+/// the pool; the shared portion is empty).
+fn degenerate_pooled(b: u32, max_fanout: u32) -> VcPolicy {
+    VcPolicy::pooled(b * max_fanout.max(1), b, b)
 }
 
 fn run_both(graph: &Graph, specs: &[MessageSpec], config: &SimConfig) -> (SimResult, SimResult) {
@@ -215,6 +236,208 @@ proptest! {
         );
         // Adaptive-escape runs can stall but never wedge.
         prop_assert!(!matches!(ev.outcome, Outcome::Deadlock(_)));
+    }
+
+    /// Router-pooled VC allocation on shared chains: the router-keyed
+    /// park/wake path and the ascending-edge-id shared-credit grants
+    /// must reproduce the legacy stepper bit for bit, including at
+    /// tight step caps.
+    #[test]
+    fn engines_agree_on_pooled_chains(
+        c in 1u32..8,
+        d in 1u32..12,
+        l in 1u32..10,
+        min_idx in 0u32..2,
+        extra in 0u32..4,
+        cap_idx in 0u32..3,
+        arb in 0u32..4,
+        stagger in 0u64..6,
+        cap_small in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let (g, ps) = shared_chain_instance(c, d);
+        let policy = pooled_policy(g.max_out_degree() as u32, min_idx, extra, cap_idx);
+        let specs: Vec<MessageSpec> = specs_from_paths(&ps, l)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.release_at((i as u64 * stagger) % 13))
+            .collect();
+        let mut cfg = SimConfig::new(1)
+            .vc_policy(policy)
+            .arbitration(arbitration(arb))
+            .seed(seed)
+            .check_invariants(true);
+        if cap_small {
+            cfg = cfg.max_steps((d + l) as u64);
+        }
+        let (ev, lg) = run_both(&g, &specs, &cfg);
+        prop_assert!(
+            ev.same_execution(&lg),
+            "pooled chains ({policy:?}) diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+    }
+
+    /// Pooled torus tornado traffic on both routing arms: the naive arm
+    /// can still wedge (identical deadlock reports required), and the
+    /// dateline arm's floors keep it deadlock-free under pooling.
+    #[test]
+    fn engines_agree_on_pooled_torus_tornado(
+        radix in 4u32..8,
+        dims in 1u32..3,
+        min_idx in 0u32..2,
+        extra in 0u32..5,
+        cap_idx in 0u32..3,
+        l in 2u32..8,
+        rate_pct in 5u32..40,
+        naive in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let discipline = if naive {
+            RoutingDiscipline::Naive
+        } else {
+            RoutingDiscipline::DatelineClasses
+        };
+        let substrate = Substrate::torus_with(radix, dims, discipline);
+        let policy = pooled_policy(
+            substrate.graph().max_out_degree() as u32,
+            min_idx,
+            extra,
+            cap_idx,
+        );
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::Tornado,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(100);
+        let cfg = SimConfig::new(1)
+            .vc_policy(policy)
+            .arbitration(arbitration(seed as u32))
+            .seed(seed)
+            .max_steps(2_000)
+            .check_invariants(true);
+        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        prop_assert!(
+            ev.same_execution(&lg),
+            "pooled torus diverged ({discipline:?}, {policy:?}):\n event: {:?}\nlegacy: {:?}",
+            ev, lg
+        );
+        if let Outcome::Deadlock(_) = ev.outcome {
+            prop_assert!(ev.deadlock.is_some());
+        }
+        if !naive {
+            prop_assert!(
+                !matches!(ev.outcome, Outcome::Deadlock(_)),
+                "dateline arm must stay deadlock-free under pooling: {:?}", ev.outcome
+            );
+        }
+    }
+
+    /// Pooled adaptive tori: route selection reads the pooled
+    /// acquirability query, so candidate filtering, escape fallbacks,
+    /// and the park-free pending-worm path must all stay engine-exact.
+    #[test]
+    fn engines_agree_on_pooled_adaptive_tori(
+        radix in 3u32..7,
+        dims in 1u32..3,
+        min_idx in 0u32..2,
+        extra in 0u32..4,
+        cap_idx in 0u32..3,
+        l in 1u32..8,
+        rate_pct in 5u32..40,
+        fully in proptest::bool::ANY,
+        quota in 0u32..5,
+        arb in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_flitsim::config::RouteSelection;
+        let substrate = Substrate::torus_with(radix, dims, RoutingDiscipline::AdaptiveEscape);
+        let mesh = substrate.as_mesh().expect("torus is mesh-based");
+        let policy = pooled_policy(
+            substrate.graph().max_out_degree() as u32,
+            min_idx,
+            extra,
+            cap_idx,
+        );
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(80);
+        let sel = if fully {
+            RouteSelection::FullyAdaptive
+        } else {
+            RouteSelection::MinimalAdaptive
+        };
+        let cfg = SimConfig::new(1)
+            .vc_policy(policy)
+            .arbitration(arbitration(arb))
+            .seed(seed)
+            .route_selection(sel)
+            .misroute_quota(quota)
+            .max_steps(2_000)
+            .check_invariants(true);
+        let ev = wormhole::run_adaptive(mesh, &specs, &cfg.clone().engine(Engine::EventDriven));
+        let lg = wormhole::run_adaptive(mesh, &specs, &cfg.clone().engine(Engine::Legacy));
+        prop_assert!(
+            ev.same_execution(&lg),
+            "pooled adaptive ({sel:?}, {policy:?}) diverged:\n event: {:?}\nlegacy: {:?}",
+            ev, lg
+        );
+        // Escape floors ≥ 1 keep pooled adaptive runs wedge-free.
+        prop_assert!(!matches!(ev.outcome, Outcome::Deadlock(_)));
+    }
+
+    /// Policy equivalence: `Static(B)` ≡ the degenerate
+    /// `RouterPooled { pool: B·fanout, per_edge_min: B, per_edge_max: B }`,
+    /// field for field, on both engines (chains and torus workloads).
+    #[test]
+    fn static_is_the_degenerate_pooled_policy(
+        c in 1u32..7,
+        d in 1u32..10,
+        l in 1u32..8,
+        b_idx in 0u32..3,
+        arb in 0u32..4,
+        torus in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let b = vcs(b_idx);
+        let (g, specs) = if torus {
+            let substrate = Substrate::torus_with(4 + c % 4, 1 + d % 2, RoutingDiscipline::DatelineClasses);
+            let w = Workload::new(
+                substrate.clone(),
+                TrafficPattern::Tornado,
+                ArrivalProcess::bernoulli(0.2),
+                l,
+                seed,
+            );
+            (substrate.graph().clone(), w.generate(60))
+        } else {
+            let (g, ps) = shared_chain_instance(c, d);
+            (g, specs_from_paths(&ps, l))
+        };
+        let base = SimConfig::new(b)
+            .arbitration(arbitration(arb))
+            .seed(seed)
+            .max_steps(3_000)
+            .check_invariants(true);
+        let degen = base
+            .clone()
+            .vc_policy(degenerate_pooled(b, g.max_out_degree() as u32));
+        for engine in [Engine::EventDriven, Engine::Legacy] {
+            let stat = wormhole::run(&g, &specs, &base.clone().engine(engine));
+            let pooled = wormhole::run(&g, &specs, &degen.clone().engine(engine));
+            prop_assert!(
+                stat.same_execution(&pooled),
+                "{engine:?}: Static({b}) != degenerate pooled:\nstatic: {:?}\npooled: {:?}",
+                stat, pooled
+            );
+        }
     }
 
     /// Random leveled-net walks (the workload family the rest of the test

@@ -225,6 +225,35 @@ proptest! {
         }
     }
 
+    /// Simulation invariants under router-pooled VC allocation: random
+    /// pooled policies on leveled workloads complete, deliver
+    /// everything, and respect both the per-edge cap and the per-router
+    /// pool bound (checked every step by `check_invariants`, and again
+    /// here on the reported high-water marks).
+    #[test]
+    fn pooled_simulation_invariants(
+        seed in 0u64..1000,
+        min in 1u32..3,
+        extra in 0u32..5,
+        l in 1u32..12,
+        msgs in 1usize..40,
+    ) {
+        let net = LeveledNet::random(6, 4, 2, seed);
+        let ps = net.random_walk_paths(msgs, seed + 1);
+        let specs = specs_from_paths(&ps, l);
+        let fanout = net.graph().max_out_degree() as u32;
+        let pool = min * fanout + extra;
+        let cfg = SimConfig::new(1)
+            .vc_policy(VcPolicy::pooled(pool, min, pool))
+            .check_invariants(true);
+        let r = wormhole_run(net.graph(), &specs, &cfg);
+        prop_assert!(matches!(r.outcome, Outcome::Completed));
+        prop_assert_eq!(r.delivered(), msgs);
+        prop_assert!(r.max_vcs_in_use <= pool);
+        prop_assert!(r.max_pool_in_use <= pool, "pool oversubscribed: {:?}", r.max_pool_in_use);
+        prop_assert_eq!(r.flit_hops, (msgs as u64) * (l as u64) * 6);
+    }
+
     /// Adaptive-escape deadlock freedom by construction (the Duato
     /// condition): on every 1D/2D/3D three-class torus, the **extended
     /// channel-dependency graph over the escape subnetwork** is acyclic.
@@ -303,6 +332,52 @@ proptest! {
             }
         }
         prop_assert!(!cyc.build().is_acyclic(), "adaptive lane should be unrestricted");
+    }
+
+    /// The escape-channel deadlock-freedom argument survives pooling:
+    /// the acyclicity proof above is over *channels*, and
+    /// `per_edge_min ≥ 1` (enforced by validation) guarantees every
+    /// escape channel keeps a dedicated VC no matter how the shared
+    /// pool is drawn down. Dynamically: saturating same-direction
+    /// rotation traffic — the workload that wedges the naive torus —
+    /// must always complete on the three-class torus under random
+    /// pooled policies, spilling into the escape classes as needed.
+    #[test]
+    fn pooled_floors_keep_adaptive_escape_routing_deadlock_free(
+        radix in 3u32..7,
+        dims in 1u32..3,
+        min in 1u32..3,
+        extra in 0u32..4,
+        l in 2u32..12,
+        fully in proptest::bool::ANY,
+    ) {
+        let t = Mesh::new_disciplined(radix, dims, true, RoutingDiscipline::AdaptiveEscape);
+        let n = t.num_nodes();
+        let stride = 1 + radix / 2;
+        let specs: Vec<MessageSpec> = (0..n)
+            .map(|i| {
+                let mut dc = t.coords(NodeId(i));
+                dc[0] = (dc[0] + stride) % t.radix();
+                MessageSpec::new(t.route(NodeId(i), t.node(&dc)), l)
+            })
+            .collect();
+        let fanout = Mesh::graph(&t).max_out_degree() as u32;
+        let pool = min * fanout + extra;
+        let sel = if fully {
+            RouteSelection::FullyAdaptive
+        } else {
+            RouteSelection::MinimalAdaptive
+        };
+        let cfg = SimConfig::new(1)
+            .vc_policy(VcPolicy::pooled(pool, min, pool))
+            .route_selection(sel)
+            .check_invariants(true);
+        let r = wormhole_run_adaptive(&t, &specs, &cfg);
+        prop_assert!(
+            matches!(r.outcome, Outcome::Completed),
+            "pooled adaptive rotation wedged: {:?}", r.outcome
+        );
+        prop_assert_eq!(r.delivered(), n as usize);
     }
 
     /// Discard policy: the messages that do deliver finish by the
