@@ -1,0 +1,79 @@
+//! Analytic bound engine throughput: the whole point of the netcalc
+//! backend is that a delay certificate costs milliseconds where a
+//! simulation costs seconds. These benches pin that claim down on a
+//! 1024-input butterfly (k = 10) with one synthetic flow per input, and
+//! track how the fixed-point iteration scales with the VC count and the
+//! offered rate (more contention → more Picard iterations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wormhole_netcalc::{delay_bounds, BoundConfig, Flow};
+use wormhole_workloads::Substrate;
+
+/// One σ=1 leaky-bucket flow per input of a `2^k`-input butterfly,
+/// routed to the bit-complement output (worst-case column reversal —
+/// every flow crosses the bisection).
+fn complement_flows(k: u32, rate: f64) -> (Substrate, Vec<Flow>) {
+    let substrate = Substrate::butterfly(k);
+    let n = 1u32 << k;
+    let flows = (0..n)
+        .map(|s| {
+            let path = substrate.route(s, s ^ (n - 1));
+            Flow::synthetic(path.edges().to_vec(), 4, 1.0, rate)
+        })
+        .collect();
+    (substrate, flows)
+}
+
+fn bench_bound_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netcalc_bounds");
+    group.sample_size(20);
+    for k in [6u32, 8, 10] {
+        let (substrate, flows) = complement_flows(k, 0.002);
+        group.bench_with_input(BenchmarkId::new("n", 1u32 << k), &k, |bch, _| {
+            bch.iter(|| {
+                delay_bounds(substrate.graph(), &flows, &BoundConfig::new(4))
+                    .expect("butterfly is feedforward")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bound_vcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netcalc_bounds_vcs");
+    group.sample_size(20);
+    let (substrate, flows) = complement_flows(10, 0.002);
+    for b in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("B", b), &b, |bch, &b| {
+            bch.iter(|| {
+                delay_bounds(substrate.graph(), &flows, &BoundConfig::new(b))
+                    .expect("butterfly is feedforward")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bound_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netcalc_bounds_rates");
+    group.sample_size(20);
+    for rate in [0.001f64, 0.002, 0.005] {
+        let (substrate, flows) = complement_flows(10, rate);
+        group.bench_with_input(BenchmarkId::new("rate", rate), &rate, |bch, _| {
+            bch.iter(|| {
+                delay_bounds(substrate.graph(), &flows, &BoundConfig::new(8))
+                    .expect("butterfly is feedforward")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bound_scaling,
+    bench_bound_vcs,
+    bench_bound_rates
+);
+criterion_main!(benches);

@@ -4,14 +4,14 @@
 //! experiments all            # every experiment, full-size sweeps
 //! experiments e1 e3          # selected experiments
 //! experiments --fast all     # reduced sweeps (CI-sized)
-//! experiments bench-json     # time fast x2/x7/x9 per engine → BENCH_sim.json
+//! experiments bench-json     # time fast x2/x7/x9/x10 → BENCH_sim.json
 //! ```
 
 use std::time::Instant;
 
 use wormhole_flitsim::config::Engine;
 use wormhole_harness::experiments::{
-    all_ids, run_by_id, x2_open_loop, x7_dateline, x9_dynamic_vcs,
+    all_ids, run_by_id, x10_bounds, x2_open_loop, x7_dateline, x9_dynamic_vcs,
 };
 
 /// Times the fast x2/x7/x9 families on both simulator engines and writes
@@ -43,6 +43,23 @@ fn bench_json(out_path: &str) {
         eprintln!("[bench-json] x9 {ename}: {ms:.3} ms");
         rows.push(("x9", ename, ms));
     }
+
+    // x10 splits along a different axis than the simulator engines: the
+    // cross-validation sweep simulates (event engine), the frontier scan
+    // is pure bound computation — the "no-simulation" arm of the crate.
+    let t0 = Instant::now();
+    let points = x10_bounds::sweep_points(true);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(!points.is_empty());
+    eprintln!("[bench-json] x10 sim: {ms:.3} ms");
+    rows.push(("x10", "sim", ms));
+
+    let t0 = Instant::now();
+    let points = x10_bounds::analytic_points(true);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(!points.is_empty());
+    eprintln!("[bench-json] x10 analytic: {ms:.3} ms");
+    rows.push(("x10", "analytic", ms));
     let mut json = String::from("{\n  \"benchmark\": \"experiments bench-json\",\n  \"mode\": \"fast\",\n  \"unit\": \"wall_ms\",\n  \"families\": [\n");
     for (i, (family, engine, ms)) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };

@@ -29,6 +29,21 @@ impl Table {
         self
     }
 
+    /// Appends a row where some outcome columns may not apply — `None`
+    /// renders as `-`. Mixed simulated/analytic sweeps need this: a
+    /// bound-only row has no saturation verdict, a simulated row has no
+    /// certificate column, yet both live in one table.
+    pub fn row_opt(&mut self, cells: &[Option<String>]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(
+            cells
+                .iter()
+                .map(|c| c.clone().unwrap_or_else(|| "-".into()))
+                .collect(),
+        );
+        self
+    }
+
     /// Appends a footnote line.
     pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
         self.notes.push(s.into());
@@ -128,6 +143,28 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&cells!(1));
+    }
+
+    #[test]
+    fn optional_cells_render_as_dashes() {
+        let mut t = Table::new("Mixed", &["row", "p99", "bound", "saturated"]);
+        t.row_opt(&[
+            Some("sim".into()),
+            Some("12.5".into()),
+            None,
+            Some("no".into()),
+        ]);
+        t.row_opt(&[Some("analytic".into()), None, Some("40.0".into()), None]);
+        let s = t.render();
+        assert!(s.contains("| analytic |    - |  40.0 |         - |"), "{s}");
+        assert!(s.contains("|      sim | 12.5 |     - |        no |"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_opt_arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row_opt(&[None]);
     }
 
     #[test]

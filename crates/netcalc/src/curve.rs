@@ -1,0 +1,619 @@
+//! Min-plus curve algebra: piecewise-linear arrival curves (minima of
+//! leaky buckets `γ_{b,r}`) and rate-latency service curves (`β_{R,T}`).
+//!
+//! An [`ArrivalCurve`] `α` upper-bounds traffic: the number of messages
+//! released in any closed window of span `Δ` is at most `α(Δ)` (so
+//! `α(0)` covers a single step). It is stored as the lower envelope of
+//! finitely many affine token buckets, which is concave, nondecreasing,
+//! and closed under the operations the calculus needs: addition
+//! (aggregation), min-plus convolution `⊗` (both curves constrain the
+//! same flow), deconvolution `⊘` by a service curve (output
+//! characterization), and deconvolution by a pure delay (window
+//! widening).
+//!
+//! A [`ServiceCurve`] `β_{R,T}` lower-bounds service: at least
+//! `R·(t − T)⁺` work in any backlogged period of length `t`. Min-plus
+//! convolution of rate-latency curves (tandem traversal) stays
+//! rate-latency: `β_{R1,T1} ⊗ β_{R2,T2} = β_{min(R1,R2), T1+T2}`.
+//!
+//! All operations here are *exact* on the stored representations (no
+//! sampling): concavity reduces every sup/inf to a finite scan over
+//! segment endpoints.
+
+/// One affine token bucket `γ_{b,r}`: `t ↦ b + r·t` (burst `b`, rate `r`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TokenBucket {
+    /// Burst allowance `b ≥ 0` (messages).
+    pub burst: f64,
+    /// Long-run rate `r ≥ 0` (messages per step).
+    pub rate: f64,
+}
+
+impl TokenBucket {
+    /// A bucket with the given burst and rate (both finite and `≥ 0`).
+    pub fn new(burst: f64, rate: f64) -> Self {
+        assert!(burst.is_finite() && burst >= 0.0, "burst must be ≥ 0");
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be ≥ 0");
+        Self { burst, rate }
+    }
+
+    /// Evaluates `b + r·t`.
+    #[inline]
+    pub fn eval(&self, t: f64) -> f64 {
+        self.burst + self.rate * t
+    }
+
+    /// Min-plus deconvolution by a rate-latency service curve: the
+    /// classic closed form `γ_{b,r} ⊘ β_{R,T} = γ_{b + r·T, r}`, valid
+    /// when `r ≤ R`; `None` when the bucket's rate exceeds the service
+    /// rate (the backlog, and with it the output burst, diverges).
+    pub fn deconvolve(&self, beta: &ServiceCurve) -> Option<TokenBucket> {
+        if self.rate > beta.rate {
+            return None;
+        }
+        Some(TokenBucket::new(
+            self.burst + self.rate * beta.latency,
+            self.rate,
+        ))
+    }
+}
+
+/// A concave, nondecreasing piecewise-linear arrival curve: the lower
+/// envelope (pointwise minimum) of finitely many [`TokenBucket`]s.
+#[derive(Clone, Debug)]
+pub struct ArrivalCurve {
+    /// Envelope buckets, canonical: rates strictly decreasing, bursts
+    /// strictly increasing, every bucket active on some interval.
+    buckets: Vec<TokenBucket>,
+}
+
+impl ArrivalCurve {
+    /// The envelope of the given buckets (at least one required).
+    pub fn from_buckets(buckets: Vec<TokenBucket>) -> Self {
+        assert!(!buckets.is_empty(), "an arrival curve needs ≥ 1 bucket");
+        Self {
+            buckets: canonicalize(buckets),
+        }
+    }
+
+    /// A single leaky bucket `γ_{b,r}`.
+    pub fn token_bucket(burst: f64, rate: f64) -> Self {
+        Self::from_buckets(vec![TokenBucket::new(burst, rate)])
+    }
+
+    /// The tightest concave envelope of a finite arrival trace: given the
+    /// (sorted, nondecreasing) release steps of one flow, returns the
+    /// minimal concave `α` with `|{i : t_i ∈ [a, a+Δ]}| ≤ α(Δ)` for every
+    /// closed window. Built from the minimal span `s(c)` holding `c`
+    /// arrivals (`c = 1..m`) via the upper concave hull of the points
+    /// `(s(c), c)`, plus the flat bucket `γ_{m,0}` — a finite trace has
+    /// zero long-run rate, so every bound derived from a trace envelope
+    /// is finite.
+    pub fn from_trace(times: &[u64]) -> Self {
+        let m = times.len();
+        assert!(m >= 1, "an empty trace has no arrival curve");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "trace must be sorted"
+        );
+        // Minimal span per count; spans are nondecreasing in c, so the
+        // points are x-sorted. Equal spans keep only the largest count.
+        let mut pts: Vec<(f64, f64)> = Vec::with_capacity(m);
+        for c in 1..=m {
+            let s = (0..=m - c)
+                .map(|i| times[i + c - 1] - times[i])
+                .min()
+                .expect("c ≤ m") as f64;
+            match pts.last_mut() {
+                Some(last) if last.0 == s => last.1 = c as f64,
+                _ => pts.push((s, c as f64)),
+            }
+        }
+        // Upper concave hull (slopes strictly decreasing left to right).
+        let mut hull: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+        for p in pts {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                // Pop b when it is under (or on) chord a—p.
+                if (b.1 - a.1) * (p.0 - b.0) <= (p.1 - b.1) * (b.0 - a.0) {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(p);
+        }
+        let mut buckets = vec![TokenBucket::new(m as f64, 0.0)];
+        for w in hull.windows(2) {
+            let (x1, y1) = w[0];
+            let (x2, y2) = w[1];
+            let rate = (y2 - y1) / (x2 - x1);
+            buckets.push(TokenBucket::new(y1 - rate * x1, rate));
+        }
+        Self::from_buckets(buckets)
+    }
+
+    /// The envelope buckets (canonical form).
+    pub fn buckets(&self) -> &[TokenBucket] {
+        &self.buckets
+    }
+
+    /// Evaluates `α(t) = min_i (b_i + r_i·t)`.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.buckets
+            .iter()
+            .map(|tb| tb.eval(t))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Instantaneous burst `α(0)`.
+    pub fn burst(&self) -> f64 {
+        self.eval(0.0)
+    }
+
+    /// The long-run rate `lim α(t)/t` — the smallest bucket rate.
+    pub fn long_run_rate(&self) -> f64 {
+        self.buckets
+            .iter()
+            .map(|tb| tb.rate)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Pointwise sum (aggregation of independent flows) — exact on the
+    /// merged segment breakpoints of both envelopes.
+    pub fn add(&self, other: &ArrivalCurve) -> ArrivalCurve {
+        let mut xs: Vec<f64> = segments(&self.buckets)
+            .iter()
+            .chain(segments(&other.buckets).iter())
+            .map(|&(x, _)| x)
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        xs.dedup();
+        let mut buckets = Vec::with_capacity(xs.len());
+        for &x in &xs {
+            let rate = slope_after(&self.buckets, x) + slope_after(&other.buckets, x);
+            let value = self.eval(x) + other.eval(x);
+            // Concavity puts every tangent's y-intercept at or above the
+            // value at 0 (≥ 0); the clamp only absorbs f64 rounding.
+            buckets.push(TokenBucket::new((value - rate * x).max(0.0), rate));
+        }
+        ArrivalCurve::from_buckets(buckets)
+    }
+
+    /// Scales the curve by a positive factor: `(c·α)(t) = c·α(t)`.
+    pub fn scale(&self, c: f64) -> ArrivalCurve {
+        assert!(c > 0.0 && c.is_finite(), "scale factor must be positive");
+        ArrivalCurve::from_buckets(
+            self.buckets
+                .iter()
+                .map(|tb| TokenBucket::new(tb.burst * c, tb.rate * c))
+                .collect(),
+        )
+    }
+
+    /// Min-plus convolution `(α ⊗ γ)(t) = inf_{0≤s≤t} α(s) + γ(t−s)`.
+    /// For concave nondecreasing curves the infimum sits at an endpoint,
+    /// so `α ⊗ γ = min(α + γ(0), γ + α(0))` — exactly representable as
+    /// an envelope of shifted buckets.
+    pub fn convolve(&self, other: &ArrivalCurve) -> ArrivalCurve {
+        let (sa, sb) = (self.burst(), other.burst());
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|tb| TokenBucket::new(tb.burst + sb, tb.rate))
+            .chain(
+                other
+                    .buckets
+                    .iter()
+                    .map(|tb| TokenBucket::new(tb.burst + sa, tb.rate)),
+            )
+            .collect();
+        ArrivalCurve::from_buckets(buckets)
+    }
+
+    /// Deconvolution by a pure delay `δ_d`: `(α ⊘ δ_d)(t) = α(t + d)` —
+    /// each bucket's burst grows by `r·d`.
+    pub fn deconvolve_delay(&self, d: f64) -> ArrivalCurve {
+        assert!(d >= 0.0 && d.is_finite(), "delay must be ≥ 0");
+        ArrivalCurve::from_buckets(
+            self.buckets
+                .iter()
+                .map(|tb| TokenBucket::new(tb.burst + tb.rate * d, tb.rate))
+                .collect(),
+        )
+    }
+
+    /// Min-plus deconvolution by a rate-latency service curve:
+    /// `(α ⊘ β_{R,T})(t) = sup_{u≥0} α(t+u) − β(u)` — the arrival curve
+    /// of a flow's *output* after crossing a `β_{R,T}` server. `None`
+    /// when `α`'s long-run rate exceeds `R` (the sup diverges). Exact:
+    /// buckets with `r ≤ R` shift by the latency (`γ_{b+rT, r}`), and if
+    /// any envelope segment is steeper than `R`, one extra rate-`R` line
+    /// through the crest `max_v α(v) − R·v` caps the early segments.
+    pub fn deconvolve(&self, beta: &ServiceCurve) -> Option<ArrivalCurve> {
+        if self.long_run_rate() > beta.rate {
+            return None;
+        }
+        let mut buckets: Vec<TokenBucket> = self
+            .buckets
+            .iter()
+            .filter(|tb| tb.rate <= beta.rate)
+            .map(|tb| tb.deconvolve(beta).expect("rate filtered ≤ R"))
+            .collect();
+        if self.buckets.iter().any(|tb| tb.rate > beta.rate) {
+            let crest = segments(&self.buckets)
+                .iter()
+                .map(|&(x, _)| self.eval(x) - beta.rate * x)
+                .fold(f64::NEG_INFINITY, f64::max);
+            buckets.push(TokenBucket::new(
+                crest + beta.rate * beta.latency,
+                beta.rate,
+            ));
+        }
+        Some(ArrivalCurve::from_buckets(buckets))
+    }
+}
+
+/// A rate-latency service curve `β_{R,T}(t) = R·(t − T)⁺`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceCurve {
+    /// Guaranteed service rate `R > 0` once the latency has elapsed.
+    pub rate: f64,
+    /// Worst-case service latency `T ≥ 0`.
+    pub latency: f64,
+}
+
+impl ServiceCurve {
+    /// A `β_{R,T}` curve (`R > 0`, `T ≥ 0`, both finite).
+    pub fn rate_latency(rate: f64, latency: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "service rate must be > 0");
+        assert!(latency.is_finite() && latency >= 0.0, "latency must be ≥ 0");
+        Self { rate, latency }
+    }
+
+    /// Evaluates `R·(t − T)⁺`.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.rate * (t - self.latency).max(0.0)
+    }
+
+    /// Tandem composition: `β_{R1,T1} ⊗ β_{R2,T2} =
+    /// β_{min(R1,R2), T1+T2}` (rate-latency curves are closed under
+    /// min-plus convolution).
+    pub fn convolve(&self, other: &ServiceCurve) -> ServiceCurve {
+        ServiceCurve::rate_latency(self.rate.min(other.rate), self.latency + other.latency)
+    }
+
+    /// Residual service left to one flow after blind (arbitration-
+    /// agnostic) multiplexing with cross-traffic `cross` on this server:
+    /// a pseudo rate-latency curve whose **rate** is the long-run
+    /// leftover `R − ρ_∞(cross)` and whose **latency** is the first
+    /// instant `t` beyond which `R·t` exceeds some bucket of `cross`
+    /// (hence `cross` itself). `None` when the cross-traffic rate
+    /// consumes the server. In the wormhole bound engine only the
+    /// *latency* of this curve carries a per-edge guarantee (see
+    /// `bounds`); the rate is the standard capacity-planning reading.
+    pub fn residual(&self, cross: &ArrivalCurve) -> Option<ServiceCurve> {
+        let leftover = self.rate - cross.long_run_rate();
+        if leftover <= 0.0 {
+            return None;
+        }
+        let latency = cross
+            .buckets()
+            .iter()
+            .filter(|tb| tb.rate < self.rate)
+            .map(|tb| (tb.burst + self.rate * self.latency) / (self.rate - tb.rate))
+            .fold(f64::INFINITY, f64::min);
+        if !latency.is_finite() {
+            return None;
+        }
+        Some(ServiceCurve::rate_latency(leftover, latency))
+    }
+}
+
+/// Horizontal deviation `h(α, β)`: the classic delay bound for a flow
+/// with arrival curve `α` served at `β_{R,T}` — `T + sup_t (α(t)/R − t)`,
+/// scanned over `α`'s segment endpoints. `None` when `α`'s long-run rate
+/// exceeds `R`.
+pub fn hdev(alpha: &ArrivalCurve, beta: &ServiceCurve) -> Option<f64> {
+    if alpha.long_run_rate() > beta.rate {
+        return None;
+    }
+    let sup = segments(alpha.buckets())
+        .iter()
+        .map(|&(x, _)| alpha.eval(x) / beta.rate - x)
+        .fold(f64::NEG_INFINITY, f64::max);
+    Some(beta.latency + sup.max(0.0))
+}
+
+/// Vertical deviation `v(α, β) = sup_t α(t) − β(t)`: the classic backlog
+/// bound. `None` when `α`'s long-run rate exceeds `R`.
+pub fn vdev(alpha: &ArrivalCurve, beta: &ServiceCurve) -> Option<f64> {
+    if alpha.long_run_rate() > beta.rate {
+        return None;
+    }
+    let sup = segments(alpha.buckets())
+        .iter()
+        .map(|&(x, _)| x)
+        .chain(std::iter::once(beta.latency))
+        .map(|x| alpha.eval(x) - beta.eval(x))
+        .fold(f64::NEG_INFINITY, f64::max);
+    Some(sup.max(0.0))
+}
+
+/// Reduces a set of buckets to its lower envelope: rates strictly
+/// decreasing, bursts strictly increasing, each line active somewhere on
+/// `[0, ∞)`.
+fn canonicalize(mut buckets: Vec<TokenBucket>) -> Vec<TokenBucket> {
+    // Sort by rate descending, then burst ascending; drop duplicate rates
+    // (only the smallest burst per rate can be in the envelope).
+    buckets.sort_by(|a, b| {
+        b.rate
+            .partial_cmp(&a.rate)
+            .expect("finite rates")
+            .then(a.burst.partial_cmp(&b.burst).expect("finite bursts"))
+    });
+    buckets.dedup_by(|next, kept| next.rate == kept.rate);
+    // Classic line-envelope stack: `active[i]` is where stack line i
+    // takes over from line i−1.
+    let mut stack: Vec<TokenBucket> = Vec::with_capacity(buckets.len());
+    let mut active: Vec<f64> = Vec::with_capacity(buckets.len());
+    for line in buckets {
+        loop {
+            match stack.last() {
+                None => {
+                    stack.push(line);
+                    active.push(0.0);
+                    break;
+                }
+                Some(top) => {
+                    if line.burst <= top.burst {
+                        // Smaller rate and no larger burst: dominates top.
+                        stack.pop();
+                        active.pop();
+                        continue;
+                    }
+                    let x = (line.burst - top.burst) / (top.rate - line.rate);
+                    if x <= *active.last().expect("parallel stacks") {
+                        stack.pop();
+                        active.pop();
+                        continue;
+                    }
+                    stack.push(line);
+                    active.push(x);
+                    break;
+                }
+            }
+        }
+    }
+    stack
+}
+
+/// Segment starts of a canonical envelope: `(x_i, bucket_i)` with the
+/// i-th bucket active on `[x_i, x_{i+1})` (last one to `∞`).
+fn segments(buckets: &[TokenBucket]) -> Vec<(f64, TokenBucket)> {
+    let mut out = Vec::with_capacity(buckets.len());
+    for (i, &tb) in buckets.iter().enumerate() {
+        let x = if i == 0 {
+            0.0
+        } else {
+            let prev = buckets[i - 1];
+            (tb.burst - prev.burst) / (prev.rate - tb.rate)
+        };
+        out.push((x, tb));
+    }
+    out
+}
+
+/// Slope of the envelope just after `x`.
+fn slope_after(buckets: &[TokenBucket], x: f64) -> f64 {
+    let segs = segments(buckets);
+    let mut rate = segs[0].1.rate;
+    for &(from, tb) in &segs {
+        if from <= x {
+            rate = tb.rate;
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_curves_eq(a: &ArrivalCurve, b: &ArrivalCurve) {
+        for i in 0..400 {
+            let t = i as f64 * 0.37;
+            assert!(
+                (a.eval(t) - b.eval(t)).abs() < 1e-9 * (1.0 + a.eval(t).abs()),
+                "curves differ at t={t}: {} vs {}",
+                a.eval(t),
+                b.eval(t)
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_drops_dominated_lines() {
+        let a = ArrivalCurve::from_buckets(vec![
+            TokenBucket::new(5.0, 1.0),
+            TokenBucket::new(4.0, 1.0),  // same rate, smaller burst wins
+            TokenBucket::new(10.0, 0.5), // crosses the 1.0-line at t = 12
+            TokenBucket::new(50.0, 0.4), // crosses the 0.5-line at t = 400
+        ]);
+        assert_eq!(a.buckets().len(), 3);
+        assert_eq!(a.eval(0.0), 4.0);
+        assert_eq!(a.eval(12.0), 16.0);
+        assert_eq!(a.eval(100.0), 10.0 + 50.0);
+        assert_eq!(a.eval(500.0), 50.0 + 200.0);
+        assert_eq!(a.long_run_rate(), 0.4);
+    }
+
+    #[test]
+    fn add_is_exact_pointwise() {
+        let a = ArrivalCurve::from_buckets(vec![
+            TokenBucket::new(2.0, 1.0),
+            TokenBucket::new(8.0, 0.25),
+        ]);
+        let b = ArrivalCurve::from_buckets(vec![
+            TokenBucket::new(1.0, 2.0),
+            TokenBucket::new(5.0, 0.5),
+        ]);
+        let sum = a.add(&b);
+        for i in 0..200 {
+            let t = i as f64 * 0.13;
+            assert!(
+                (sum.eval(t) - (a.eval(t) + b.eval(t))).abs() < 1e-9,
+                "sum wrong at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn convolution_matches_brute_force() {
+        let a = ArrivalCurve::from_buckets(vec![
+            TokenBucket::new(3.0, 1.5),
+            TokenBucket::new(7.0, 0.5),
+        ]);
+        let b = ArrivalCurve::token_bucket(2.0, 1.0);
+        let conv = a.convolve(&b);
+        for i in 0..100 {
+            let t = i as f64 * 0.25;
+            // inf over a fine grid of split points.
+            let brute = (0..=400)
+                .map(|j| {
+                    let s = t * j as f64 / 400.0;
+                    a.eval(s) + b.eval(t - s)
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!((conv.eval(t) - brute).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn deconvolve_delay_widens_windows() {
+        let a = ArrivalCurve::token_bucket(2.0, 0.5);
+        let d = a.deconvolve_delay(10.0);
+        for i in 0..50 {
+            let t = i as f64;
+            assert!((d.eval(t) - a.eval(t + 10.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deconvolve_matches_brute_force_sup() {
+        let beta = ServiceCurve::rate_latency(1.0, 4.0);
+        // Mixed slopes: one steeper than R, one shallower.
+        let a = ArrivalCurve::from_buckets(vec![
+            TokenBucket::new(1.0, 3.0),
+            TokenBucket::new(9.0, 0.25),
+        ]);
+        let out = a.deconvolve(&beta).expect("long-run rate 0.25 ≤ 1");
+        for i in 0..120 {
+            let t = i as f64 * 0.2;
+            let brute = (0..=4000)
+                .map(|j| {
+                    let u = j as f64 * 0.05;
+                    a.eval(t + u) - beta.eval(u)
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                (out.eval(t) - brute).abs() < 1e-6,
+                "deconvolution wrong at t={t}: {} vs {brute}",
+                out.eval(t)
+            );
+        }
+        // Diverging case: long-run rate above the service rate.
+        let hot = ArrivalCurve::token_bucket(1.0, 2.0);
+        assert!(hot.deconvolve(&beta).is_none());
+    }
+
+    #[test]
+    fn trace_envelope_is_tight_and_valid() {
+        let times = [0u64, 1, 2, 10, 11, 30];
+        let a = ArrivalCurve::from_trace(&times);
+        // Validity: every window count is covered.
+        for i in 0..times.len() {
+            for j in i..times.len() {
+                let span = (times[j] - times[i]) as f64;
+                let count = (j - i + 1) as f64;
+                assert!(
+                    a.eval(span) >= count - 1e-9,
+                    "window [{},{}] holds {count} > α({span}) = {}",
+                    times[i],
+                    times[j],
+                    a.eval(span)
+                );
+            }
+        }
+        // Tightness anchors: single step holds up to 1 message here; the
+        // whole trace is 6 messages with zero long-run rate.
+        assert!((a.eval(0.0) - 1.0).abs() < 1e-9);
+        assert_eq!(a.long_run_rate(), 0.0);
+        assert!((a.eval(1e9) - 6.0).abs() < 1e-9);
+        // Tightness at the 3-in-2-steps cluster.
+        assert!(a.eval(2.0) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn trace_envelope_handles_bursts_at_one_step() {
+        // Two flows merged at the same step (possible across sources).
+        let a = ArrivalCurve::from_trace(&[5, 5, 5]);
+        assert!((a.eval(0.0) - 3.0).abs() < 1e-9);
+        let single = ArrivalCurve::from_trace(&[7]);
+        assert!((single.eval(0.0) - 1.0).abs() < 1e-9);
+        assert!((single.eval(100.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_of_zero_burst_is_min() {
+        // With f(0) = g(0) = 0, f ⊗ g = min(f, g): the textbook identity.
+        let f = ArrivalCurve::from_buckets(vec![
+            TokenBucket::new(0.0, 1.0),
+            TokenBucket::new(3.0, 0.4),
+        ]);
+        let g = ArrivalCurve::from_buckets(vec![
+            TokenBucket::new(0.0, 2.0),
+            TokenBucket::new(4.0, 0.5),
+        ]);
+        let conv = f.convolve(&g);
+        let min =
+            ArrivalCurve::from_buckets(f.buckets().iter().chain(g.buckets()).copied().collect());
+        assert_curves_eq(&conv, &min);
+    }
+
+    #[test]
+    fn service_convolution_and_residual() {
+        let b1 = ServiceCurve::rate_latency(4.0, 2.0);
+        let b2 = ServiceCurve::rate_latency(2.0, 3.0);
+        let tandem = b1.convolve(&b2);
+        assert_eq!(tandem.rate, 2.0);
+        assert_eq!(tandem.latency, 5.0);
+
+        let cross = ArrivalCurve::token_bucket(3.0, 1.0);
+        let res = b2.residual(&cross).expect("1 < 2");
+        assert!((res.rate - 1.0).abs() < 1e-12);
+        // Latency solves 2(t − 3) = 3 + t → t = 9.
+        assert!((res.latency - 9.0).abs() < 1e-9);
+        // Saturated server leaves nothing.
+        assert!(b2.residual(&ArrivalCurve::token_bucket(1.0, 2.5)).is_none());
+    }
+
+    #[test]
+    fn hdev_and_vdev_closed_forms() {
+        // Single bucket vs rate-latency: h = T + b/R, v = b + r·T.
+        let a = ArrivalCurve::token_bucket(6.0, 1.0);
+        let b = ServiceCurve::rate_latency(2.0, 5.0);
+        assert!((hdev(&a, &b).unwrap() - (5.0 + 3.0)).abs() < 1e-9);
+        assert!((vdev(&a, &b).unwrap() - (6.0 + 5.0)).abs() < 1e-9);
+        let hot = ArrivalCurve::token_bucket(1.0, 3.0);
+        assert!(hdev(&hot, &b).is_none());
+        assert!(vdev(&hot, &b).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 bucket")]
+    fn empty_curve_rejected() {
+        ArrivalCurve::from_buckets(Vec::new());
+    }
+}

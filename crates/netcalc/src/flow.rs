@@ -1,0 +1,157 @@
+//! Flows: routed traffic streams with arrival-curve envelopes.
+//!
+//! The bound engine reasons about **flows** — groups of messages sharing
+//! one path and one length — rather than individual [`MessageSpec`]s.
+//! [`flows_from_specs`] derives the flow set of a concrete open-loop
+//! trace, fitting each flow with the *tightest concave envelope* of its
+//! release times ([`ArrivalCurve::from_trace`]). Trace envelopes are the
+//! honest choice for cross-validation: a Bernoulli process has no
+//! almost-sure burst bound, so any a-priori leaky bucket either lies or
+//! is vacuous, while the realized trace has an exact finite envelope.
+//!
+//! For capacity planning without a trace (the ROADMAP's million-router
+//! reading), [`Flow::synthetic`] builds a flow from an assumed
+//! leaky-bucket contract instead.
+
+use wormhole_flitsim::message::MessageSpec;
+use wormhole_topology::graph::EdgeId;
+
+use crate::curve::ArrivalCurve;
+
+/// One flow: a fixed path, a message length, and an arrival envelope
+/// (messages per step, window-span convention).
+#[derive(Clone, Debug)]
+pub struct Flow {
+    /// The path's edges, in traversal order (non-empty).
+    pub edges: Vec<EdgeId>,
+    /// Message length `L` in flits (`≥ 1`).
+    pub len_flits: u32,
+    /// Arrival envelope: at most `arrival(Δ)` messages released in any
+    /// closed window of span `Δ`.
+    pub arrival: ArrivalCurve,
+}
+
+impl Flow {
+    /// A flow from an assumed leaky-bucket contract `γ_{burst,rate}` —
+    /// the no-trace capacity-planning constructor.
+    pub fn synthetic(edges: Vec<EdgeId>, len_flits: u32, burst: f64, rate: f64) -> Self {
+        assert!(!edges.is_empty(), "a flow needs a route");
+        assert!(len_flits >= 1, "a message has at least its header flit");
+        Self {
+            edges,
+            len_flits,
+            arrival: ArrivalCurve::token_bucket(burst, rate),
+        }
+    }
+
+    /// Unblocked latency floor `d + L − 1` of one message of this flow.
+    pub fn pipeline_floor(&self) -> f64 {
+        (self.edges.len() as u32 + self.len_flits - 1) as f64
+    }
+}
+
+/// The flow decomposition of a message trace: the flows plus the map
+/// from each spec index back to its flow.
+#[derive(Clone, Debug)]
+pub struct TraceFlows {
+    /// The distinct `(path, length)` flows, each with its trace envelope.
+    pub flows: Vec<Flow>,
+    /// `spec_flow[i]` is the index into `flows` of `specs[i]`.
+    pub spec_flow: Vec<usize>,
+}
+
+/// Groups a timed message trace into flows by `(path, length)` and fits
+/// each with the tightest concave envelope of its release steps. Specs
+/// with empty paths are rejected (they route nothing and the simulator
+/// never accepts them either).
+pub fn flows_from_specs(specs: &[MessageSpec]) -> TraceFlows {
+    let mut flows: Vec<Flow> = Vec::new();
+    let mut releases: Vec<Vec<u64>> = Vec::new();
+    let mut index: std::collections::HashMap<(Vec<EdgeId>, u32), usize> =
+        std::collections::HashMap::new();
+    let mut spec_flow = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let edges = spec.path.edges().to_vec();
+        assert!(!edges.is_empty(), "a flow needs a route");
+        let key = (edges, spec.length);
+        let fi = *index.entry(key).or_insert_with_key(|(edges, len)| {
+            flows.push(Flow {
+                edges: edges.clone(),
+                len_flits: *len,
+                // Placeholder; replaced once all releases are collected.
+                arrival: ArrivalCurve::token_bucket(0.0, 0.0),
+            });
+            releases.push(Vec::new());
+            flows.len() - 1
+        });
+        releases[fi].push(spec.release);
+        spec_flow.push(fi);
+    }
+    for (flow, times) in flows.iter_mut().zip(&mut releases) {
+        times.sort_unstable();
+        flow.arrival = ArrivalCurve::from_trace(times);
+    }
+    TraceFlows { flows, spec_flow }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_topology::graph::{GraphBuilder, NodeId};
+    use wormhole_topology::path::Path;
+
+    fn chain_edges(n: u32) -> Vec<EdgeId> {
+        let mut b = GraphBuilder::new(n as usize);
+        let edges = (0..n - 1)
+            .map(|i| b.add_edge(NodeId(i), NodeId(i + 1)))
+            .collect();
+        let _ = b.build();
+        edges
+    }
+
+    #[test]
+    fn grouping_by_path_and_length() {
+        let edges = chain_edges(4);
+        let p_long = Path::new(edges.clone());
+        let p_short = Path::new(edges[..1].to_vec());
+        let specs = vec![
+            MessageSpec::new(p_long.clone(), 3).release_at(0),
+            MessageSpec::new(p_short.clone(), 3).release_at(1),
+            MessageSpec::new(p_long.clone(), 3).release_at(5),
+            MessageSpec::new(p_long.clone(), 2).release_at(7), // new length
+        ];
+        let tf = flows_from_specs(&specs);
+        assert_eq!(tf.flows.len(), 3);
+        assert_eq!(tf.spec_flow, vec![0, 1, 0, 2]);
+        // Flow 0 holds two releases, 0 and 5.
+        assert!((tf.flows[0].arrival.eval(1e9) - 2.0).abs() < 1e-9);
+        assert!((tf.flows[1].arrival.eval(0.0) - 1.0).abs() < 1e-9);
+        assert_eq!(tf.flows[0].pipeline_floor(), (3 + 3 - 1) as f64);
+    }
+
+    #[test]
+    fn envelope_covers_every_window_of_the_trace() {
+        let edges = chain_edges(3);
+        let times = [0u64, 2, 3, 3, 9, 40, 41];
+        let specs: Vec<MessageSpec> = times
+            .iter()
+            .map(|&t| MessageSpec::new(Path::new(edges.clone()), 2).release_at(t))
+            .collect();
+        let tf = flows_from_specs(&specs);
+        let a = &tf.flows[0].arrival;
+        for i in 0..times.len() {
+            for j in i..times.len() {
+                let span = (times[j] - times[i]) as f64;
+                assert!(a.eval(span) >= (j - i + 1) as f64 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_flow_contract() {
+        let edges = chain_edges(5);
+        let f = Flow::synthetic(edges, 4, 2.0, 0.125);
+        assert_eq!(f.pipeline_floor(), (4 + 4 - 1) as f64);
+        assert!((f.arrival.eval(8.0) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the min-plus curve algebra.
+//!
+//! The bound engine leans on three algebraic facts: min-plus convolution
+//! is associative and commutative (so multi-hop service composition is
+//! order-independent), and deconvolution is monotone in both the burst
+//! and the rate of the arrival curve (so loosening a traffic envelope
+//! can only loosen the derived output envelope, never tighten it).
+//! Curves are compared by sampling `eval` on a fixed time grid — the
+//! curves are piecewise linear, so agreement on a dense grid spanning
+//! every breakpoint regime is agreement everywhere that matters.
+
+use proptest::prelude::*;
+
+use wormhole_netcalc::{ArrivalCurve, ServiceCurve, TokenBucket};
+
+/// Sample grid: hits the pure-burst regime, typical crossover region,
+/// and deep long-run-rate regime for the parameter ranges below.
+const GRID: [f64; 9] = [0.0, 0.5, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0];
+
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+}
+
+/// A two-bucket concave arrival curve from four sampled parameters.
+fn curve(b1: f64, r1: f64, b2: f64, r2: f64) -> ArrivalCurve {
+    ArrivalCurve::from_buckets(vec![TokenBucket::new(b1, r1), TokenBucket::new(b2, r2)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// α ⊗ α' = α' ⊗ α on arrival curves.
+    #[test]
+    fn arrival_convolution_is_commutative(
+        b1 in 0.0f64..40.0, r1 in 0.0f64..2.0,
+        b2 in 0.0f64..40.0, r2 in 0.0f64..2.0,
+        b3 in 0.0f64..40.0, r3 in 0.0f64..2.0,
+    ) {
+        let a = curve(b1, r1, b2, r2);
+        let b = ArrivalCurve::token_bucket(b3, r3);
+        let ab = a.convolve(&b);
+        let ba = b.convolve(&a);
+        for t in GRID {
+            prop_assert!(
+                close(ab.eval(t), ba.eval(t)),
+                "t={t}: {} vs {}", ab.eval(t), ba.eval(t)
+            );
+        }
+    }
+
+    /// (α ⊗ α') ⊗ α'' = α ⊗ (α' ⊗ α'') on arrival curves.
+    #[test]
+    fn arrival_convolution_is_associative(
+        b1 in 0.0f64..40.0, r1 in 0.0f64..2.0,
+        b2 in 0.0f64..40.0, r2 in 0.0f64..2.0,
+        b3 in 0.0f64..40.0, r3 in 0.0f64..2.0,
+    ) {
+        let a = ArrivalCurve::token_bucket(b1, r1);
+        let b = ArrivalCurve::token_bucket(b2, r2);
+        let c = ArrivalCurve::token_bucket(b3, r3);
+        let left = a.convolve(&b).convolve(&c);
+        let right = a.convolve(&b.convolve(&c));
+        for t in GRID {
+            prop_assert!(
+                close(left.eval(t), right.eval(t)),
+                "t={t}: {} vs {}", left.eval(t), right.eval(t)
+            );
+        }
+    }
+
+    /// β ⊗ β' = β' ⊗ β and associativity on rate-latency service curves
+    /// (composition order of hops along a path must not matter).
+    #[test]
+    fn service_convolution_is_commutative_and_associative(
+        rate1 in 0.1f64..8.0, lat1 in 0.0f64..50.0,
+        rate2 in 0.1f64..8.0, lat2 in 0.0f64..50.0,
+        rate3 in 0.1f64..8.0, lat3 in 0.0f64..50.0,
+    ) {
+        let x = ServiceCurve::rate_latency(rate1, lat1);
+        let y = ServiceCurve::rate_latency(rate2, lat2);
+        let z = ServiceCurve::rate_latency(rate3, lat3);
+        let xy = x.convolve(&y);
+        let yx = y.convolve(&x);
+        let left = xy.convolve(&z);
+        let right = x.convolve(&y.convolve(&z));
+        for t in GRID {
+            prop_assert!(close(xy.eval(t), yx.eval(t)));
+            prop_assert!(
+                close(left.eval(t), right.eval(t)),
+                "t={t}: {} vs {}", left.eval(t), right.eval(t)
+            );
+        }
+    }
+
+    /// Deconvolution is monotone in the burst: a burstier input through
+    /// the same server yields a pointwise-larger output envelope.
+    #[test]
+    fn deconvolution_is_monotone_in_burst(
+        burst in 0.0f64..40.0,
+        extra in 0.0f64..40.0,
+        rate in 0.0f64..0.9,
+        srv_rate in 1.0f64..8.0,
+        srv_lat in 0.0f64..50.0,
+    ) {
+        let beta = ServiceCurve::rate_latency(srv_rate, srv_lat);
+        let small = TokenBucket::new(burst, rate)
+            .deconvolve(&beta)
+            .expect("rate < service rate");
+        let large = TokenBucket::new(burst + extra, rate)
+            .deconvolve(&beta)
+            .expect("rate < service rate");
+        for t in GRID {
+            prop_assert!(
+                small.eval(t) <= large.eval(t) + 1e-9,
+                "t={t}: {} > {}", small.eval(t), large.eval(t)
+            );
+        }
+    }
+
+    /// Deconvolution is monotone in the rate: a faster input through the
+    /// same server yields a pointwise-larger output envelope, on single
+    /// buckets and on multi-bucket arrival curves alike.
+    #[test]
+    fn deconvolution_is_monotone_in_rate(
+        burst in 0.0f64..40.0,
+        rate in 0.0f64..0.5,
+        extra in 0.0f64..0.4,
+        srv_rate in 1.0f64..8.0,
+        srv_lat in 0.0f64..50.0,
+    ) {
+        let beta = ServiceCurve::rate_latency(srv_rate, srv_lat);
+        let slow = TokenBucket::new(burst, rate)
+            .deconvolve(&beta)
+            .expect("rate < service rate");
+        let fast = TokenBucket::new(burst, rate + extra)
+            .deconvolve(&beta)
+            .expect("rate < service rate");
+        for t in GRID {
+            prop_assert!(
+                slow.eval(t) <= fast.eval(t) + 1e-9,
+                "t={t}: {} > {}", slow.eval(t), fast.eval(t)
+            );
+        }
+
+        let slow_c = ArrivalCurve::from_buckets(vec![
+            TokenBucket::new(burst, rate),
+            TokenBucket::new(burst + 5.0, rate * 0.5),
+        ])
+        .deconvolve(&beta)
+        .expect("all rates < service rate");
+        let fast_c = ArrivalCurve::from_buckets(vec![
+            TokenBucket::new(burst, rate + extra),
+            TokenBucket::new(burst + 5.0, rate * 0.5),
+        ])
+        .deconvolve(&beta)
+        .expect("all rates < service rate");
+        for t in GRID {
+            prop_assert!(slow_c.eval(t) <= fast_c.eval(t) + 1e-9);
+        }
+    }
+}

@@ -228,16 +228,26 @@ impl Graph {
     /// graph itself contains no cycle. Wormhole routing cannot deadlock on
     /// acyclic channel graphs (e.g. leveled networks).
     pub fn is_acyclic(&self) -> bool {
-        // Kahn's algorithm over nodes.
+        self.topological_order().is_some()
+    }
+
+    /// A topological order of the nodes, or `None` if the graph has a
+    /// cycle. The order is deterministic for a given graph (Kahn's
+    /// algorithm with a LIFO frontier seeded in descending node order, so
+    /// ties resolve toward smaller ids first).
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
         let n = self.num_nodes();
         let mut indeg = vec![0u32; n];
         for e in 0..self.num_edges() {
             indeg[self.dsts[e] as usize] += 1;
         }
-        let mut stack: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
-        let mut seen = 0usize;
+        let mut stack: Vec<u32> = (0..n as u32)
+            .rev()
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
         while let Some(v) = stack.pop() {
-            seen += 1;
+            order.push(NodeId(v));
             for e in self.out_edges(NodeId(v)) {
                 let d = self.dsts[e.idx()] as usize;
                 indeg[d] -= 1;
@@ -246,7 +256,23 @@ impl Graph {
                 }
             }
         }
-        seen == n
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the routing graph is *feedforward*: every route walks the
+    /// channels in one global (topological) order, which holds exactly
+    /// when the directed graph is acyclic. Feedforwardness is the
+    /// precondition of the `wormhole-netcalc` analytic bound backend —
+    /// leveled networks (butterflies, Beneš) qualify, while meshes and
+    /// tori (even under the dateline discipline, whose *channel
+    /// dependency* graph is acyclic but whose routing graph still wraps)
+    /// do not.
+    pub fn is_feedforward(&self) -> bool {
+        self.topological_order().is_some()
     }
 
     /// Breadth-first distances (in edges) from `src`; `u32::MAX` marks
@@ -395,6 +421,63 @@ mod tests {
         b.add_edge(NodeId(0), NodeId(1));
         b.add_edge(NodeId(1), NodeId(0));
         assert!(!b.build().is_acyclic());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (g, _) = diamond();
+        let order = g.topological_order().expect("diamond is a DAG");
+        assert_eq!(order.len(), g.num_nodes());
+        let mut rank = vec![0usize; g.num_nodes()];
+        for (i, v) in order.iter().enumerate() {
+            rank[v.idx()] = i;
+        }
+        for e in g.edges() {
+            assert!(
+                rank[g.src(e).idx()] < rank[g.dst(e).idx()],
+                "edge {e:?} violates the order"
+            );
+        }
+        // Deterministic: two calls agree.
+        assert_eq!(g.topological_order(), g.topological_order());
+    }
+
+    #[test]
+    fn topological_order_rejects_cycles() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(0));
+        assert_eq!(b.build().topological_order(), None);
+    }
+
+    #[test]
+    fn butterfly_and_benes_are_feedforward() {
+        for k in 1..=5u32 {
+            assert!(
+                crate::butterfly::Butterfly::new(k).graph().is_feedforward(),
+                "butterfly k={k}"
+            );
+            assert!(
+                crate::benes::BenesNetwork::new(k).graph().is_feedforward(),
+                "benes k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn tori_are_not_feedforward_even_with_datelines() {
+        use crate::mesh::{Mesh, RoutingDiscipline};
+        let naive = Mesh::new(4, 2, true);
+        assert!(!naive.graph().is_feedforward());
+        let dateline = Mesh::new_disciplined(4, 2, true, RoutingDiscipline::DatelineClasses);
+        assert!(
+            !dateline.graph().is_feedforward(),
+            "dateline classes break channel-dependency cycles, not graph cycles"
+        );
+        // Even a plain mesh is not: opposite-direction channel pairs
+        // between neighbors form 2-cycles in the routing graph.
+        assert!(!Mesh::new(4, 2, false).graph().is_feedforward());
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! * **butterfly** — endpoints are the `n = 2^k` columns; endpoint `s`
 //!   injects at input `(s, 0)` and endpoint `d` receives at output
 //!   `(d, k)`, connected by the unique greedy path;
+//! * **Beneš** — endpoints are the `n = 2^k` terminals; endpoint `s`
+//!   injects at level 0 and endpoint `d` receives at level `2k`, routed
+//!   through the canonical mid-column `s ^ d`;
 //! * **mesh / torus** — endpoints are the nodes, routed dimension-order
 //!   (e-cube); tori can opt into the Dally–Seitz dateline discipline
 //!   ([`Substrate::torus_with`]), which doubles every physical channel
@@ -15,6 +18,7 @@
 //!   construction;
 //! * **hypercube** — endpoints are the nodes, routed e-cube.
 
+use wormhole_topology::benes::BenesNetwork;
 use wormhole_topology::butterfly::Butterfly;
 use wormhole_topology::graph::{Graph, NodeId};
 use wormhole_topology::hypercube::Hypercube;
@@ -26,6 +30,8 @@ use wormhole_topology::path::Path;
 pub enum Substrate {
     /// One-pass butterfly; endpoints are columns (inputs ↦ outputs).
     Butterfly(Butterfly),
+    /// Beneš network; endpoints are terminals (inputs ↦ outputs).
+    Benes(BenesNetwork),
     /// Mesh or torus; endpoints are nodes.
     Mesh(Mesh),
     /// Hypercube; endpoints are nodes.
@@ -36,6 +42,17 @@ impl Substrate {
     /// A `2^k`-input one-pass butterfly.
     pub fn butterfly(k: u32) -> Self {
         Substrate::Butterfly(Butterfly::new(k))
+    }
+
+    /// A `2^k`-terminal Beneš network (`2k` edge levels), routed
+    /// obliviously: the message from `s` to `d` takes the canonical
+    /// mid-column `s ^ d` at the central level, which makes the route a
+    /// pure function of the endpoints (like the butterfly's greedy path)
+    /// while still spreading distinct destination streams over distinct
+    /// middle columns. Like every leveled network, the routing graph is
+    /// feedforward — the analytic bound backend accepts it.
+    pub fn benes(k: u32) -> Self {
+        Substrate::Benes(BenesNetwork::new(k))
     }
 
     /// A `radix`-ary `dims`-dimensional mesh.
@@ -82,6 +99,7 @@ impl Substrate {
     pub fn endpoints(&self) -> u32 {
         match self {
             Substrate::Butterfly(bf) => bf.n_inputs(),
+            Substrate::Benes(bn) => bn.n(),
             Substrate::Mesh(m) => m.num_nodes(),
             Substrate::Hypercube(h) => h.num_nodes(),
         }
@@ -91,6 +109,7 @@ impl Substrate {
     pub fn graph(&self) -> &Graph {
         match self {
             Substrate::Butterfly(bf) => bf.graph(),
+            Substrate::Benes(bn) => bn.graph(),
             Substrate::Mesh(m) => m.graph(),
             Substrate::Hypercube(h) => h.graph(),
         }
@@ -123,22 +142,25 @@ impl Substrate {
         );
         match self {
             Substrate::Butterfly(bf) => bf.greedy_path(src, dst),
+            Substrate::Benes(bn) => bn.path(src, src ^ dst, dst),
             Substrate::Mesh(m) => m.route(NodeId(src), NodeId(dst)),
             Substrate::Hypercube(h) => h.ecube_path(NodeId(src), NodeId(dst)),
         }
     }
 
     /// Whether a `src → dst` pair injects a message. Node-based substrates
-    /// skip self-traffic (the route is empty); the butterfly routes every
-    /// pair, including same-column ones.
+    /// skip self-traffic (the route is empty); the butterfly and Beneš
+    /// route every pair, including same-terminal ones (the route always
+    /// crosses every level).
     pub fn injects(&self, src: u32, dst: u32) -> bool {
-        matches!(self, Substrate::Butterfly(_)) || src != dst
+        matches!(self, Substrate::Butterfly(_) | Substrate::Benes(_)) || src != dst
     }
 
     /// Short human-readable name for tables.
     pub fn name(&self) -> String {
         match self {
             Substrate::Butterfly(bf) => format!("butterfly(n={})", bf.n_inputs()),
+            Substrate::Benes(bn) => format!("benes(n={})", bn.n()),
             Substrate::Mesh(m) if m.wraps() && m.classes() > 1 => {
                 format!(
                     "torus({}^{},{})",
@@ -163,6 +185,7 @@ mod tests {
     #[test]
     fn endpoint_counts() {
         assert_eq!(Substrate::butterfly(4).endpoints(), 16);
+        assert_eq!(Substrate::benes(3).endpoints(), 8);
         assert_eq!(Substrate::mesh(4, 2).endpoints(), 16);
         assert_eq!(Substrate::torus(3, 3).endpoints(), 27);
         assert_eq!(Substrate::hypercube(5).endpoints(), 32);
@@ -172,6 +195,7 @@ mod tests {
     fn routes_are_valid_paths() {
         for s in [
             Substrate::butterfly(3),
+            Substrate::benes(2),
             Substrate::mesh(3, 2),
             Substrate::torus(4, 2),
             Substrate::torus_with(4, 2, RoutingDiscipline::DatelineClasses),
@@ -202,8 +226,28 @@ mod tests {
     }
 
     #[test]
+    fn benes_routes_connect_terminals_and_feedforward() {
+        let s = Substrate::benes(3);
+        let Substrate::Benes(bn) = &s else {
+            unreachable!()
+        };
+        let g = s.graph();
+        assert!(g.is_feedforward());
+        for src in 0..8 {
+            for dst in 0..8 {
+                assert!(s.injects(src, dst), "Beneš routes every pair");
+                let p = s.route(src, dst);
+                assert_eq!(p.len(), 6, "2k edge levels");
+                assert_eq!(p.src(g), bn.input(src));
+                assert_eq!(p.dst(g), bn.output(dst));
+            }
+        }
+    }
+
+    #[test]
     fn names_render() {
         assert_eq!(Substrate::butterfly(3).name(), "butterfly(n=8)");
+        assert_eq!(Substrate::benes(3).name(), "benes(n=8)");
         assert_eq!(Substrate::mesh(4, 2).name(), "mesh(4^2)");
         assert_eq!(Substrate::torus(4, 2).name(), "torus(4^2)");
         assert_eq!(

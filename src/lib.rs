@@ -17,6 +17,7 @@
 //! | [`core`] | `wormhole-core` | bounds, LLL color refinement, schedules, butterfly algorithms |
 //! | [`baselines`] | `wormhole-baselines` | naive coloring, S&F schedules, greedy wormhole, VCT, circuit switching |
 //! | [`workloads`] | `wormhole-workloads` | open-loop synthetic traffic: patterns × arrival processes × substrates |
+//! | [`netcalc`] | `wormhole-netcalc` | network-calculus delay/backlog bounds for feedforward routing sets |
 //! | [`harness`] | `wormhole-harness` | experiment runners regenerating every table/figure |
 //!
 //! ## Quickstart
@@ -39,6 +40,7 @@ pub use wormhole_baselines as baselines;
 pub use wormhole_core as core;
 pub use wormhole_flitsim as flitsim;
 pub use wormhole_harness as harness;
+pub use wormhole_netcalc as netcalc;
 pub use wormhole_topology as topology;
 pub use wormhole_workloads as workloads;
 
@@ -59,6 +61,10 @@ pub mod prelude {
     pub use wormhole_flitsim::stats::{LatencyStats, OpenLoopStats, Outcome, SimResult};
     pub use wormhole_flitsim::wormhole::run as wormhole_run;
     pub use wormhole_flitsim::wormhole::run_adaptive as wormhole_run_adaptive;
+    pub use wormhole_netcalc::{
+        delay_bounds, flows_from_specs, ArrivalCurve, BoundConfig, BoundReport, Flow, ServiceCurve,
+        TokenBucket, TraceFlows,
+    };
     pub use wormhole_topology::adaptive::AdaptiveRouter;
     pub use wormhole_topology::butterfly::Butterfly;
     pub use wormhole_topology::graph::{EdgeId, Graph, GraphBuilder, NodeId};

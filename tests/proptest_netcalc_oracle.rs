@@ -1,0 +1,122 @@
+//! The cross-validation oracle for the network-calculus bound engine:
+//! on every randomly generated feedforward instance, the simulated
+//! worst-case (p100) latency must sit at or below the analytic delay
+//! bound — message by message, for every `B ∈ {1, 2, 4, 8}`.
+//!
+//! The bound side never simulates: it fits each `(path, length)` flow
+//! with the tightest concave envelope of its realized release trace and
+//! solves the feedforward closure (`wormhole_netcalc::delay_bounds`).
+//! The simulation side runs the identical trace to completion under the
+//! default full-bandwidth model. Any message finishing later than its
+//! flow's certified bound is a soundness bug in the engine (or the
+//! simulator) and fails the property.
+
+use proptest::prelude::*;
+
+use wormhole_netcalc::{delay_bounds, flows_from_specs, BoundConfig};
+use wormhole_routing::prelude::*;
+use wormhole_workloads::ArrivalProcess;
+
+/// Runs one instance at one `B` and checks every delivered message
+/// against its flow's bound. Returns `(messages, worst latency, worst
+/// bound)` for the outer assertions.
+fn check_instance(
+    substrate: &Substrate,
+    pattern: TrafficPattern,
+    rate: f64,
+    msg_len: u32,
+    window: u64,
+    seed: u64,
+    b: u32,
+) -> Result<(), TestCaseError> {
+    let w = Workload::new(
+        substrate.clone(),
+        pattern,
+        ArrivalProcess::bernoulli(rate),
+        msg_len,
+        seed,
+    );
+    let specs = w.generate(window);
+    let tf = flows_from_specs(&specs);
+    let report = delay_bounds(substrate.graph(), &tf.flows, &BoundConfig::new(b))
+        .expect("butterfly/benes routing sets are feedforward");
+
+    // Run the trace to completion. Feedforward wormhole routing cannot
+    // deadlock, so a generous cap only guards runaway loops.
+    let last_release = specs.last().map_or(0, |s| s.release);
+    let cap = last_release + report.max_delay().min(1e9) as u64 + 100_000;
+    let cfg = SimConfig::new(b)
+        .max_steps(cap)
+        .check_invariants(true)
+        .seed(seed ^ 0xc0de);
+    let r = wormhole_run(substrate.graph(), &specs, &cfg);
+    prop_assert!(
+        matches!(r.outcome, Outcome::Completed),
+        "B={b}: run did not complete: {:?}",
+        r.outcome
+    );
+
+    for (i, (spec, m)) in specs.iter().zip(&r.messages).enumerate() {
+        let lat = m.latency(spec.release).expect("completed runs deliver all");
+        let bound = report.flow_delay[tf.spec_flow[i]];
+        prop_assert!(
+            (lat as f64) <= bound,
+            "B={b}: message {i} (release {}, {} hops, L={}) took {lat} steps, \
+             above its flow's certified bound {bound}",
+            spec.release,
+            spec.path.edges().len(),
+            spec.length
+        );
+        // The bound respects the universal pipeline floor.
+        prop_assert!(bound >= spec.unblocked_time() as f64);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Butterfly substrates under uniform-random and bit-reversal
+    /// traffic: simulated p100 ≤ analytic bound at every B.
+    #[test]
+    fn simulated_p100_never_exceeds_the_bound_on_butterflies(
+        k in 2u32..=4,
+        reversal in proptest::bool::ANY,
+        rate in 0.01f64..0.10,
+        msg_len in 1u32..=6,
+        window in 150u64..400,
+        seed in 0u64..1_000_000,
+    ) {
+        let substrate = Substrate::butterfly(k);
+        let pattern = if reversal {
+            TrafficPattern::BitReversal
+        } else {
+            TrafficPattern::UniformRandom
+        };
+        for b in [1u32, 2, 4, 8] {
+            check_instance(&substrate, pattern.clone(), rate, msg_len, window, seed, b)?;
+        }
+    }
+
+    /// Beneš substrates (canonical oblivious mid-column routing) under
+    /// uniform-random and permutation traffic: same oracle.
+    #[test]
+    fn simulated_p100_never_exceeds_the_bound_on_benes(
+        k in 1u32..=3,
+        permutation in proptest::bool::ANY,
+        rate in 0.01f64..0.10,
+        msg_len in 1u32..=6,
+        window in 150u64..400,
+        seed in 0u64..1_000_000,
+    ) {
+        let substrate = Substrate::benes(k);
+        let pattern = if permutation {
+            TrafficPattern::Permutation
+        } else {
+            TrafficPattern::UniformRandom
+        };
+        for b in [1u32, 2, 4, 8] {
+            check_instance(&substrate, pattern.clone(), rate, msg_len, window, seed, b)?;
+        }
+    }
+}

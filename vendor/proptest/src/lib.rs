@@ -38,6 +38,13 @@ pub mod strategy {
         )*};
     }
     impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
 }
 
 /// Boolean strategies (subset of `proptest::bool`).

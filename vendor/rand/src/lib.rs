@@ -62,6 +62,15 @@ macro_rules! impl_sample_range {
 }
 impl_sample_range!(u8, u16, u32, u64, usize);
 
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1), scaled into the range.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
 /// Unbiased uniform draw in `0..span` (`span ≥ 1`) by rejection.
 fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
     debug_assert!(span >= 1);
