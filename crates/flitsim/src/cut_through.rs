@@ -264,6 +264,7 @@ pub fn run(graph: &Graph, specs: &[MessageSpec], config: &VctConfig) -> SimResul
         misroute_hops: 0,
         deadlock: None,
         open_loop: None,
+        closed_loop: None,
     }
 }
 

@@ -79,12 +79,21 @@ impl EventState {
     fn n_active(&self) -> usize {
         self.runnable.len() + self.n_parked
     }
+
+    /// Grows the per-message arrays to cover `n` ids — admission lands
+    /// mid-run under a pull source, so the arrays track the sim's.
+    fn grow(&mut self, n: usize) {
+        if self.next_waiter.len() < n {
+            self.next_waiter.resize(n, NONE);
+            self.parked_at.resize(n, 0);
+            self.parked.resize(n, false);
+        }
+    }
 }
 
 /// Runs the event-driven loop to completion. Returns `(outcome, final
 /// step, deadlock report)` exactly as the legacy driver would.
 pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
-    let n_msgs = sim.specs.len();
     let n_wait_keys = if sim.pooled {
         sim.num_nodes()
     } else {
@@ -92,9 +101,9 @@ pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
     };
     let mut st = EventState {
         waiter_head: vec![NONE; n_wait_keys],
-        next_waiter: vec![NONE; n_msgs],
-        parked_at: vec![0; n_msgs],
-        parked: vec![false; n_msgs],
+        next_waiter: Vec::new(),
+        parked_at: Vec::new(),
+        parked: Vec::new(),
         runnable: Vec::new(),
         n_parked: 0,
         indep_cached: Some(true), // empty set is trivially disjoint
@@ -104,36 +113,35 @@ pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
     };
     let mut t: u64 = 0;
     loop {
-        if sim.unfinished == 0 {
-            return (Outcome::Completed, t, None);
-        }
-        if t >= sim.config.max_steps {
-            // Legacy simulated steps `0..max_steps`; settle parked stalls
-            // through the last simulated step.
-            top_up_stalls(sim, &mut st, sim.config.max_steps.saturating_sub(1));
-            return (Outcome::MaxSteps, t, None);
-        }
-        // Idle network: jump to the next release (never past the cap).
+        // Idle network: the run is over iff the source (with every
+        // completion flushed) is dry; otherwise jump to the next release
+        // — never past the cap. With worms in flight, only the cap ends
+        // the run early (settling parked stalls through the last
+        // simulated step, as the legacy per-step counting would).
         if st.runnable.is_empty() && st.n_parked == 0 {
-            match sim.release_order.get(sim.next_pending) {
-                Some(&m) => {
-                    let r = sim.specs[m as usize].release;
+            match sim.peek_next_release(t) {
+                None => return (Outcome::Completed, t, None),
+                Some(r) => {
+                    if t >= sim.config.max_steps {
+                        return (Outcome::MaxSteps, t, None);
+                    }
                     if r >= sim.config.max_steps {
                         return (Outcome::MaxSteps, sim.config.max_steps, None);
                     }
                     t = t.max(r);
                 }
-                None => return (Outcome::Completed, t, None), // discarded remainder
             }
+        } else if t >= sim.config.max_steps {
+            top_up_stalls(sim, &mut st, sim.config.max_steps.saturating_sub(1));
+            return (Outcome::MaxSteps, t, None);
         }
-        while let Some(&m) = sim.release_order.get(sim.next_pending) {
-            if sim.specs[m as usize].release <= t {
-                st.runnable.push(m);
-                st.indep_cached = None;
-                sim.next_pending += 1;
-            } else {
-                break;
+        let new = sim.admit_ready(t);
+        if !new.is_empty() {
+            for i in new {
+                st.runnable.push(sim.admitted_id(i));
             }
+            st.grow(sim.specs.len());
+            st.indep_cached = None;
         }
         if st.runnable.is_empty() {
             // Every released worm is parked on a full edge; releases only
@@ -155,8 +163,11 @@ pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
         // longer implies non-interaction. Pooled runs drop it for the
         // analogous reason — edge-disjoint worms still compete for a
         // shared router pool — while the all-draining jump stays exact
-        // (drains only return capacity, which commutes).
+        // (drains only return capacity, which commutes). Reactive
+        // sources drop batching entirely: a delivery inside the batch
+        // could spawn a release before the precomputed stop point.
         if st.n_parked == 0
+            && !sim.reactive
             && (all_draining(sim, &st)
                 || (sim.adaptive.is_none() && !sim.pooled && independent(sim, &mut st)))
             && ff_batch(sim, &mut st, &mut t)
@@ -305,13 +316,11 @@ fn deadlock(sim: &mut Sim, st: &mut EventState, t: u64) -> (Outcome, u64, Option
 }
 
 /// Exclusive upper bound on fast-forwarded time: the next release (new
-/// contender) or the step cap, whichever is first.
-fn ff_stop(sim: &Sim) -> u64 {
-    let next_rel = sim
-        .release_order
-        .get(sim.next_pending)
-        .map(|&m| sim.specs[m as usize].release)
-        .unwrap_or(u64::MAX);
+/// contender) or the step cap, whichever is first. Only meaningful for
+/// non-reactive sources (the caller never batches otherwise), whose
+/// next release cannot move before it is reached.
+fn ff_stop(sim: &mut Sim, t: u64) -> u64 {
+    let next_rel = sim.peek_next_release(t).unwrap_or(u64::MAX);
     sim.config.max_steps.min(next_rel)
 }
 
@@ -370,7 +379,7 @@ fn independent(sim: &Sim, st: &mut EventState) -> bool {
 /// per-step loop, drain phases collapsed by [`Sim::fast_drain`] — then
 /// simulated time jumps to the stop point. Returns whether time moved.
 fn ff_batch(sim: &mut Sim, st: &mut EventState, t: &mut u64) -> bool {
-    let stop = ff_stop(sim);
+    let stop = ff_stop(sim, *t);
     if *t >= stop {
         return false;
     }

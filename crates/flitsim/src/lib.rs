@@ -54,6 +54,7 @@ mod engine;
 pub mod events;
 pub mod message;
 pub mod open_loop;
+pub mod source;
 pub mod stats;
 pub mod store_forward;
 pub mod wormhole;
@@ -62,6 +63,7 @@ pub use config::{
     Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, RouteSelection, SimConfig,
 };
 pub use events::{DeadlockReport, TraceEvent, WaitFor};
-pub use message::{specs_from_paths, MessageSpec};
+pub use message::{specs_from_path_slice, specs_from_paths, MessageSpec};
 pub use open_loop::{run_open_loop, run_open_loop_adaptive, OpenLoopConfig};
-pub use stats::{LatencyStats, MessageOutcome, OpenLoopStats, Outcome, SimResult};
+pub use source::{ReplaySource, TrafficSource};
+pub use stats::{ClosedLoopStats, LatencyStats, MessageOutcome, OpenLoopStats, Outcome, SimResult};

@@ -57,8 +57,14 @@ impl MessageSpec {
 
 /// Converts a [`PathSet`] into uniform-length messages, all released at 0.
 pub fn specs_from_paths(paths: &PathSet, length: u32) -> Vec<MessageSpec> {
+    specs_from_path_slice(paths.paths(), length)
+}
+
+/// Converts a plain path slice into uniform-length messages, all
+/// released at 0 — [`specs_from_paths`] for call sites that assemble
+/// their paths outside a [`PathSet`].
+pub fn specs_from_path_slice(paths: &[Path], length: u32) -> Vec<MessageSpec> {
     paths
-        .paths()
         .iter()
         .map(|p| MessageSpec::new(p.clone(), length))
         .collect()

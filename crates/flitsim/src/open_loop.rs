@@ -136,6 +136,23 @@ pub fn windowed_stats(
     result: &SimResult,
     ol: &OpenLoopConfig,
 ) -> OpenLoopStats {
+    windowed_stats_from(
+        specs
+            .iter()
+            .zip(&result.messages)
+            .map(|(s, o)| (s.release, s.length, o.finished)),
+        ol,
+    )
+}
+
+/// [`windowed_stats`] over raw per-message `(release, length, finished)`
+/// triples — for drivers that track their own message metadata instead
+/// of a spec slice (e.g. a closed-loop source whose specs live inside
+/// the source).
+pub fn windowed_stats_from(
+    msgs: impl Iterator<Item = (u64, u32, Option<u64>)>,
+    ol: &OpenLoopConfig,
+) -> OpenLoopStats {
     let (start, end) = (ol.warmup, ol.window_end());
     let mut latencies = Vec::new();
     let mut offered = 0usize;
@@ -147,9 +164,7 @@ pub fn windowed_stats(
     // In flight over [release, finish): released at or before T, not yet
     // finished at T.
     let in_flight_at = |r: u64, f: Option<u64>, t: u64| r <= t && f.is_none_or(|f| f > t);
-    for (spec, out) in specs.iter().zip(&result.messages) {
-        let r = spec.release;
-        let f = out.finished;
+    for (r, length, f) in msgs {
         if in_flight_at(r, f, start) {
             backlog_start += 1;
         }
@@ -159,7 +174,7 @@ pub fn windowed_stats(
         if let Some(f) = f {
             if (start..end).contains(&f) {
                 accepted_msgs += 1;
-                accepted_flits += spec.length as u64;
+                accepted_flits += length as u64;
             }
         }
         if (start..end).contains(&r) {

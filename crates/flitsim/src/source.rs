@@ -1,0 +1,208 @@
+//! Pull-based traffic sources: the simulator's injection interface.
+//!
+//! Historically every runner took a pre-generated `&[MessageSpec]` slice,
+//! hard-coding the open-loop assumption that injection can never react to
+//! what the network delivers. [`TrafficSource`] inverts the interface:
+//! the simulator *pulls* messages from the source as virtual time
+//! advances and *notifies* it of every delivery, so a source can throttle
+//! injection on congestion (closed-loop clients), stream a trace larger
+//! than RAM, or synthesize traffic on the fly.
+//!
+//! # Contract
+//!
+//! A source hands out messages tagged with **source-assigned ids**. Ids
+//! index the [`SimResult::messages`](crate::stats::SimResult::messages)
+//! vector, must be unique over the run, and should be dense (the
+//! simulator sizes per-message state by the largest id seen). The driver
+//! loop interacts with the source under these rules, identical for both
+//! engines:
+//!
+//! * [`take_ready`](TrafficSource::take_ready)`(now)` is called once per
+//!   simulated step (and after every idle jump) and must emit every
+//!   message with `release ≤ now` that has not been emitted yet, in
+//!   ascending `(release, id)` order — the admission order the legacy
+//!   stepper has always used, and part of the bit-identity contract.
+//! * [`next_release`](TrafficSource::next_release)`(now)` peeks the
+//!   earliest release time of any message the source currently knows
+//!   about (it may be `≤ now` if not yet taken). `None` means the source
+//!   is dry *given what it has seen*: with no active worms left in the
+//!   network the run is complete. Idle networks jump straight to the
+//!   returned time, so an understated value costs time, an overstated
+//!   one skips releases.
+//! * [`on_delivered`](TrafficSource::on_delivered) /
+//!   [`on_discarded`](TrafficSource::on_discarded) close the loop. The
+//!   simulator buffers the step's completions and flushes them in
+//!   ascending `(time, id)` order *before* the next `next_release` /
+//!   `take_ready` interaction, so the callback order is canonical and
+//!   engine-independent — a reactive source fed by the event-driven
+//!   engine sees exactly the sequence the legacy stepper would produce.
+//! * [`reactive`](TrafficSource::reactive) must return `true` if
+//!   deliveries can spawn new releases. The event engine then disables
+//!   its batched fast-forwards (a batch could run past a release spawned
+//!   mid-batch) while keeping park/wake and the idle-network jump, both
+//!   of which remain exact.
+//!
+//! # Replay equivalence
+//!
+//! [`ReplaySource`] adapts any `Vec<MessageSpec>` to the pull interface.
+//! Ids are the original vector indices and emission follows `(release,
+//! id)` order, so `run(graph, &specs, cfg)` — which routes through a
+//! `ReplaySource` internally — is **bit-identical** to the historical
+//! slice path: same admissions, same arbitration tie-breaks, same
+//! `SimResult`, message for message. The differential proptests in
+//! `tests/proptest_source_equiv.rs` enforce this on both engines.
+
+use crate::message::MessageSpec;
+
+/// A pull-based message stream driving a simulation run. See the module
+/// docs for the full contract.
+pub trait TrafficSource {
+    /// Earliest release time of any not-yet-emitted message the source
+    /// currently knows about, or `None` if it is dry. May be `≤ now`
+    /// (a ready message not yet taken). Must not change between calls
+    /// unless a `take_ready` or delivery notification intervened.
+    fn next_release(&mut self, now: u64) -> Option<u64>;
+
+    /// Appends every not-yet-emitted message with `release ≤ now` to
+    /// `out` as `(id, spec)` pairs, in ascending `(release, id)` order.
+    fn take_ready(&mut self, now: u64, out: &mut Vec<(u32, MessageSpec)>);
+
+    /// Notification that message `id` finished at end-of-step time
+    /// `finished`. Flushed in canonical `(finished, id)` order.
+    fn on_delivered(&mut self, _id: u32, _finished: u64) {}
+
+    /// Notification that message `id` was discarded during step `t`
+    /// (under [`crate::config::BlockedPolicy::Discard`]).
+    fn on_discarded(&mut self, _id: u32, _t: u64) {}
+
+    /// Whether deliveries can spawn new releases. `true` disables the
+    /// event engine's batched fast-forwards (park/wake and idle jumps
+    /// stay on). Defaults to `false` (open-loop).
+    fn reactive(&self) -> bool {
+        false
+    }
+
+    /// If `Some(n)`, the run's `SimResult::messages` is padded with
+    /// default outcomes to length `n` — so a capped replay still reports
+    /// one outcome per input spec, released or not, exactly like the
+    /// historical slice path.
+    fn id_bound(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// Adapts a pre-generated spec vector to the [`TrafficSource`] pull
+/// interface: the open-loop path, required bit-identical to the
+/// historical slice API (ids are the vector indices; emission follows
+/// `(release, id)` order).
+pub struct ReplaySource {
+    /// Spec per id; taken (moved out) on emission.
+    slots: Vec<Option<MessageSpec>>,
+    /// Ids sorted by `(release, id)` — the admission order.
+    order: Vec<u32>,
+    cursor: usize,
+}
+
+impl ReplaySource {
+    /// Wraps an owned spec vector. Ids are the vector indices.
+    pub fn new(specs: Vec<MessageSpec>) -> Self {
+        let mut order: Vec<u32> = (0..specs.len() as u32).collect();
+        order.sort_by_key(|&i| (specs[i as usize].release, i));
+        Self {
+            slots: specs.into_iter().map(Some).collect(),
+            order,
+            cursor: 0,
+        }
+    }
+
+    /// Wraps a borrowed slice (one clone; the simulation dominates).
+    pub fn from_slice(specs: &[MessageSpec]) -> Self {
+        Self::new(specs.to_vec())
+    }
+
+    /// Number of messages this source replays.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the source replays no messages at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl TrafficSource for ReplaySource {
+    fn next_release(&mut self, _now: u64) -> Option<u64> {
+        self.order.get(self.cursor).map(|&i| {
+            self.slots[i as usize]
+                .as_ref()
+                .expect("unemitted slot is populated")
+                .release
+        })
+    }
+
+    fn take_ready(&mut self, now: u64, out: &mut Vec<(u32, MessageSpec)>) {
+        while let Some(&i) = self.order.get(self.cursor) {
+            let mi = i as usize;
+            if self.slots[mi].as_ref().expect("unemitted slot").release > now {
+                break;
+            }
+            out.push((i, self.slots[mi].take().expect("emitted once")));
+            self.cursor += 1;
+        }
+    }
+
+    fn id_bound(&self) -> Option<u32> {
+        Some(self.slots.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_topology::graph::{GraphBuilder, NodeId};
+    use wormhole_topology::path::Path;
+
+    fn spec(release: u64) -> MessageSpec {
+        let mut b = GraphBuilder::new(2);
+        let e = b.add_edge(NodeId(0), NodeId(1));
+        let _ = b.build();
+        MessageSpec::new(Path::new(vec![e]), 2).release_at(release)
+    }
+
+    #[test]
+    fn replay_emits_in_release_id_order() {
+        // Unsorted input: emission must follow (release, id), ids keep
+        // their original indices.
+        let mut src = ReplaySource::new(vec![spec(5), spec(0), spec(5), spec(2)]);
+        assert_eq!(src.id_bound(), Some(4));
+        assert_eq!(src.next_release(0), Some(0));
+        let mut out = Vec::new();
+        src.take_ready(2, &mut out);
+        let ids: Vec<u32> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(src.next_release(2), Some(5));
+        out.clear();
+        src.take_ready(100, &mut out);
+        let ids: Vec<u32> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![0, 2], "same release ties break by id");
+        assert_eq!(src.next_release(100), None);
+    }
+
+    #[test]
+    fn replay_take_before_release_is_empty() {
+        let mut src = ReplaySource::new(vec![spec(10)]);
+        let mut out = Vec::new();
+        src.take_ready(9, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(src.next_release(9), Some(10));
+    }
+
+    #[test]
+    fn empty_replay_is_dry() {
+        let mut src = ReplaySource::new(Vec::new());
+        assert_eq!(src.next_release(0), None);
+        assert!(src.is_empty());
+        assert_eq!(src.len(), 0);
+    }
+}

@@ -77,7 +77,7 @@ impl LatencyStats {
 /// Open-loop (continuous-injection) measurement attached to a
 /// [`SimResult`] by [`crate::open_loop::run_open_loop`]. All windowed
 /// quantities refer to the configured measurement window.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct OpenLoopStats {
     /// First step of the measurement window (= warmup length).
     pub window_start: u64,
@@ -105,6 +105,50 @@ pub struct OpenLoopStats {
     /// Saturation verdict: the network failed to accept the offered load
     /// over the window (see [`crate::open_loop::OpenLoopConfig`]).
     pub saturated: bool,
+}
+
+/// Closed-loop measurement attached to a [`SimResult`] by a run driven
+/// through a windowed closed-loop source (see
+/// `wormhole_workloads::closed_loop`). A *chain* is one request→reply
+/// round trip owned by a client slot; a slot is *backlogged* (busy)
+/// while its chain is in flight and *thinking* between chains.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClosedLoopStats {
+    /// Number of client endpoints driving the run.
+    pub clients: usize,
+    /// Outstanding-request window per client (slots).
+    pub window: u32,
+    /// Requests issued over the run (including in-flight at the end).
+    pub requests_issued: u64,
+    /// Request→reply chains completed (the reply was delivered).
+    pub chains_completed: u64,
+    /// Latency summary over completed chains, request release → reply
+    /// delivery.
+    pub chain_latency: LatencyStats,
+    /// Per-client think time: slot-steps spent idle between chains.
+    /// Indexed like the source's client list.
+    pub per_client_think: Vec<u64>,
+    /// Per-client backlog time: slot-steps with a chain outstanding
+    /// (in-flight chains are charged up to the measurement horizon).
+    pub per_client_backlog: Vec<u64>,
+}
+
+impl ClosedLoopStats {
+    /// Total think steps across clients.
+    pub fn total_think(&self) -> u64 {
+        self.per_client_think.iter().sum()
+    }
+
+    /// Total backlog (busy) steps across clients.
+    pub fn total_backlog(&self) -> u64 {
+        self.per_client_backlog.iter().sum()
+    }
+
+    /// Structural in-flight ceiling: no more than `clients × window`
+    /// messages can ever be in the network at once.
+    pub fn outstanding_bound(&self) -> u64 {
+        self.clients as u64 * self.window as u64
+    }
 }
 
 /// Aggregate result of a simulation run.
@@ -149,12 +193,19 @@ pub struct SimResult {
     /// Open-loop windowed measurement; `Some` only for runs produced by
     /// [`crate::open_loop::run_open_loop`].
     pub open_loop: Option<OpenLoopStats>,
+    /// Closed-loop chain measurement; `Some` only for runs driven by a
+    /// closed-loop [`crate::source::TrafficSource`] through a runner
+    /// that attaches it (derived bookkeeping, like
+    /// [`SimResult::open_loop`] — excluded from
+    /// [`SimResult::same_execution`]).
+    pub closed_loop: Option<ClosedLoopStats>,
 }
 
 impl SimResult {
     /// Field-for-field execution equality over everything the simulator
-    /// computes (`open_loop` excluded — it is derived windowing, attached
-    /// after the run). This is the differential-oracle relation the two
+    /// computes (`open_loop` and `closed_loop` excluded — both are
+    /// derived windowing, attached after the run). This is the
+    /// differential-oracle relation the two
     /// full-bandwidth engines ([`crate::config::Engine`]) must satisfy on
     /// every workload.
     pub fn same_execution(&self, other: &SimResult) -> bool {
@@ -239,6 +290,7 @@ mod tests {
             misroute_hops: 0,
             deadlock: None,
             open_loop: None,
+            closed_loop: None,
         };
         assert_eq!(r.delivered(), 2);
         assert_eq!(r.discarded(), 1);

@@ -151,12 +151,14 @@ use rand::rngs::StdRng;
 
 use wormhole_topology::adaptive::AdaptiveRouter;
 use wormhole_topology::graph::{EdgeId, Graph, NodeId};
+use wormhole_topology::path::Path;
 
 use crate::config::{
     Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, RouteSelection, SimConfig,
 };
 use crate::events::{DeadlockReport, TraceEvent, WaitFor};
 use crate::message::MessageSpec;
+use crate::source::{ReplaySource, TrafficSource};
 use crate::stats::{MessageOutcome, Outcome, SimResult};
 
 /// Restricted-model flit position: not yet injected.
@@ -209,19 +211,46 @@ impl Worm {
     }
 }
 
+/// Eagerly validates a spec slice against `graph` — the historical
+/// entry-point behavior (a bad spec panics before any simulation work),
+/// preserved by the slice runners on top of the per-admission checks.
+fn validate_specs(graph: &Graph, specs: &[MessageSpec]) {
+    for (i, s) in specs.iter().enumerate() {
+        assert!(!s.path.is_empty(), "message {i} has an empty path");
+        for &e in s.path.edges() {
+            assert!(e.idx() < graph.num_edges(), "message {i}: bad edge id");
+        }
+    }
+}
+
 /// Runs the wormhole simulation of `specs` over `graph` under `config`,
 /// following each spec's precomputed path verbatim.
+///
+/// Internally routes through a [`ReplaySource`] — bit-identical to the
+/// historical slice path (see [`crate::source`]).
 ///
 /// Panics if any spec has an empty path or an invalid edge id, or if
 /// `config` asks for adaptive route selection (which needs a router to
 /// enumerate per-hop candidates — use [`run_adaptive`]).
 pub fn run(graph: &Graph, specs: &[MessageSpec], config: &SimConfig) -> SimResult {
+    validate_specs(graph, specs);
+    let mut source = ReplaySource::from_slice(specs);
+    run_source(graph, &mut source, config)
+}
+
+/// Runs the wormhole simulation pulling messages from `source` (see
+/// [`TrafficSource`] for the polling/notification contract).
+///
+/// Panics if the source emits an invalid spec (empty path, bad edge id,
+/// duplicate id, zero length) or if `config` asks for adaptive route
+/// selection (use [`run_source_adaptive`]).
+pub fn run_source(graph: &Graph, source: &mut dyn TrafficSource, config: &SimConfig) -> SimResult {
     assert_eq!(
         config.route_selection,
         RouteSelection::Oblivious,
         "adaptive route selection needs run_adaptive (per-hop candidates come from a router)"
     );
-    Sim::new(graph, None, specs, config, false).run_inner().0
+    Sim::new(graph, None, source, config, false).run_inner().0
 }
 
 /// Runs and asserts the routing completed (no deadlock / step-cap abort).
@@ -247,15 +276,27 @@ pub fn run_adaptive(
     specs: &[MessageSpec],
     config: &SimConfig,
 ) -> SimResult {
+    validate_specs(router.graph(), specs);
+    let mut source = ReplaySource::from_slice(specs);
+    run_source_adaptive(router, &mut source, config)
+}
+
+/// [`run_adaptive`] pulling messages from `source` instead of a slice
+/// (see [`TrafficSource`]).
+pub fn run_source_adaptive(
+    router: &dyn AdaptiveRouter,
+    source: &mut dyn TrafficSource,
+    config: &SimConfig,
+) -> SimResult {
     if config.route_selection == RouteSelection::Oblivious {
-        return run(router.graph(), specs, config);
+        return run_source(router.graph(), source, config);
     }
     assert_eq!(
         config.bandwidth,
         BandwidthModel::BFlitsPerStep,
         "adaptive route selection requires the full-bandwidth model"
     );
-    Sim::new(router.graph(), Some(router), specs, config, false)
+    Sim::new(router.graph(), Some(router), source, config, false)
         .run_inner()
         .0
 }
@@ -287,7 +328,9 @@ pub fn run_traced(
         RouteSelection::Oblivious,
         "adaptive route selection needs run_adaptive (tracing is oblivious-only)"
     );
-    Sim::new(graph, None, specs, config, true).run_inner()
+    validate_specs(graph, specs);
+    let mut source = ReplaySource::from_slice(specs);
+    Sim::new(graph, None, &mut source, config, true).run_inner()
 }
 
 /// Seeds the stateless per-arbitration RNG for `(seed, t, e)`.
@@ -477,8 +520,15 @@ pub(crate) struct AdaptiveState<'a> {
 }
 
 pub(crate) struct Sim<'a> {
-    pub(crate) specs: &'a [MessageSpec],
+    /// Per-id specs, grown as the source emits messages (placeholder
+    /// slots for ids not yet seen — never activated, so never stepped).
+    pub(crate) specs: Vec<MessageSpec>,
     pub(crate) config: &'a SimConfig,
+    /// The simulated graph (admission-time validation and adaptive
+    /// endpoint lookup).
+    graph: &'a Graph,
+    /// The message stream driving the run (see [`TrafficSource`]).
+    source: &'a mut dyn TrafficSource,
     pub(crate) worms: Vec<Worm>,
     pub(crate) outcomes: Vec<MessageOutcome>,
     /// VCs currently held per edge.
@@ -516,13 +566,24 @@ pub(crate) struct Sim<'a> {
     pool: u32,
     /// Per-step contender scratch (see [`FlatBuckets`]).
     pub(crate) buckets: FlatBuckets,
-    /// Released-and-unretired message ids in `(release, id)` order. The
+    /// Released-and-unretired message ids in admission order. The
     /// legacy stepper maintains it each step; the event engine rebuilds it
     /// on demand ([`Sim::rebuild_active`]) for cold paths only.
     pub(crate) active: Vec<u32>,
-    /// Message ids sorted by release time; `next_pending` indexes into it.
-    pub(crate) release_order: Vec<u32>,
-    pub(crate) next_pending: usize,
+    /// Every admitted id, in admission order — the source's `(release,
+    /// id)` emission order, which is exactly the order the old
+    /// release-sorted scan produced. [`Sim::rebuild_active`] iterates it.
+    admitted: Vec<u32>,
+    /// Per-id: `true` once the slot holds a real (admitted) spec.
+    admitted_flag: Vec<bool>,
+    /// Scratch for [`TrafficSource::take_ready`].
+    ready_buf: Vec<(u32, MessageSpec)>,
+    /// Completions awaiting flush to the source: `(time, id, delivered)`,
+    /// sorted before dispatch so callback order is canonical.
+    delivery_buf: Vec<(u64, u32, bool)>,
+    /// Cached [`TrafficSource::reactive`] — `true` disables the event
+    /// engine's batched fast-forwards.
+    pub(crate) reactive: bool,
     pub(crate) movers: Vec<u32>,
     pub(crate) blocked: Vec<u32>,
     max_vcs: u16,
@@ -560,18 +621,12 @@ pub(crate) struct Sim<'a> {
 
 impl<'a> Sim<'a> {
     fn new(
-        graph: &Graph,
+        graph: &'a Graph,
         router: Option<&'a dyn AdaptiveRouter>,
-        specs: &'a [MessageSpec],
+        source: &'a mut dyn TrafficSource,
         config: &'a SimConfig,
         tracing: bool,
     ) -> Self {
-        for (i, s) in specs.iter().enumerate() {
-            assert!(!s.path.is_empty(), "message {i} has an empty path");
-            for &e in s.path.edges() {
-                assert!(e.idx() < graph.num_edges(), "message {i}: bad edge id");
-            }
-        }
         config.vc_policy.validate();
         let (pooled, per_edge_min, per_edge_max, pool) = match config.vc_policy {
             crate::config::VcPolicy::Static(b) => (false, b, b, 0),
@@ -609,14 +664,11 @@ impl<'a> Sim<'a> {
             let router = router.expect("adaptive route selection needs a router");
             Some(AdaptiveState {
                 router,
-                routes: specs
-                    .iter()
-                    .map(|s| Vec::with_capacity(s.hops() as usize))
-                    .collect(),
-                src: specs.iter().map(|s| s.path.src(graph)).collect(),
-                dst: specs.iter().map(|s| s.path.dst(graph)).collect(),
-                budget: vec![config.misroute_quota; specs.len()],
-                selected: vec![SelectedHop::None; specs.len()],
+                routes: Vec::new(),
+                src: Vec::new(),
+                dst: Vec::new(),
+                budget: Vec::new(),
+                selected: Vec::new(),
                 cand: Vec::new(),
                 escape_fallbacks: 0,
                 misroute_hops: 0,
@@ -624,31 +676,14 @@ impl<'a> Sim<'a> {
         } else {
             None
         };
-        let worms = specs
-            .iter()
-            .map(|s| Worm {
-                advance: 0,
-                hops: if adaptive_mode { 0 } else { s.hops() },
-                length: s.length,
-                pending_route: adaptive_mode,
-            })
-            .collect();
-        let mut release_order: Vec<u32> = (0..specs.len() as u32).collect();
-        release_order.sort_by_key(|&i| (specs[i as usize].release, i));
-        let restricted = config.bandwidth == BandwidthModel::OneFlitPerStep;
-        let flit_pos = if restricted {
-            specs
-                .iter()
-                .map(|s| vec![FLIT_UNINJECTED; s.length as usize])
-                .collect()
-        } else {
-            Vec::new()
-        };
+        let reactive = source.reactive();
         Self {
-            specs,
+            specs: Vec::new(),
             config,
-            worms,
-            outcomes: vec![MessageOutcome::default(); specs.len()],
+            graph,
+            source,
+            worms: Vec::new(),
+            outcomes: Vec::new(),
             holders: vec![0; graph.num_edges()],
             edge_src: graph.edge_sources().to_vec(),
             pool_used: vec![0; graph.num_nodes()],
@@ -663,23 +698,26 @@ impl<'a> Sim<'a> {
             pool,
             buckets: FlatBuckets::with_edges(graph.num_edges()),
             active: Vec::new(),
-            release_order,
-            next_pending: 0,
+            admitted: Vec::new(),
+            admitted_flag: Vec::new(),
+            ready_buf: Vec::new(),
+            delivery_buf: Vec::new(),
+            reactive,
             movers: Vec::new(),
             blocked: Vec::new(),
             max_vcs: 0,
             max_pool: 0,
             flit_hops: 0,
             last_finish: 0,
-            unfinished: specs.len(),
+            unfinished: 0,
             acquired: Vec::new(),
             released: Vec::new(),
             track_releases: false,
             tokens_used: vec![false; graph.num_edges()],
             token_touched: Vec::new(),
-            flit_pos,
-            rdelivered: vec![0; specs.len()],
-            rfirst: vec![0; if restricted { specs.len() } else { 0 }],
+            flit_pos: Vec::new(),
+            rdelivered: Vec::new(),
+            rfirst: Vec::new(),
             num_edges: graph.num_edges(),
             adaptive,
             tracing,
@@ -691,6 +729,129 @@ impl<'a> Sim<'a> {
     #[inline]
     pub(crate) fn num_nodes(&self) -> usize {
         self.pool_used.len()
+    }
+
+    /// Installs `spec` as message `id`, growing every per-message array
+    /// to cover it (ids below `id` not yet seen get inert placeholder
+    /// slots — never activated, so never stepped; a later emission fills
+    /// them in). Validates the spec the way the old eager loop did.
+    fn admit(&mut self, id: u32, spec: MessageSpec, now: u64) {
+        let mi = id as usize;
+        let restricted = self.config.bandwidth == BandwidthModel::OneFlitPerStep;
+        while self.specs.len() <= mi {
+            self.specs.push(MessageSpec {
+                path: Path::new(Vec::new()),
+                length: 1,
+                release: 0,
+                priority: 0,
+            });
+            self.worms.push(Worm {
+                advance: 0,
+                hops: 0,
+                length: 1,
+                pending_route: false,
+            });
+            self.outcomes.push(MessageOutcome::default());
+            self.rdelivered.push(0);
+            self.admitted_flag.push(false);
+            if restricted {
+                self.flit_pos.push(Vec::new());
+                self.rfirst.push(0);
+            }
+            if let Some(ad) = &mut self.adaptive {
+                ad.routes.push(Vec::new());
+                ad.src.push(NodeId(0));
+                ad.dst.push(NodeId(0));
+                ad.budget.push(0);
+                ad.selected.push(SelectedHop::None);
+            }
+        }
+        assert!(!self.admitted_flag[mi], "source re-emitted message id {id}");
+        assert!(!spec.path.is_empty(), "message {id} has an empty path");
+        for &e in spec.path.edges() {
+            assert!(e.idx() < self.num_edges, "message {id}: bad edge id");
+        }
+        assert!(spec.length >= 1, "message {id} has zero length");
+        assert!(
+            spec.release <= now,
+            "message {id} emitted before its release ({} > {now})",
+            spec.release
+        );
+        let adaptive_mode = self.adaptive.is_some();
+        self.worms[mi] = Worm {
+            advance: 0,
+            hops: if adaptive_mode { 0 } else { spec.hops() },
+            length: spec.length,
+            pending_route: adaptive_mode,
+        };
+        if restricted {
+            self.flit_pos[mi] = vec![FLIT_UNINJECTED; spec.length as usize];
+            self.rfirst[mi] = 0;
+        }
+        if let Some(ad) = &mut self.adaptive {
+            ad.routes[mi] = Vec::with_capacity(spec.hops() as usize);
+            ad.src[mi] = spec.path.src(self.graph);
+            ad.dst[mi] = spec.path.dst(self.graph);
+            ad.budget[mi] = self.config.misroute_quota;
+            ad.selected[mi] = SelectedHop::None;
+        }
+        self.admitted_flag[mi] = true;
+        self.specs[mi] = spec;
+        self.unfinished += 1;
+        self.admitted.push(id);
+    }
+
+    /// Buffers a completion for the next source flush. `delivered` is
+    /// `false` for discards.
+    #[inline]
+    fn record_done(&mut self, m: u32, t: u64, delivered: bool) {
+        self.delivery_buf.push((t, m, delivered));
+    }
+
+    /// Dispatches buffered completions to the source in ascending
+    /// `(time, id)` order — the canonical, engine-independent callback
+    /// sequence of the [`crate::source`] contract.
+    fn flush_deliveries(&mut self) {
+        if self.delivery_buf.is_empty() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.delivery_buf);
+        buf.sort_unstable();
+        for (t, id, delivered) in buf.drain(..) {
+            if delivered {
+                self.source.on_delivered(id, t);
+            } else {
+                self.source.on_discarded(id, t);
+            }
+        }
+        self.delivery_buf = buf;
+    }
+
+    /// Flushes completions, then peeks the source's next release time.
+    pub(crate) fn peek_next_release(&mut self, now: u64) -> Option<u64> {
+        self.flush_deliveries();
+        self.source.next_release(now)
+    }
+
+    /// Flushes completions, then pulls and admits every message released
+    /// by `now`. Returns the `self.admitted` index range of the new ids.
+    pub(crate) fn admit_ready(&mut self, now: u64) -> std::ops::Range<usize> {
+        self.flush_deliveries();
+        let start = self.admitted.len();
+        let mut buf = std::mem::take(&mut self.ready_buf);
+        buf.clear();
+        self.source.take_ready(now, &mut buf);
+        for (id, spec) in buf.drain(..) {
+            self.admit(id, spec, now);
+        }
+        self.ready_buf = buf;
+        start..self.admitted.len()
+    }
+
+    /// Id of the `i`-th admitted message (admission order).
+    #[inline]
+    pub(crate) fn admitted_id(&self, i: usize) -> u32 {
+        self.admitted[i]
     }
 
     /// Whether crossing 1-based path edge `edge_1based` requires holding
@@ -954,7 +1115,7 @@ impl<'a> Sim<'a> {
                         self.blocked.extend_from_slice(group);
                         continue;
                     }
-                    order_contenders(self.config, self.specs, t, e, group);
+                    order_contenders(self.config, &self.specs, t, e, group);
                     self.blocked.extend_from_slice(&group[free..]);
                     self.movers.extend_from_slice(&group[..free]);
                 } else {
@@ -988,7 +1149,7 @@ impl<'a> Sim<'a> {
                 continue;
             }
             let granted = if group.len() > free {
-                order_contenders(self.config, self.specs, t, e, group);
+                order_contenders(self.config, &self.specs, t, e, group);
                 self.blocked.extend_from_slice(&group[free..]);
                 self.movers.extend_from_slice(&group[..free]);
                 free as u32
@@ -1065,6 +1226,15 @@ impl<'a> Sim<'a> {
             .adaptive
             .as_ref()
             .map_or((0, 0), |a| (a.escape_fallbacks, a.misroute_hops));
+        // A capped run may end before the source emitted every message it
+        // knows about; pad to the declared id bound so e.g. a replayed
+        // slice still reports one (default) outcome per input spec.
+        if let Some(bound) = self.source.id_bound() {
+            if self.outcomes.len() < bound as usize {
+                self.outcomes
+                    .resize(bound as usize, MessageOutcome::default());
+            }
+        }
         (
             SimResult {
                 outcome,
@@ -1078,6 +1248,7 @@ impl<'a> Sim<'a> {
                 misroute_hops,
                 deadlock: deadlock_report,
                 open_loop: None,
+                closed_loop: None,
             },
             self.trace,
         )
@@ -1088,36 +1259,34 @@ impl<'a> Sim<'a> {
         let mut t: u64 = 0;
         let mut deadlock_report = None;
         let outcome = loop {
-            if self.unfinished == 0 {
-                break Outcome::Completed;
-            }
-            if t >= self.config.max_steps {
-                break Outcome::MaxSteps;
-            }
-            // Fast-forward over idle gaps in sparse schedules — but never
-            // past the step cap: a release at or beyond `max_steps` cannot
-            // run inside the cap, so the run ends at exactly the cap
-            // instead of silently simulating (and reporting) beyond it.
+            // With nothing in flight the run is over iff the source is
+            // dry (a reactive source with an idle network has flushed
+            // every completion, so its answer is final). Otherwise
+            // fast-forward over the idle gap — but never past the step
+            // cap: a release at or beyond `max_steps` cannot run inside
+            // the cap, so the run ends at exactly the cap instead of
+            // silently simulating (and reporting) beyond it.
             if self.active.is_empty() {
-                match self.release_order.get(self.next_pending) {
-                    Some(&m) => {
-                        let r = self.specs[m as usize].release;
+                match self.peek_next_release(t) {
+                    None => break Outcome::Completed,
+                    Some(r) => {
+                        if t >= self.config.max_steps {
+                            break Outcome::MaxSteps;
+                        }
                         if r >= self.config.max_steps {
                             t = self.config.max_steps;
                             break Outcome::MaxSteps;
                         }
                         t = t.max(r);
                     }
-                    None => break Outcome::Completed, // discarded remainder
                 }
+            } else if t >= self.config.max_steps {
+                break Outcome::MaxSteps;
             }
-            while let Some(&m) = self.release_order.get(self.next_pending) {
-                if self.specs[m as usize].release <= t {
-                    self.active.push(m);
-                    self.next_pending += 1;
-                } else {
-                    break;
-                }
+            let new = self.admit_ready(t);
+            for i in new {
+                let m = self.admitted_id(i);
+                self.active.push(m);
             }
 
             let moved = match self.config.bandwidth {
@@ -1140,14 +1309,13 @@ impl<'a> Sim<'a> {
         (outcome, t, deadlock_report)
     }
 
-    /// Rebuilds `active` (released, unretired, in `(release, id)` order)
-    /// from the admission prefix — the event engine calls this on cold
-    /// paths (deadlock, invariant checks) instead of paying an
-    /// `O(active)` retire scan every step.
+    /// Rebuilds `active` (admitted, unretired, in admission order) —
+    /// the event engine calls this on cold paths (deadlock, invariant
+    /// checks) instead of paying an `O(active)` retire scan every step.
     pub(crate) fn rebuild_active(&mut self) {
         self.active.clear();
-        for i in 0..self.next_pending {
-            let m = self.release_order[i];
+        for i in 0..self.admitted.len() {
+            let m = self.admitted[i];
             let mi = m as usize;
             if !self.worms[mi].done() && !self.outcomes[mi].discarded {
                 self.active.push(m);
@@ -1390,6 +1558,7 @@ impl<'a> Sim<'a> {
                         self.outcomes[mi].finished = Some(t + 1);
                         self.last_finish = self.last_finish.max(t + 1);
                         self.unfinished -= 1;
+                        self.record_done(m, t + 1, true);
                         if self.tracing {
                             self.trace.push(TraceEvent::Finish { t: t + 1, msg: m });
                         }
@@ -1474,6 +1643,7 @@ impl<'a> Sim<'a> {
             out.finished = Some(t + 1);
             self.last_finish = self.last_finish.max(t + 1);
             self.unfinished -= 1;
+            self.record_done(m, t + 1, true);
             if self.tracing {
                 self.trace.push(TraceEvent::Finish { t: t + 1, msg: m });
             }
@@ -1537,6 +1707,7 @@ impl<'a> Sim<'a> {
             self.outcomes[mi].finished = Some(fin_t);
             self.last_finish = self.last_finish.max(fin_t);
             self.unfinished -= 1;
+            self.record_done(m, fin_t, true);
         }
         *t += k;
     }
@@ -1568,6 +1739,7 @@ impl<'a> Sim<'a> {
         }
         self.outcomes[m as usize].discarded = true;
         self.unfinished -= 1;
+        self.record_done(m, t, false);
         if self.tracing {
             self.trace.push(TraceEvent::Discard { t, msg: m });
         }

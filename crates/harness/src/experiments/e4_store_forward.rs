@@ -67,7 +67,9 @@ mod tests {
             if cols.len() < 10 || cols[1].parse::<u32>().is_err() {
                 continue;
             }
-            let ratio: f64 = cols[9].parse().unwrap();
+            let ratio: f64 = cols[9]
+                .parse()
+                .expect("column 9 (wormhole/store-and-forward ratio) is a number");
             assert!(ratio > 1.0, "wormhole should be slower: {row}");
         }
     }

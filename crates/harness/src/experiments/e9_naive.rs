@@ -66,8 +66,12 @@ mod tests {
             if cols.len() < 9 || cols[1].parse::<u32>().is_err() {
                 continue;
             }
-            let naive: u32 = cols[4].parse().unwrap();
-            let lll: u32 = cols[7].parse().unwrap();
+            let naive: u32 = cols[4]
+                .parse()
+                .expect("column 4 (naive class count) is an integer");
+            let lll: u32 = cols[7]
+                .parse()
+                .expect("column 7 (LLL class count at B=2) is an integer");
             assert!(naive >= lll, "naive should use ≥ classes: {row}");
         }
     }

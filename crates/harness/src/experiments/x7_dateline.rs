@@ -15,7 +15,7 @@
 //!    [`wormhole_topology::dateline::channel_dependency_graph`].
 
 use wormhole_flitsim::config::{Engine, SimConfig};
-use wormhole_flitsim::message::MessageSpec;
+use wormhole_flitsim::message::specs_from_path_slice;
 use wormhole_flitsim::stats::Outcome;
 use wormhole_flitsim::wormhole;
 use wormhole_topology::dateline::{channel_dependency_graph, rotation_paths, DatelineRing};
@@ -77,10 +77,7 @@ pub fn run_with(fast: bool, engine: Engine) -> Vec<Table> {
         for (scheme, ds) in [("1 class (naive)", false), ("2 classes (dateline)", true)] {
             let paths = rotation_paths(&ring, n - 1, ds);
             let acyclic = channel_dependency_graph(ring.graph(), &paths).is_acyclic();
-            let specs: Vec<MessageSpec> = paths
-                .iter()
-                .map(|p| MessageSpec::new(p.clone(), l))
-                .collect();
+            let specs = specs_from_path_slice(&paths, l);
             let r = wormhole::run(ring.graph(), &specs, &SimConfig::new(1).engine(engine));
             let (outcome, cycle) = outcome_cells(&r);
             t.row(&cells!(n, scheme, acyclic, outcome, r.total_steps, cycle));
@@ -111,10 +108,7 @@ pub fn run_with(fast: bool, engine: Engine) -> Vec<Table> {
             let mesh = Mesh::new_disciplined(radix, dims, true, discipline);
             let paths = tornado_paths(&mesh);
             let acyclic = channel_dependency_graph(mesh.graph(), &paths).is_acyclic();
-            let specs: Vec<MessageSpec> = paths
-                .iter()
-                .map(|p| MessageSpec::new(p.clone(), l))
-                .collect();
+            let specs = specs_from_path_slice(&paths, l);
             let r = wormhole::run(mesh.graph(), &specs, &SimConfig::new(1).engine(engine));
             let (outcome, cycle) = outcome_cells(&r);
             t.row(&cells!(

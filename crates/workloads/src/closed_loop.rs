@@ -1,0 +1,488 @@
+//! Closed-loop clients: finite outstanding-request windows and
+//! request→reply dependency chains.
+//!
+//! Open-loop injection offers load regardless of what the network
+//! delivers — past the saturation knee the backlog (and therefore the
+//! measured latency) grows without bound. Real services are *closed*:
+//! a client keeps at most `window` requests outstanding, each reply
+//! spawns the next request after a think time, and congestion therefore
+//! throttles injection instead of inflating a queue. The two
+//! methodologies diverge exactly at the knee, which is where
+//! virtual-channel benefit is decided — experiment `x11_closed_loop`
+//! plots the divergence.
+//!
+//! [`ClosedLoopSource`] implements the
+//! [`TrafficSource`] pull contract: each of `clients × window` slots
+//! runs an independent chain *request → (server think) → reply →
+//! (client think) → next request*, with every random draw taken from
+//! the slot's own seeded RNG in chain order. Because the simulator
+//! flushes deliveries in canonical `(time, id)` order before any poll
+//! (see `wormhole_flitsim::source`), the whole run is deterministic per
+//! seed and bit-identical across engines.
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use wormhole_flitsim::config::SimConfig;
+use wormhole_flitsim::message::MessageSpec;
+use wormhole_flitsim::open_loop::{windowed_stats_from, OpenLoopConfig};
+use wormhole_flitsim::source::TrafficSource;
+use wormhole_flitsim::stats::{ClosedLoopStats, LatencyStats, SimResult};
+use wormhole_flitsim::wormhole;
+
+use crate::mix;
+use crate::substrate::Substrate;
+
+/// Salt separating slot RNG streams from the open-loop endpoint streams.
+const SLOT_STREAM_SALT: u64 = 0x636c_6f73_6564_6c70;
+
+/// A closed-loop client/server workload over a [`Substrate`].
+///
+/// The first `clients` endpoints are clients, the last `servers`
+/// endpoints are servers (the partitions must not overlap). Each client
+/// owns `window` chain slots; a slot issues a `req_len`-flit request to
+/// a uniformly drawn server, the server replies with `reply_len` flits
+/// after a uniform `server_delay`, and the slot issues its next request
+/// a uniform `think` after the reply lands — until a request would be
+/// released at or after `horizon`.
+#[derive(Clone, Debug)]
+pub struct ClosedLoopConfig {
+    /// Number of client endpoints (endpoints `0..clients`).
+    pub clients: u32,
+    /// Number of server endpoints (the last `servers` endpoints).
+    pub servers: u32,
+    /// Outstanding-request window (chain slots) per client.
+    pub window: u32,
+    /// Request length in flits.
+    pub req_len: u32,
+    /// Reply length in flits.
+    pub reply_len: u32,
+    /// Client think time between a reply and the next request,
+    /// uniform in `think.0..=think.1` steps.
+    pub think: (u64, u64),
+    /// Server service time between a request and its reply, uniform in
+    /// `server_delay.0..=server_delay.1` steps.
+    pub server_delay: (u64, u64),
+    /// Initial per-slot release jitter, uniform in `0..=start_spread`
+    /// (desynchronizes the first wave of requests).
+    pub start_spread: u64,
+    /// No request is released at or after this step; in-flight chains
+    /// may still finish.
+    pub horizon: u64,
+    /// Master seed; every slot derives an independent stream from it.
+    pub seed: u64,
+}
+
+impl ClosedLoopConfig {
+    fn validate(&self, sub: &Substrate) {
+        assert!(self.clients >= 1 && self.servers >= 1, "empty partition");
+        assert!(
+            self.clients + self.servers <= sub.endpoints(),
+            "client ({}) and server ({}) partitions overlap on {} endpoints",
+            self.clients,
+            self.servers,
+            sub.endpoints()
+        );
+        assert!(self.window >= 1, "window must be at least 1");
+        assert!(
+            self.req_len >= 1 && self.reply_len >= 1,
+            "zero-flit message"
+        );
+        assert!(self.think.0 <= self.think.1, "empty think range");
+        assert!(
+            self.server_delay.0 <= self.server_delay.1,
+            "empty server_delay range"
+        );
+        assert!(self.horizon >= 1, "empty horizon");
+    }
+}
+
+/// Which half of a chain a scheduled message is.
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    /// Client → server; delivery schedules the reply.
+    Request,
+    /// Server → client; delivery completes the chain.
+    Reply,
+}
+
+/// A message scheduled for a future (or current) release.
+#[derive(Clone, Copy, Debug)]
+struct Scheduled {
+    client: u32,
+    slot: u32,
+    server: u32,
+    kind: Kind,
+}
+
+/// Per-emitted-message bookkeeping (indexed by message id).
+#[derive(Clone, Copy, Debug)]
+struct MsgMeta {
+    release: u64,
+    length: u32,
+    sched: Scheduled,
+}
+
+/// What a chain slot is doing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotPhase {
+    /// Waiting for a scheduled request release or thinking after a
+    /// reply.
+    Idle,
+    /// A chain is in flight; payload is the request's release step.
+    InFlight(u64),
+    /// The horizon passed; the slot issues no further requests.
+    Retired,
+}
+
+/// Per-slot chain state.
+struct SlotState {
+    rng: StdRng,
+    phase: SlotPhase,
+}
+
+/// The pull-based closed-loop source. See the module docs; drive it with
+/// [`run_closed_loop`] (or `wormhole::run_source` directly) and read the
+/// result's [`SimResult::closed_loop`].
+pub struct ClosedLoopSource<'a> {
+    sub: &'a Substrate,
+    cfg: ClosedLoopConfig,
+    /// Slot states, indexed `client * window + slot`.
+    slots: Vec<SlotState>,
+    /// Scheduled emissions keyed by `(release, schedule seq)` — the
+    /// BTreeMap order is the emission order, and ids are assigned in
+    /// pop order, so `(release, id)` emission order holds by
+    /// construction.
+    sched: BTreeMap<(u64, u64), Scheduled>,
+    seq: u64,
+    next_id: u32,
+    meta: Vec<MsgMeta>,
+    requests_issued: u64,
+    chains_completed: u64,
+    chain_latencies: Vec<u64>,
+    /// Completed-chain busy steps per client.
+    backlog: Vec<u64>,
+}
+
+impl<'a> ClosedLoopSource<'a> {
+    /// Builds the source and schedules every slot's first request.
+    pub fn new(sub: &'a Substrate, cfg: &ClosedLoopConfig) -> Self {
+        cfg.validate(sub);
+        let mut s = Self {
+            sub,
+            cfg: cfg.clone(),
+            slots: Vec::new(),
+            sched: BTreeMap::new(),
+            seq: 0,
+            next_id: 0,
+            meta: Vec::new(),
+            requests_issued: 0,
+            chains_completed: 0,
+            chain_latencies: Vec::new(),
+            backlog: vec![0; cfg.clients as usize],
+        };
+        for c in 0..cfg.clients {
+            for slot in 0..cfg.window {
+                let mut rng = StdRng::seed_from_u64(mix(mix(cfg.seed ^ SLOT_STREAM_SALT, c), slot));
+                let offset = rng.random_range(0..=cfg.start_spread);
+                s.slots.push(SlotState {
+                    rng,
+                    phase: SlotPhase::Idle,
+                });
+                s.schedule_request(c, slot, offset);
+            }
+        }
+        s
+    }
+
+    #[inline]
+    fn slot_idx(&self, client: u32, slot: u32) -> usize {
+        (client * self.cfg.window + slot) as usize
+    }
+
+    /// Endpoint id of server index `k`.
+    #[inline]
+    fn server_endpoint(&self, k: u32) -> u32 {
+        self.sub.endpoints() - self.cfg.servers + k
+    }
+
+    /// Draws the slot's next server and schedules its request, unless
+    /// the release falls at or past the horizon (the slot retires).
+    fn schedule_request(&mut self, client: u32, slot: u32, release: u64) {
+        let si = self.slot_idx(client, slot);
+        if release >= self.cfg.horizon {
+            self.slots[si].phase = SlotPhase::Retired;
+            return;
+        }
+        let k = self.slots[si].rng.random_range(0..self.cfg.servers);
+        let server = self.server_endpoint(k);
+        debug_assert!(self.sub.injects(client, server), "partitions overlap");
+        self.sched.insert(
+            (release, self.seq),
+            Scheduled {
+                client,
+                slot,
+                server,
+                kind: Kind::Request,
+            },
+        );
+        self.seq += 1;
+    }
+
+    /// Finalizes the run's chain statistics, charging chains still in
+    /// flight up to `end` (the measured horizon: a saturated closed
+    /// loop's outstanding chains are backlog, not noise).
+    pub fn stats(&self, end: u64) -> ClosedLoopStats {
+        let mut backlog = self.backlog.clone();
+        for c in 0..self.cfg.clients {
+            for slot in 0..self.cfg.window {
+                if let SlotPhase::InFlight(start) = self.slots[self.slot_idx(c, slot)].phase {
+                    backlog[c as usize] += end.saturating_sub(start);
+                }
+            }
+        }
+        let think = backlog
+            .iter()
+            .map(|&b| (self.cfg.window as u64 * end).saturating_sub(b))
+            .collect();
+        ClosedLoopStats {
+            clients: self.cfg.clients as usize,
+            window: self.cfg.window,
+            requests_issued: self.requests_issued,
+            chains_completed: self.chains_completed,
+            chain_latency: LatencyStats::from_samples(&self.chain_latencies),
+            per_client_think: think,
+            per_client_backlog: backlog,
+        }
+    }
+
+    /// `(release, length)` of emitted message `id` — windowed-stats
+    /// metadata.
+    pub fn released(&self, id: usize) -> (u64, u32) {
+        let m = &self.meta[id];
+        (m.release, m.length)
+    }
+
+    /// Number of messages emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.meta.len()
+    }
+}
+
+impl TrafficSource for ClosedLoopSource<'_> {
+    fn next_release(&mut self, _now: u64) -> Option<u64> {
+        self.sched.keys().next().map(|&(r, _)| r)
+    }
+
+    fn take_ready(&mut self, now: u64, out: &mut Vec<(u32, MessageSpec)>) {
+        while let Some((&(release, seq), &sched)) = self.sched.iter().next() {
+            if release > now {
+                break;
+            }
+            self.sched.remove(&(release, seq));
+            let (src, dst, length) = match sched.kind {
+                Kind::Request => (sched.client, sched.server, self.cfg.req_len),
+                Kind::Reply => (sched.server, sched.client, self.cfg.reply_len),
+            };
+            if let Kind::Request = sched.kind {
+                let si = self.slot_idx(sched.client, sched.slot);
+                self.slots[si].phase = SlotPhase::InFlight(release);
+                self.requests_issued += 1;
+            }
+            let spec = MessageSpec::new(self.sub.route(src, dst), length).release_at(release);
+            self.meta.push(MsgMeta {
+                release,
+                length,
+                sched,
+            });
+            out.push((self.next_id, spec));
+            self.next_id += 1;
+        }
+    }
+
+    fn on_delivered(&mut self, id: u32, finished: u64) {
+        let m = self.meta[id as usize];
+        let si = self.slot_idx(m.sched.client, m.sched.slot);
+        match m.sched.kind {
+            Kind::Request => {
+                // The server turns the request around after its service
+                // time; zero delay means the reply releases the same
+                // step the delivery is flushed (never in the past).
+                let (lo, hi) = self.cfg.server_delay;
+                let delay = self.slots[si].rng.random_range(lo..=hi);
+                self.sched.insert(
+                    (finished + delay, self.seq),
+                    Scheduled {
+                        kind: Kind::Reply,
+                        ..m.sched
+                    },
+                );
+                self.seq += 1;
+            }
+            Kind::Reply => {
+                let start = match self.slots[si].phase {
+                    SlotPhase::InFlight(start) => start,
+                    other => panic!("reply for a slot in phase {other:?}"),
+                };
+                self.chains_completed += 1;
+                self.chain_latencies.push(finished - start);
+                self.backlog[m.sched.client as usize] += finished - start;
+                self.slots[si].phase = SlotPhase::Idle;
+                let (lo, hi) = self.cfg.think;
+                let think = self.slots[si].rng.random_range(lo..=hi);
+                self.schedule_request(m.sched.client, m.sched.slot, finished + think);
+            }
+        }
+    }
+
+    fn on_discarded(&mut self, id: u32, t: u64) {
+        // A discarded half-chain is reissued (same endpoints, fresh
+        // message id) one step later; the chain keeps its original
+        // start, so the retry cost shows up in the chain latency.
+        let m = self.meta[id as usize];
+        self.sched.insert((t + 1, self.seq), m.sched);
+        self.seq += 1;
+    }
+
+    fn reactive(&self) -> bool {
+        true
+    }
+}
+
+/// Runs a closed-loop workload to the open-loop step cap, attaching both
+/// the windowed [`SimResult::open_loop`] measurement (over the emitted
+/// requests *and* replies) and the chain-level
+/// [`SimResult::closed_loop`] statistics.
+pub fn run_closed_loop(
+    sub: &Substrate,
+    cfg: &ClosedLoopConfig,
+    sim_cfg: &SimConfig,
+    ol: &OpenLoopConfig,
+) -> SimResult {
+    let mut capped = sim_cfg.clone();
+    capped.max_steps = capped.max_steps.min(ol.step_cap());
+    let mut source = ClosedLoopSource::new(sub, cfg);
+    let mut result = wormhole::run_source(sub.graph(), &mut source, &capped);
+    let end = result.total_steps;
+    result.open_loop = Some(windowed_stats_from(
+        source
+            .meta
+            .iter()
+            .zip(&result.messages)
+            .map(|(m, o)| (m.release, m.length, o.finished)),
+        ol,
+    ));
+    result.closed_loop = Some(source.stats(end));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_flitsim::config::Engine;
+    use wormhole_flitsim::stats::Outcome;
+
+    fn small_cfg(window: u32, horizon: u64) -> ClosedLoopConfig {
+        ClosedLoopConfig {
+            clients: 4,
+            servers: 4,
+            window,
+            req_len: 2,
+            reply_len: 4,
+            think: (2, 6),
+            server_delay: (1, 3),
+            start_spread: 8,
+            horizon,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn chains_complete_and_self_limit() {
+        let sub = Substrate::butterfly(3); // 8 endpoints
+        let cfg = small_cfg(2, 400);
+        let ol = OpenLoopConfig::new(50, 300).drain(200);
+        let r = run_closed_loop(&sub, &cfg, &SimConfig::new(2), &ol);
+        assert_eq!(r.outcome, Outcome::Completed, "{:?}", r.outcome);
+        let cl = r.closed_loop.unwrap();
+        assert!(cl.chains_completed > 0, "{cl:?}");
+        assert_eq!(cl.requests_issued, cl.chains_completed, "run drained");
+        assert!(cl.chain_latency.p50 > 0);
+        // The structural guarantee closed loops exist for: never more
+        // than clients × window in flight.
+        assert_eq!(cl.outstanding_bound(), 8);
+        assert_eq!(cl.per_client_think.len(), 4);
+        assert!(cl.total_think() > 0);
+        assert!(cl.total_backlog() > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sub = Substrate::butterfly(3);
+        let cfg = small_cfg(2, 300);
+        let ol = OpenLoopConfig::new(50, 200).drain(200);
+        let a = run_closed_loop(&sub, &cfg, &SimConfig::new(2), &ol);
+        let b = run_closed_loop(&sub, &cfg, &SimConfig::new(2), &ol);
+        assert!(a.same_execution(&b));
+        assert_eq!(a.closed_loop.unwrap(), b.closed_loop.unwrap());
+    }
+
+    #[test]
+    fn engines_agree_on_closed_loop_runs() {
+        // The reactive-source path disables the event engine's batched
+        // fast-forwards but keeps park/wake and idle jumps; the
+        // delivery-flush canonicalization must make the engines (and
+        // their derived chain stats) identical.
+        let sub = Substrate::torus_with(4, 2, crate::RoutingDiscipline::DatelineClasses);
+        let mut cfg = small_cfg(2, 300);
+        cfg.clients = 6;
+        cfg.servers = 6;
+        let ol = OpenLoopConfig::new(50, 200).drain(200);
+        for b in [1u32, 2] {
+            let ev = run_closed_loop(&sub, &cfg, &SimConfig::new(b), &ol);
+            let lg = run_closed_loop(&sub, &cfg, &SimConfig::new(b).engine(Engine::Legacy), &ol);
+            assert!(ev.same_execution(&lg), "engines diverged at B={b}");
+            assert_eq!(ev.closed_loop.unwrap(), lg.closed_loop.unwrap());
+        }
+    }
+
+    #[test]
+    fn window_bounds_outstanding_requests() {
+        // With zero think and zero server delay the loop runs as hot as
+        // it can; in-flight messages still never exceed clients × window
+        // (requests) + clients × window (replies).
+        let sub = Substrate::butterfly(3);
+        let cfg = ClosedLoopConfig {
+            clients: 4,
+            servers: 4,
+            window: 1,
+            req_len: 2,
+            reply_len: 2,
+            think: (0, 0),
+            server_delay: (0, 0),
+            start_spread: 0,
+            horizon: 200,
+            seed: 3,
+        };
+        let ol = OpenLoopConfig::new(20, 180).drain(100);
+        let r = run_closed_loop(&sub, &cfg, &SimConfig::new(1), &ol);
+        let cl = r.closed_loop.clone().unwrap();
+        assert!(cl.chains_completed > 10);
+        // Backlog at any instant is bounded by the window structure.
+        let olstats = r.open_loop.unwrap();
+        assert!(olstats.backlog.0 <= 2 * cl.outstanding_bound() as usize);
+        assert!(olstats.backlog.1 <= 2 * cl.outstanding_bound() as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitions overlap")]
+    fn overlapping_partitions_rejected() {
+        let sub = Substrate::butterfly(3); // 8 endpoints
+        let mut cfg = small_cfg(1, 100);
+        cfg.clients = 5;
+        cfg.servers = 5;
+        let _ = ClosedLoopSource::new(&sub, &cfg);
+    }
+}

@@ -35,12 +35,18 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod closed_loop;
 pub mod patterns;
+pub mod service;
 pub mod substrate;
+pub mod trace;
 
 pub use arrivals::ArrivalProcess;
+pub use closed_loop::{run_closed_loop, ClosedLoopConfig, ClosedLoopSource};
 pub use patterns::{PatternSampler, TrafficPattern};
+pub use service::ServiceScenario;
 pub use substrate::Substrate;
+pub use trace::{read_trace, write_trace, TraceReader, TraceRow, TraceSource};
 pub use wormhole_topology::mesh::RoutingDiscipline;
 
 use rand::prelude::*;
@@ -100,11 +106,25 @@ impl Workload {
     /// appends), and the whole stream is identical across runs with the
     /// same seed.
     pub fn generate(&self, window: u64) -> Vec<MessageSpec> {
+        self.generate_rows(window)
+            .into_iter()
+            .map(|r| {
+                MessageSpec::new(self.substrate.route(r.src, r.dst), r.length).release_at(r.release)
+            })
+            .collect()
+    }
+
+    /// Generates the same stream as [`Workload::generate`], but as
+    /// routing-free [`TraceRow`]s — the trace-format view of the
+    /// workload. `generate` is exactly `generate_rows` + routing, so a
+    /// written trace replayed through [`trace::TraceSource`] reproduces
+    /// the direct simulation bit for bit.
+    pub fn generate_rows(&self, window: u64) -> Vec<TraceRow> {
         let sampler = PatternSampler::new(self.pattern.clone(), &self.substrate, self.seed);
         let n = self.substrate.endpoints();
         // (release, src) sort keys keep the stream deterministic and
         // release-ordered, as the simulator expects of open-loop input.
-        let mut stamped: Vec<(u64, u32, MessageSpec)> = Vec::new();
+        let mut stamped: Vec<TraceRow> = Vec::new();
         for src in 0..n {
             let mut arrival_rng = StdRng::seed_from_u64(mix(self.seed, src));
             let mut dst_rng = StdRng::seed_from_u64(mix(self.seed ^ DST_STREAM_SALT, src));
@@ -113,13 +133,16 @@ impl Workload {
                 if !self.substrate.injects(src, dst) {
                     continue;
                 }
-                let spec =
-                    MessageSpec::new(self.substrate.route(src, dst), self.msg_len).release_at(t);
-                stamped.push((t, src, spec));
+                stamped.push(TraceRow {
+                    src,
+                    dst,
+                    release: t,
+                    length: self.msg_len,
+                });
             }
         }
-        stamped.sort_by_key(|&(t, src, _)| (t, src));
-        stamped.into_iter().map(|(_, _, s)| s).collect()
+        stamped.sort_by_key(|r| (r.release, r.src));
+        stamped
     }
 }
 
@@ -128,7 +151,7 @@ const DST_STREAM_SALT: u64 = 0x6473_745f_7374_7265;
 
 /// SplitMix64-style mix of the master seed and an endpoint id, so
 /// per-endpoint streams are decorrelated.
-fn mix(seed: u64, endpoint: u32) -> u64 {
+pub(crate) fn mix(seed: u64, endpoint: u32) -> u64 {
     let mut z = seed ^ (endpoint as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -1,0 +1,337 @@
+//! External trace replay: a streaming `(src, dst, release, length)`
+//! format and a pull-based [`TraceSource`] that feeds it to the
+//! simulator incrementally — a trace bigger than RAM is replayed row by
+//! row, never materialized as a `Vec<MessageSpec>`.
+//!
+//! # Format
+//!
+//! One row per line, four whitespace-separated decimal columns:
+//!
+//! ```text
+//! # src dst release length
+//! 0 5 0 4
+//! 3 1 2 16
+//! ```
+//!
+//! Blank lines and `#` comments are skipped. Rows must be sorted by
+//! non-decreasing `release` (the reader enforces it): a streaming replay
+//! cannot look arbitrarily far ahead for an out-of-order release, and
+//! sorted rows make the id assignment (sequential, in row order) agree
+//! with the `(release, id)` emission order the
+//! [`TrafficSource`] contract requires.
+//!
+//! The round-trip invariant — [`write_trace`] then [`read_trace`]
+//! reproduces the rows, and replaying a written [`Workload`] trace is
+//! bit-identical to simulating `Workload::generate` directly — is
+//! enforced by `tests/source_equiv.rs`.
+//!
+//! [`Workload`]: crate::Workload
+
+use std::io::{self, BufRead, Write};
+
+use wormhole_flitsim::message::MessageSpec;
+use wormhole_flitsim::source::TrafficSource;
+
+use crate::substrate::Substrate;
+
+/// One trace row: endpoints, release step, and length in flits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRow {
+    /// Source endpoint (dense substrate endpoint space).
+    pub src: u32,
+    /// Destination endpoint.
+    pub dst: u32,
+    /// Release (injection-availability) step.
+    pub release: u64,
+    /// Message length in flits (`≥ 1`).
+    pub length: u32,
+}
+
+/// Writes rows in the trace format, with a leading column-name comment.
+pub fn write_trace<W: Write>(w: &mut W, rows: &[TraceRow]) -> io::Result<()> {
+    writeln!(w, "# src dst release length")?;
+    for r in rows {
+        writeln!(w, "{} {} {} {}", r.src, r.dst, r.release, r.length)?;
+    }
+    Ok(())
+}
+
+/// Incremental trace reader: yields rows one at a time, enforcing the
+/// format (four decimal columns, non-decreasing releases) with
+/// line-numbered errors. Never buffers more than one line.
+pub struct TraceReader<R: BufRead> {
+    inner: R,
+    line_no: usize,
+    last_release: u64,
+    buf: String,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a buffered reader positioned at the start of a trace.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            line_no: 0,
+            last_release: 0,
+            buf: String::new(),
+        }
+    }
+
+    fn parse_row(&self, line: &str) -> Result<TraceRow, String> {
+        let mut cols = line.split_whitespace();
+        let mut field = |name: &str| {
+            cols.next()
+                .ok_or_else(|| format!("missing column `{name}`"))
+        };
+        let src = field("src")?;
+        let dst = field("dst")?;
+        let release = field("release")?;
+        let length = field("length")?;
+        if cols.next().is_some() {
+            return Err("more than four columns".to_string());
+        }
+        let parse_u32 = |name: &str, s: &str| {
+            s.parse::<u32>()
+                .map_err(|e| format!("bad `{name}` value {s:?}: {e}"))
+        };
+        let row = TraceRow {
+            src: parse_u32("src", src)?,
+            dst: parse_u32("dst", dst)?,
+            release: release
+                .parse::<u64>()
+                .map_err(|e| format!("bad `release` value {release:?}: {e}"))?,
+            length: parse_u32("length", length)?,
+        };
+        if row.length == 0 {
+            return Err("zero-length message".to_string());
+        }
+        Ok(row)
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = io::Result<TraceRow>;
+
+    fn next(&mut self) -> Option<io::Result<TraceRow>> {
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            match self.inner.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(e)),
+            }
+            let line = self.buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fail = |msg: String| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("trace line {}: {msg}", self.line_no),
+                )
+            };
+            return Some(match self.parse_row(line) {
+                Ok(row) => {
+                    if row.release < self.last_release {
+                        Err(fail(format!(
+                            "release {} decreases (previous row was {})",
+                            row.release, self.last_release
+                        )))
+                    } else {
+                        self.last_release = row.release;
+                        Ok(row)
+                    }
+                }
+                Err(msg) => Err(fail(msg)),
+            });
+        }
+    }
+}
+
+/// Reads a whole trace eagerly — the small-trace convenience on top of
+/// the streaming [`TraceReader`].
+pub fn read_trace<R: BufRead>(r: R) -> io::Result<Vec<TraceRow>> {
+    TraceReader::new(r).collect()
+}
+
+/// Pull-based replay of a trace over a [`Substrate`]: rows are read —
+/// and routed — only as simulated time reaches them, so the working set
+/// is one row regardless of trace size. Ids are assigned sequentially in
+/// row order; with releases non-decreasing (reader-enforced) that is
+/// exactly the `(release, id)` emission order the contract requires.
+///
+/// Malformed rows, out-of-range endpoints, and rows the substrate does
+/// not inject (`src == dst` on node-addressed substrates) panic with the
+/// offending line: a trace replay has no caller to hand an error to
+/// mid-simulation, and silently dropping rows would skew the workload.
+pub struct TraceSource<'a, R: BufRead> {
+    sub: &'a Substrate,
+    reader: TraceReader<R>,
+    /// One-row lookahead: the next not-yet-released row.
+    pending: Option<TraceRow>,
+    next_id: u32,
+    /// Per-emitted-id `(release, length)`, for windowed stats.
+    meta: Vec<(u64, u32)>,
+}
+
+impl<'a, R: BufRead> TraceSource<'a, R> {
+    /// Starts a streaming replay of `reader`'s trace over `sub`.
+    pub fn new(sub: &'a Substrate, reader: R) -> Self {
+        let mut s = Self {
+            sub,
+            reader: TraceReader::new(reader),
+            pending: None,
+            next_id: 0,
+            meta: Vec::new(),
+        };
+        s.advance();
+        s
+    }
+
+    /// Pulls the next row into the lookahead slot.
+    fn advance(&mut self) {
+        self.pending = match self.reader.next() {
+            None => None,
+            Some(Ok(row)) => {
+                let n = self.sub.endpoints();
+                assert!(
+                    row.src < n && row.dst < n,
+                    "trace row {}: endpoint out of range ({} -> {} on {})",
+                    self.reader.line_no,
+                    row.src,
+                    row.dst,
+                    self.sub.name()
+                );
+                assert!(
+                    self.sub.injects(row.src, row.dst),
+                    "trace row {}: substrate {} does not inject {} -> {}",
+                    self.reader.line_no,
+                    self.sub.name(),
+                    row.src,
+                    row.dst
+                );
+                Some(row)
+            }
+            Some(Err(e)) => panic!("trace replay failed: {e}"),
+        };
+    }
+
+    /// `(release, length)` per emitted id — the metadata
+    /// `wormhole_flitsim::open_loop::windowed_stats_from` needs.
+    pub fn meta(&self) -> &[(u64, u32)] {
+        &self.meta
+    }
+
+    /// Number of messages emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.meta.len()
+    }
+}
+
+impl<R: BufRead> TrafficSource for TraceSource<'_, R> {
+    fn next_release(&mut self, _now: u64) -> Option<u64> {
+        self.pending.as_ref().map(|r| r.release)
+    }
+
+    fn take_ready(&mut self, now: u64, out: &mut Vec<(u32, MessageSpec)>) {
+        while let Some(row) = self.pending {
+            if row.release > now {
+                break;
+            }
+            let spec = MessageSpec::new(self.sub.route(row.src, row.dst), row.length)
+                .release_at(row.release);
+            self.meta.push((row.release, row.length));
+            out.push((self.next_id, spec));
+            self.next_id += 1;
+            self.advance();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trips_rows() {
+        let rows = vec![
+            TraceRow {
+                src: 0,
+                dst: 3,
+                release: 0,
+                length: 4,
+            },
+            TraceRow {
+                src: 2,
+                dst: 1,
+                release: 0,
+                length: 1,
+            },
+            TraceRow {
+                src: 1,
+                dst: 2,
+                release: 7,
+                length: 16,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &rows).unwrap();
+        let back = read_trace(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(rows, back);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n0 1 0 2\n  # mid comment\n1 0 3 2\n";
+        let rows = read_trace(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].release, 3);
+    }
+
+    #[test]
+    fn errors_carry_the_line_and_column() {
+        let text = "0 1 0 2\n0 x 1 2\n";
+        let err = read_trace(BufReader::new(text.as_bytes())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("dst"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_decreasing_releases() {
+        let text = "0 1 5 2\n1 0 4 2\n";
+        let err = read_trace(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("decreases"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_length_and_extra_columns() {
+        let z = read_trace(BufReader::new("0 1 0 0\n".as_bytes())).unwrap_err();
+        assert!(z.to_string().contains("zero-length"), "{z}");
+        let x = read_trace(BufReader::new("0 1 0 2 9\n".as_bytes())).unwrap_err();
+        assert!(x.to_string().contains("four columns"), "{x}");
+    }
+
+    #[test]
+    fn streaming_source_emits_in_order() {
+        let sub = Substrate::butterfly(3);
+        let text = "0 1 0 2\n2 3 0 2\n1 0 6 3\n";
+        let mut src = TraceSource::new(&sub, BufReader::new(text.as_bytes()));
+        assert_eq!(src.next_release(0), Some(0));
+        let mut out = Vec::new();
+        src.take_ready(0, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[1].0, 1);
+        assert_eq!(src.next_release(0), Some(6));
+        out.clear();
+        src.take_ready(10, &mut out);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[0].1.length, 3);
+        assert_eq!(src.next_release(10), None);
+        assert_eq!(src.emitted(), 3);
+        assert_eq!(src.meta()[2], (6, 3));
+    }
+}

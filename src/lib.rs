@@ -16,7 +16,7 @@
 //! | [`flitsim`] | `wormhole-flitsim` | wormhole / store-and-forward / virtual-cut-through simulators |
 //! | [`core`] | `wormhole-core` | bounds, LLL color refinement, schedules, butterfly algorithms |
 //! | [`baselines`] | `wormhole-baselines` | naive coloring, S&F schedules, greedy wormhole, VCT, circuit switching |
-//! | [`workloads`] | `wormhole-workloads` | open-loop synthetic traffic: patterns × arrival processes × substrates |
+//! | [`workloads`] | `wormhole-workloads` | synthetic traffic: patterns × arrivals × substrates, closed-loop chains, trace replay |
 //! | [`netcalc`] | `wormhole-netcalc` | network-calculus delay/backlog bounds for feedforward routing sets |
 //! | [`harness`] | `wormhole-harness` | experiment runners regenerating every table/figure |
 //!
@@ -56,11 +56,15 @@ pub mod prelude {
         Arbitration, BandwidthModel, BlockedPolicy, Engine, FinalEdgePolicy, RouteSelection,
         SimConfig, VcPolicy,
     };
-    pub use wormhole_flitsim::message::{specs_from_paths, MessageSpec};
+    pub use wormhole_flitsim::message::{specs_from_path_slice, specs_from_paths, MessageSpec};
     pub use wormhole_flitsim::open_loop::{run_open_loop, run_open_loop_adaptive, OpenLoopConfig};
-    pub use wormhole_flitsim::stats::{LatencyStats, OpenLoopStats, Outcome, SimResult};
+    pub use wormhole_flitsim::source::{ReplaySource, TrafficSource};
+    pub use wormhole_flitsim::stats::{
+        ClosedLoopStats, LatencyStats, OpenLoopStats, Outcome, SimResult,
+    };
     pub use wormhole_flitsim::wormhole::run as wormhole_run;
     pub use wormhole_flitsim::wormhole::run_adaptive as wormhole_run_adaptive;
+    pub use wormhole_flitsim::wormhole::run_source as wormhole_run_source;
     pub use wormhole_netcalc::{
         delay_bounds, flows_from_specs, ArrivalCurve, BoundConfig, BoundReport, Flow, ServiceCurve,
         TokenBucket, TraceFlows,
@@ -70,5 +74,8 @@ pub mod prelude {
     pub use wormhole_topology::graph::{EdgeId, Graph, GraphBuilder, NodeId};
     pub use wormhole_topology::mesh::{Mesh, RoutingDiscipline};
     pub use wormhole_topology::path::{Path, PathSet};
-    pub use wormhole_workloads::{ArrivalProcess, Substrate, TrafficPattern, Workload};
+    pub use wormhole_workloads::{
+        run_closed_loop, ArrivalProcess, ClosedLoopConfig, ClosedLoopSource, ServiceScenario,
+        Substrate, TraceReader, TraceRow, TraceSource, TrafficPattern, Workload,
+    };
 }

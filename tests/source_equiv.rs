@@ -1,0 +1,267 @@
+//! Replay-equivalence oracle for the pull-based traffic-source refactor.
+//!
+//! `wormhole::run` (the slice API every caller used before the refactor)
+//! is now a thin wrapper that validates the specs and drives a
+//! [`ReplaySource`] through `wormhole::run_source`. That rewrite is only
+//! safe if it is invisible: this suite holds the source path to
+//! **field-for-field [`SimResult`] identity** with direct slice runs on
+//! both engines, across the workload families the rest of the test tree
+//! leans on — and holds the streaming trace format to full round-trip
+//! fidelity (write → stream back → the same rows, specs, and execution).
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+
+use wormhole_flitsim::config::{Arbitration, Engine, SimConfig, VcPolicy};
+use wormhole_flitsim::message::specs_from_paths;
+use wormhole_flitsim::open_loop::{windowed_stats, windowed_stats_from, OpenLoopConfig};
+use wormhole_flitsim::source::ReplaySource;
+use wormhole_flitsim::wormhole;
+use wormhole_topology::random_nets::shared_chain_instance;
+use wormhole_workloads::{
+    read_trace, write_trace, ArrivalProcess, RoutingDiscipline, Substrate, TraceSource,
+    TrafficPattern, Workload,
+};
+
+fn arbitration(i: u32) -> Arbitration {
+    match i % 4 {
+        0 => Arbitration::FifoById,
+        1 => Arbitration::OldestFirst,
+        2 => Arbitration::PriorityRank,
+        _ => Arbitration::Random,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The replay-equivalence invariant on open-loop butterfly traffic:
+    /// `run(specs)` ≡ `run_source(ReplaySource::new(specs))`, bit for
+    /// bit, on both engines — including MaxSteps aborts, where the
+    /// source path must pad undelivered ids to the same outcome table.
+    #[test]
+    fn replay_source_is_bit_identical_on_butterflies(
+        k in 2u32..6,
+        rate_pct in 1u32..60,
+        l in 1u32..8,
+        b in 1u32..4,
+        arb in 0u32..4,
+        cap_small in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let substrate = Substrate::butterfly(k);
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(120);
+        let mut cfg = SimConfig::new(b)
+            .arbitration(arbitration(arb))
+            .seed(seed ^ 0x50c)
+            .check_invariants(true);
+        if cap_small {
+            cfg = cfg.max_steps(60);
+        }
+        for engine in [Engine::EventDriven, Engine::Legacy] {
+            let cfg = cfg.clone().engine(engine);
+            let slice = wormhole::run(substrate.graph(), &specs, &cfg);
+            let mut src = ReplaySource::new(specs.clone());
+            let replay = wormhole::run_source(substrate.graph(), &mut src, &cfg);
+            prop_assert!(
+                slice.same_execution(&replay),
+                "{engine:?}: replay diverged from slice path:\n slice: {slice:?}\nreplay: {replay:?}"
+            );
+            prop_assert_eq!(slice.messages.len(), replay.messages.len());
+        }
+    }
+
+    /// The same invariant where deadlock reports and pooled-credit
+    /// arbitration are in play: tornado tori on both routing arms, under
+    /// a router-pooled VC policy — the wedged partial state at a
+    /// deadlock abort must replay identically too.
+    #[test]
+    fn replay_source_is_bit_identical_on_pooled_tori(
+        radix in 4u32..8,
+        dims in 1u32..3,
+        l in 2u32..8,
+        rate_pct in 5u32..40,
+        naive in proptest::bool::ANY,
+        extra in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        let discipline = if naive {
+            RoutingDiscipline::Naive
+        } else {
+            RoutingDiscipline::DatelineClasses
+        };
+        let substrate = Substrate::torus_with(radix, dims, discipline);
+        let fanout = substrate.graph().max_out_degree() as u32;
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::Tornado,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(100);
+        let cfg = SimConfig::new(1)
+            .vc_policy(VcPolicy::pooled(fanout + extra, 1, fanout + extra))
+            .arbitration(arbitration(seed as u32))
+            .seed(seed)
+            .max_steps(2_000)
+            .check_invariants(true);
+        for engine in [Engine::EventDriven, Engine::Legacy] {
+            let cfg = cfg.clone().engine(engine);
+            let slice = wormhole::run(substrate.graph(), &specs, &cfg);
+            let mut src = ReplaySource::new(specs.clone());
+            let replay = wormhole::run_source(substrate.graph(), &mut src, &cfg);
+            prop_assert!(
+                slice.same_execution(&replay),
+                "{engine:?} ({discipline:?}): replay diverged:\n slice: {slice:?}\nreplay: {replay:?}"
+            );
+        }
+    }
+
+    /// Adaptive route selection reads VC occupancy at admission-visible
+    /// times, so the source path must also be invisible under
+    /// `run_source_adaptive` (escape tori, both selection modes).
+    #[test]
+    fn replay_source_is_bit_identical_on_adaptive_tori(
+        radix in 3u32..7,
+        dims in 1u32..3,
+        b in 1u32..3,
+        l in 1u32..6,
+        rate_pct in 5u32..35,
+        fully in proptest::bool::ANY,
+        quota in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_flitsim::config::RouteSelection;
+        let substrate = Substrate::torus_with(radix, dims, RoutingDiscipline::AdaptiveEscape);
+        let mesh = substrate.as_mesh().expect("torus is mesh-based");
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(80);
+        let sel = if fully {
+            RouteSelection::FullyAdaptive
+        } else {
+            RouteSelection::MinimalAdaptive
+        };
+        let cfg = SimConfig::new(b)
+            .arbitration(arbitration(seed as u32))
+            .seed(seed)
+            .route_selection(sel)
+            .misroute_quota(quota)
+            .max_steps(2_000)
+            .check_invariants(true);
+        for engine in [Engine::EventDriven, Engine::Legacy] {
+            let cfg = cfg.clone().engine(engine);
+            let slice = wormhole::run_adaptive(mesh, &specs, &cfg);
+            let mut src = ReplaySource::new(specs.clone());
+            let replay = wormhole::run_source_adaptive(mesh, &mut src, &cfg);
+            prop_assert!(
+                slice.same_execution(&replay),
+                "{engine:?} ({sel:?}): adaptive replay diverged:\n slice: {slice:?}\nreplay: {replay:?}"
+            );
+        }
+    }
+
+    /// Trace-format round trip: a generated workload written as a trace
+    /// and streamed back through [`TraceSource`] reproduces (a) the rows,
+    /// (b) the routed specs, and (c) the execution — on both engines —
+    /// plus the windowed stats computed from the source's own metadata.
+    #[test]
+    fn trace_round_trip_is_bit_identical(
+        k in 2u32..6,
+        rate_pct in 1u32..50,
+        l in 1u32..8,
+        b in 1u32..4,
+        arb in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        let substrate = Substrate::butterfly(k);
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let window = 100u64;
+        let rows = w.generate_rows(window);
+        let specs = w.generate(window);
+        // generate is generate_rows + routing, so the counts agree.
+        prop_assert_eq!(rows.len(), specs.len());
+
+        // (a) the serialized rows survive the byte round trip;
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &rows).unwrap();
+        let back = read_trace(BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(&rows, &back);
+
+        // (b) + (c): streaming the written bytes drives the simulator to
+        // the exact execution of the slice path.
+        let cfg = SimConfig::new(b)
+            .arbitration(arbitration(arb))
+            .seed(seed ^ 0x7ace)
+            .check_invariants(true);
+        for engine in [Engine::EventDriven, Engine::Legacy] {
+            let cfg = cfg.clone().engine(engine);
+            let slice = wormhole::run(substrate.graph(), &specs, &cfg);
+            let mut src = TraceSource::new(&substrate, BufReader::new(&buf[..]));
+            let streamed = wormhole::run_source(substrate.graph(), &mut src, &cfg);
+            prop_assert!(
+                slice.same_execution(&streamed),
+                "{engine:?}: streamed trace diverged:\n slice: {slice:?}\nstream: {streamed:?}"
+            );
+            // Every row was released and emitted.
+            prop_assert_eq!(src.emitted(), specs.len());
+
+            // The source's (release, length) metadata stands in for the
+            // spec slice when attaching windowed stats.
+            let ol = OpenLoopConfig::new(20, 60);
+            let from_specs = windowed_stats(&specs, &slice, &ol);
+            let from_meta = windowed_stats_from(
+                src.meta()
+                    .iter()
+                    .zip(&streamed.messages)
+                    .map(|(&(rel, len), o)| (rel, len, o.finished)),
+                &ol,
+            );
+            prop_assert_eq!(from_specs, from_meta);
+        }
+    }
+}
+
+/// A release far past a tight step cap: the source is never polled dry,
+/// the sim aborts at the cap, and the padded outcome table still matches
+/// the slice path (which knew about every spec up front).
+#[test]
+fn capped_run_pads_unreleased_ids_like_the_slice_path() {
+    let (g, ps) = shared_chain_instance(3, 5);
+    let mut specs = specs_from_paths(&ps, 4);
+    let far = specs[0].clone().release_at(10_000);
+    specs.push(far);
+    let cfg = SimConfig::new(1).max_steps(50).check_invariants(true);
+    for engine in [Engine::EventDriven, Engine::Legacy] {
+        let cfg = cfg.clone().engine(engine);
+        let slice = wormhole::run(&g, &specs, &cfg);
+        let mut src = ReplaySource::new(specs.clone());
+        let replay = wormhole::run_source(&g, &mut src, &cfg);
+        assert!(
+            slice.same_execution(&replay),
+            "{engine:?}: capped replay diverged:\n slice: {slice:?}\nreplay: {replay:?}"
+        );
+        assert_eq!(replay.messages.len(), specs.len(), "padded to id_bound");
+        assert!(replay.messages.last().unwrap().finished.is_none());
+    }
+}
