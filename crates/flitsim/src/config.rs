@@ -1,5 +1,7 @@
 //! Simulator configuration: the model knobs of §1.1 and §1.4.
 
+use wormhole_topology::fault::FaultPlan;
+
 /// How much traffic a physical channel moves per flit step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BandwidthModel {
@@ -317,6 +319,16 @@ pub struct SimConfig {
     pub max_steps: u64,
     /// RNG seed (used only by [`Arbitration::Random`]).
     pub seed: u64,
+    /// Timed link/router kills applied during the run (validated against
+    /// the graph at simulation start; see
+    /// `wormhole_topology::fault::FaultPlan`). A kill scheduled at step
+    /// `t` takes effect at the start of step `t`, in **both** engines
+    /// identically: the dead edges stop granting VCs, and every worm
+    /// holding one — or obliviously committed to crossing one — is
+    /// discarded with [`crate::stats::DiscardReason::LinkDown`] (the
+    /// source's `on_discarded` hook fires, so closed-loop sources can
+    /// reissue). Requires [`BandwidthModel::BFlitsPerStep`].
+    pub faults: Option<FaultPlan>,
     /// When set, the simulator re-verifies VC accounting and flit
     /// conservation every step (slow; used by tests).
     pub check_invariants: bool,
@@ -339,6 +351,7 @@ impl SimConfig {
             misroute_quota: 4,
             max_steps: 100_000_000,
             seed: 0,
+            faults: None,
             check_invariants: false,
         }
     }
@@ -401,6 +414,13 @@ impl SimConfig {
     /// Sets the RNG seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    /// Installs a fault plan (timed link/router kills; see
+    /// [`SimConfig::faults`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 

@@ -262,6 +262,10 @@ pub fn run(graph: &Graph, specs: &[MessageSpec], config: &VctConfig) -> SimResul
         flit_hops,
         escape_fallbacks: 0,
         misroute_hops: 0,
+        kills_applied: 0,
+        fault_discards: 0,
+        fault_detour_hops: 0,
+        fault_recovery_steps: 0,
         deadlock: None,
         open_loop: None,
         closed_loop: None,

@@ -135,21 +135,67 @@ pub(crate) fn drive(sim: &mut Sim) -> (Outcome, u64, Option<DeadlockReport>) {
             top_up_stalls(sim, &mut st, sim.config.max_steps.saturating_sub(1));
             return (Outcome::MaxSteps, t, None);
         }
+        // Kills scheduled at `t` take effect at the start of the step,
+        // before admissions — exactly as in the legacy driver. A severed
+        // parked worm is discarded in place: unflag it (its waiter-list
+        // entry goes stale; the wake loops skip unflagged entries) and
+        // settle the stalls the legacy stepper counted through `t − 1`.
+        // The discards' VC releases then wake the affected wait keys so
+        // unblocked worms contend at `t` itself — a kill discard lands at
+        // step start, so its releases follow the release-at-`t−1` rule.
+        if sim.faulted() && sim.next_kill_time() <= t {
+            sim.released.clear();
+            sim.apply_kills(t);
+            if st.n_parked > 0 {
+                for mi in 0..st.parked.len() {
+                    if st.parked[mi] && sim.outcomes[mi].discarded.is_some() {
+                        st.parked[mi] = false;
+                        st.n_parked -= 1;
+                        sim.outcomes[mi].stalls += (t - 1) - st.parked_at[mi];
+                    }
+                }
+                for i in 0..sim.released.len() {
+                    let key = sim.wait_key(sim.released[i] as usize);
+                    wake_at_step_start(sim, &mut st, key, t);
+                }
+                if st.n_parked == 0 {
+                    sim.track_releases = false;
+                }
+            }
+            let before = st.runnable.len();
+            let outcomes = &sim.outcomes;
+            st.runnable
+                .retain(|&m| outcomes[m as usize].discarded.is_none());
+            if st.runnable.len() != before {
+                st.indep_cached = None;
+            }
+        }
         let new = sim.admit_ready(t);
         if !new.is_empty() {
             for i in new {
-                st.runnable.push(sim.admitted_id(i));
+                let m = sim.admitted_id(i);
+                // Skip messages discarded at admission (dead-on-arrival).
+                if sim.outcomes[m as usize].discarded.is_none() {
+                    st.runnable.push(m);
+                }
             }
             st.grow(sim.specs.len());
             st.indep_cached = None;
         }
         if st.runnable.is_empty() {
+            if st.n_parked == 0 {
+                // Kills (or dead-on-arrival admissions) emptied the
+                // network; the next iteration's idle handling jumps to
+                // the next release or ends the run — the legacy stepper
+                // burns a movement-free step here, which no reported
+                // field observes.
+                continue;
+            }
             // Every released worm is parked on a full edge; releases only
             // come from moves, so nothing will ever move again. This is
             // the same step at which the legacy stepper's no-movement test
             // fires (parking is impossible under Discard, so the policy is
             // necessarily Stall here).
-            debug_assert!(st.n_parked > 0);
             debug_assert_eq!(sim.config.blocked, BlockedPolicy::Stall);
             return deadlock(sim, &mut st, t);
         }
@@ -192,6 +238,7 @@ fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
     sim.movers.clear();
     sim.blocked.clear();
     sim.buckets.clear();
+    sim.doomed.clear();
     sim.released.clear();
     // Classify. Parked worms are exactly the contenders of non-acquirable
     // edges, so leaving them out changes no arbitration outcome (such an
@@ -205,11 +252,17 @@ fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
     // Arbitrate on start-of-step holder counts (the canonical shared
     // phase-2 — including the pooled ascending-edge-id credit grants).
     sim.arbitrate(t);
-    // Apply.
+    // Apply. Doomed worms (pending, with a severed escape continuation)
+    // are discarded here — after arbitration, exactly as in the legacy
+    // stepper — so their releases land mid-step and wake waiters below.
     let moved = !sim.movers.is_empty();
     for i in 0..sim.movers.len() {
         let m = sim.movers[i];
         sim.apply_advance(m, t);
+    }
+    for i in 0..sim.doomed.len() {
+        let m = sim.doomed[i];
+        sim.discard(m, t, crate::stats::DiscardReason::LinkDown);
     }
     // Losers stall, then discard or park. Parking checks the *end-of-step*
     // acquirability: if this step's releases already freed capacity on
@@ -226,7 +279,7 @@ fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
         let m = sim.blocked[i];
         sim.outcomes[m as usize].stalls += 1;
         if sim.config.blocked == BlockedPolicy::Discard {
-            sim.discard(m, t);
+            sim.discard(m, t, crate::stats::DiscardReason::Delay);
         } else if !sim.worms[m as usize].pending_route {
             let e = sim.path_edge(m, sim.worms[m as usize].advance + 1);
             if !sim.edge_acquirable(e) {
@@ -251,13 +304,15 @@ fn step(sim: &mut Sim, st: &mut EventState, t: u64) -> bool {
     let outcomes = &sim.outcomes;
     let parked = &st.parked;
     st.runnable.retain(|&m| {
-        !worms[m as usize].done() && !outcomes[m as usize].discarded && !parked[m as usize]
+        !worms[m as usize].done() && outcomes[m as usize].discarded.is_none() && !parked[m as usize]
     });
     if st.runnable.len() != before {
         st.indep_cached = None;
     }
     sim.settle_max_vcs();
-    moved
+    // A fault discard is progress for the deadlock test: it released VCs
+    // mid-step, so blocked worms may advance at `t+1`.
+    moved || !sim.doomed.is_empty()
 }
 
 fn park(sim: &mut Sim, st: &mut EventState, m: u32, key: usize, t: u64) {
@@ -280,14 +335,46 @@ fn wake_all(sim: &mut Sim, st: &mut EventState, key: usize, t: u64) {
     st.waiter_head[key] = NONE;
     while m != NONE {
         let mi = m as usize;
-        st.parked[mi] = false;
-        st.n_parked -= 1;
-        sim.outcomes[mi].stalls += t - st.parked_at[mi];
-        if st.parked_at[mi] < t {
-            st.runnable.push(m);
+        let next = std::mem::replace(&mut st.next_waiter[mi], NONE);
+        // An unflagged entry is stale: the worm was discarded by a fault
+        // kill while parked (unlinked lazily — see the kill hook in
+        // `drive`). Skip it; its stalls were settled at discard time.
+        if st.parked[mi] {
+            st.parked[mi] = false;
+            st.n_parked -= 1;
+            sim.outcomes[mi].stalls += t - st.parked_at[mi];
+            if st.parked_at[mi] < t {
+                st.runnable.push(m);
+            }
+            st.indep_cached = None;
         }
-        st.indep_cached = None;
-        m = std::mem::replace(&mut st.next_waiter[mi], NONE);
+        m = next;
+    }
+    if st.n_parked == 0 {
+        sim.track_releases = false;
+    }
+}
+
+/// Kill-hook variant of [`wake_all`]: runs at the **start** of step `t`
+/// (before classification), so woken worms contend at `t` itself — a
+/// kill discard's releases behave like releases during `t − 1`. Stalls
+/// settle through `t − 1`: the legacy stepper counts no stall at `t` for
+/// a worm that re-contends at `t`. Every parked worm here parked at an
+/// earlier step, so it is never still in `runnable`.
+fn wake_at_step_start(sim: &mut Sim, st: &mut EventState, key: usize, t: u64) {
+    let mut m = st.waiter_head[key];
+    st.waiter_head[key] = NONE;
+    while m != NONE {
+        let mi = m as usize;
+        let next = std::mem::replace(&mut st.next_waiter[mi], NONE);
+        if st.parked[mi] {
+            st.parked[mi] = false;
+            st.n_parked -= 1;
+            sim.outcomes[mi].stalls += (t - 1) - st.parked_at[mi];
+            st.runnable.push(m);
+            st.indep_cached = None;
+        }
+        m = next;
     }
     if st.n_parked == 0 {
         sim.track_releases = false;
@@ -316,12 +403,13 @@ fn deadlock(sim: &mut Sim, st: &mut EventState, t: u64) -> (Outcome, u64, Option
 }
 
 /// Exclusive upper bound on fast-forwarded time: the next release (new
-/// contender) or the step cap, whichever is first. Only meaningful for
-/// non-reactive sources (the caller never batches otherwise), whose
-/// next release cannot move before it is reached.
+/// contender), the next scheduled fault kill (dead set about to change),
+/// or the step cap, whichever is first. Only meaningful for non-reactive
+/// sources (the caller never batches otherwise), whose next release
+/// cannot move before it is reached.
 fn ff_stop(sim: &mut Sim, t: u64) -> u64 {
     let next_rel = sim.peek_next_release(t).unwrap_or(u64::MAX);
-    sim.config.max_steps.min(next_rel)
+    sim.config.max_steps.min(next_rel).min(sim.next_kill_time())
 }
 
 fn all_draining(sim: &Sim, st: &EventState) -> bool {

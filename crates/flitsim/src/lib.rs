@@ -66,4 +66,6 @@ pub use events::{DeadlockReport, TraceEvent, WaitFor};
 pub use message::{specs_from_path_slice, specs_from_paths, MessageSpec};
 pub use open_loop::{run_open_loop, run_open_loop_adaptive, OpenLoopConfig};
 pub use source::{ReplaySource, TrafficSource};
-pub use stats::{ClosedLoopStats, LatencyStats, MessageOutcome, OpenLoopStats, Outcome, SimResult};
+pub use stats::{
+    ClosedLoopStats, DiscardReason, LatencyStats, MessageOutcome, OpenLoopStats, Outcome, SimResult,
+};

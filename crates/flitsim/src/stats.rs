@@ -15,6 +15,18 @@ pub enum Outcome {
     MaxSteps,
 }
 
+/// Why a message was discarded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiscardReason {
+    /// Blocked past its deadline under
+    /// [`crate::config::BlockedPolicy::Discard`].
+    Delay,
+    /// A link on the worm's path was killed by a fault
+    /// (`SimConfig::faults`): it held a dead edge, its frozen remaining
+    /// path crossed one, or its escape hop died with no alternative.
+    LinkDown,
+}
+
 /// Per-message result.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MessageOutcome {
@@ -24,9 +36,10 @@ pub struct MessageOutcome {
     pub first_move: Option<u64>,
     /// Number of steps the worm was blocked wanting to move.
     pub stalls: u64,
-    /// `true` if the message was discarded after a delay
-    /// ([`crate::config::BlockedPolicy::Discard`]).
-    pub discarded: bool,
+    /// `Some(reason)` if the message was discarded — after a delay under
+    /// [`crate::config::BlockedPolicy::Discard`], or because a fault
+    /// killed its path ([`DiscardReason::LinkDown`]).
+    pub discarded: Option<DiscardReason>,
 }
 
 impl MessageOutcome {
@@ -187,6 +200,23 @@ pub struct SimResult {
     /// over messages. Nonzero only under
     /// [`crate::config::RouteSelection::FullyAdaptive`].
     pub misroute_hops: u64,
+    /// Faulted runs: number of *edge* kills from `SimConfig::faults`
+    /// actually applied before the run ended (a router kill counts once
+    /// per edge it takes down; an edge killed by several events counts
+    /// at its earliest kill time only).
+    pub kills_applied: u64,
+    /// Faulted runs: messages discarded with
+    /// [`DiscardReason::LinkDown`] — their path died under them.
+    pub fault_discards: u64,
+    /// Faulted runs: non-minimal hops taken *after* the first applied
+    /// kill — the detour work faults induced (a sub-count of
+    /// [`SimResult::misroute_hops`]).
+    pub fault_detour_hops: u64,
+    /// Faulted runs: steps from the last applied kill to the first
+    /// delivery at or after it — how quickly traffic flowed again once
+    /// the network stopped breaking. 0 when nothing was delivered after
+    /// the last kill (or no kill was applied).
+    pub fault_recovery_steps: u64,
     /// On [`Outcome::Deadlock`]: the wait-for post-mortem (who waits on
     /// which edge held by whom, plus a concrete cycle).
     pub deadlock: Option<DeadlockReport>,
@@ -218,6 +248,10 @@ impl SimResult {
             && self.flit_hops == other.flit_hops
             && self.escape_fallbacks == other.escape_fallbacks
             && self.misroute_hops == other.misroute_hops
+            && self.kills_applied == other.kills_applied
+            && self.fault_discards == other.fault_discards
+            && self.fault_detour_hops == other.fault_detour_hops
+            && self.fault_recovery_steps == other.fault_recovery_steps
             && self.deadlock == other.deadlock
     }
 
@@ -229,9 +263,24 @@ impl SimResult {
             .count()
     }
 
-    /// Number of discarded messages.
+    /// Number of discarded messages (any [`DiscardReason`]).
     pub fn discarded(&self) -> usize {
-        self.messages.iter().filter(|m| m.discarded).count()
+        self.messages
+            .iter()
+            .filter(|m| m.discarded.is_some())
+            .count()
+    }
+
+    /// Messages neither delivered nor discarded — in flight (or never
+    /// released) when the run ended. Nonzero only on
+    /// [`Outcome::MaxSteps`] / [`Outcome::Deadlock`] runs; step-capped
+    /// faulted runs use this to report survivors distinctly from
+    /// fault-discarded worms.
+    pub fn in_flight(&self) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.finished.is_none() && m.discarded.is_none())
+            .count()
     }
 
     /// Largest delivery time, `None` if nothing was delivered.
@@ -267,19 +316,19 @@ mod tests {
                     finished: Some(10),
                     first_move: Some(1),
                     stalls: 2,
-                    discarded: false,
+                    discarded: None,
                 },
                 MessageOutcome {
                     finished: None,
                     first_move: None,
                     stalls: 0,
-                    discarded: true,
+                    discarded: Some(DiscardReason::Delay),
                 },
                 MessageOutcome {
                     finished: Some(30),
                     first_move: Some(0),
                     stalls: 0,
-                    discarded: false,
+                    discarded: None,
                 },
             ],
             max_vcs_in_use: 2,
@@ -288,12 +337,17 @@ mod tests {
             flit_hops: 99,
             escape_fallbacks: 0,
             misroute_hops: 0,
+            kills_applied: 0,
+            fault_discards: 0,
+            fault_detour_hops: 0,
+            fault_recovery_steps: 0,
             deadlock: None,
             open_loop: None,
             closed_loop: None,
         };
         assert_eq!(r.delivered(), 2);
         assert_eq!(r.discarded(), 1);
+        assert_eq!(r.in_flight(), 0);
         assert_eq!(r.makespan(), Some(30));
         let lat = r.mean_latency(&[0, 0, 10]).unwrap();
         assert!((lat - 15.0).abs() < 1e-9); // (10 + 20)/2

@@ -159,7 +159,7 @@ use crate::config::{
 use crate::events::{DeadlockReport, TraceEvent, WaitFor};
 use crate::message::MessageSpec;
 use crate::source::{ReplaySource, TrafficSource};
-use crate::stats::{MessageOutcome, Outcome, SimResult};
+use crate::stats::{DiscardReason, MessageOutcome, Outcome, SimResult};
 
 /// Restricted-model flit position: not yet injected.
 const FLIT_UNINJECTED: u32 = 0;
@@ -612,6 +612,26 @@ pub(crate) struct Sim<'a> {
     /// `L` positions every step.
     rfirst: Vec<u32>,
     pub(crate) num_edges: usize,
+    /// Per-edge dead flags from applied fault kills. Empty when the run
+    /// has no fault plan, so the hot-path guard is a single `is_empty`.
+    dead: Vec<bool>,
+    /// Expanded per-edge kill schedule from [`SimConfig::faults`]:
+    /// ascending `(at, edge)`, router kills expanded to their incident
+    /// edges, earliest kill time kept per edge
+    /// ([`wormhole_topology::fault::FaultPlan::edge_schedule`]).
+    kill_schedule: Vec<(u64, u32)>,
+    /// Cursor into `kill_schedule`: entries before it are applied.
+    next_kill: usize,
+    /// Worms discarded because a kill severed them
+    /// ([`DiscardReason::LinkDown`]).
+    fault_discards: u64,
+    /// Misroute hops taken after the first applied kill.
+    fault_detour_hops: u64,
+    /// Pending adaptive worms whose only remaining option this step — the
+    /// escape continuation — crosses a dead edge. Classification parks
+    /// them here and the apply phase discards them, so mid-step holder
+    /// counts (which selection reads) stay identical across engines.
+    pub(crate) doomed: Vec<u32>,
     /// Adaptive routing state; `Some` iff `config.route_selection` is
     /// non-oblivious.
     pub(crate) adaptive: Option<AdaptiveState<'a>>,
@@ -676,6 +696,25 @@ impl<'a> Sim<'a> {
         } else {
             None
         };
+        let kill_schedule = match &config.faults {
+            Some(plan) if !plan.is_empty() => {
+                assert_eq!(
+                    config.bandwidth,
+                    BandwidthModel::BFlitsPerStep,
+                    "fault injection requires the full-bandwidth model"
+                );
+                if let Err(e) = plan.validate(graph) {
+                    panic!("invalid fault plan: {e}");
+                }
+                plan.edge_schedule(graph)
+            }
+            _ => Vec::new(),
+        };
+        let dead = if kill_schedule.is_empty() {
+            Vec::new()
+        } else {
+            vec![false; graph.num_edges()]
+        };
         let reactive = source.reactive();
         Self {
             specs: Vec::new(),
@@ -719,10 +758,96 @@ impl<'a> Sim<'a> {
             rdelivered: Vec::new(),
             rfirst: Vec::new(),
             num_edges: graph.num_edges(),
+            dead,
+            kill_schedule,
+            next_kill: 0,
+            fault_discards: 0,
+            fault_detour_hops: 0,
+            doomed: Vec::new(),
             adaptive,
             tracing,
             trace: Vec::new(),
         }
+    }
+
+    /// Whether fault injection is active for this run.
+    #[inline]
+    pub(crate) fn faulted(&self) -> bool {
+        !self.dead.is_empty()
+    }
+
+    /// Whether edge `e` has been killed by an applied fault.
+    #[inline]
+    fn is_dead(&self, e: usize) -> bool {
+        !self.dead.is_empty() && self.dead[e]
+    }
+
+    /// Earliest unapplied kill time (`u64::MAX` when exhausted) — the
+    /// event engine's fast-forwards must never cross it, exactly as they
+    /// never cross a message release.
+    #[inline]
+    pub(crate) fn next_kill_time(&self) -> u64 {
+        self.kill_schedule
+            .get(self.next_kill)
+            .map_or(u64::MAX, |&(at, _)| at)
+    }
+
+    /// Applies every scheduled kill with `at ≤ t`: marks the edges dead,
+    /// then discards each severed in-flight worm with
+    /// [`DiscardReason::LinkDown`]. Runs at the **start** of step `t` in
+    /// both engines, before admissions, so the discards' released VCs
+    /// are visible to this step's arbitration — the same convention as a
+    /// release during step `t − 1`. Returns whether any kill applied
+    /// (the caller then drops the discarded worms from its active set).
+    pub(crate) fn apply_kills(&mut self, t: u64) -> bool {
+        if self.next_kill_time() > t {
+            return false;
+        }
+        while let Some(&(at, e)) = self.kill_schedule.get(self.next_kill) {
+            if at > t {
+                break;
+            }
+            self.dead[e as usize] = true;
+            self.next_kill += 1;
+        }
+        // Severed scan in admission order — the canonical order shared
+        // by both engines (discard order only matters through the
+        // already-sorted completion flush, but keeping it canonical
+        // costs nothing).
+        for i in 0..self.admitted.len() {
+            let m = self.admitted[i];
+            let mi = m as usize;
+            if self.worms[mi].done() || self.outcomes[mi].discarded.is_some() {
+                continue;
+            }
+            if self.worm_severed(m) {
+                self.discard(m, t, DiscardReason::LinkDown);
+            }
+        }
+        true
+    }
+
+    /// Whether a kill cut worm `m`: its flits currently occupy a dead
+    /// edge, or its frozen route still has a dead edge ahead of the
+    /// header. A pending (adaptive) worm has no committed continuation,
+    /// so only its held span can sever it — its future hops re-route
+    /// around the dead edges instead.
+    fn worm_severed(&self, m: u32) -> bool {
+        let w = &self.worms[m as usize];
+        let (lo, hi) = w.held_range();
+        for j in lo..=hi {
+            if self.is_dead(self.path_edge(m, j)) {
+                return true;
+            }
+        }
+        if !w.pending_route {
+            for j in (w.advance + 1)..=w.hops {
+                if self.is_dead(self.path_edge(m, j)) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Number of routers (nodes) in the simulated graph.
@@ -799,6 +924,20 @@ impl<'a> Sim<'a> {
         self.specs[mi] = spec;
         self.unfinished += 1;
         self.admitted.push(id);
+        // A frozen-route message released onto an already-dead edge is
+        // undeliverable: discard it on the spot (it holds nothing yet) so
+        // the source's `on_discarded` fires and closed-loop sources can
+        // reissue. Adaptive messages stay: they route around dead edges.
+        if self.faulted()
+            && !adaptive_mode
+            && self.specs[mi]
+                .path
+                .edges()
+                .iter()
+                .any(|&e| self.dead[e.idx()])
+        {
+            self.discard(id, now, DiscardReason::LinkDown);
+        }
     }
 
     /// Buffers a completion for the next source flush. `delivered` is
@@ -882,6 +1021,9 @@ impl<'a> Sim<'a> {
     /// per-edge cap always binds.
     #[inline]
     pub(crate) fn free_vcs(&self, e: usize) -> u32 {
+        if self.is_dead(e) {
+            return 0; // a killed edge never grants another VC
+        }
         let h = self.holders[e] as u32;
         let cap_free = self.per_edge_max.saturating_sub(h);
         if !self.pooled {
@@ -1048,10 +1190,28 @@ impl<'a> Sim<'a> {
         let w = &self.worms[m as usize];
         if w.pending_route {
             // Header at the end of the known path: select the next hop.
-            let edge = self
-                .select_pending(m)
-                .edge()
-                .expect("selection always yields a hop");
+            let sel = self.select_pending(m);
+            let edge = sel.edge().expect("selection always yields a hop");
+            // Under faults, falling back to a severed escape continuation
+            // means the worm has nowhere left to go: the adaptive
+            // candidates are already filtered to live edges, and the
+            // escape route is the only guaranteed-progress fallback. Doom
+            // it — the apply phase discards it with `LinkDown`, after
+            // arbitration, so selection by other pending worms this step
+            // still reads unchanged start-of-step holder counts. (A
+            // fault-aware router's escape routes avoid dead edges, so
+            // this only fires for fault-oblivious escape routing.)
+            if self.faulted() {
+                if let SelectedHop::Escape { edge } = sel {
+                    let ad = self.adaptive.as_ref().unwrap();
+                    let head = ad.router.graph().src(EdgeId(edge));
+                    let tail = ad.router.escape_route(head, ad.dst[m as usize]);
+                    if tail.edges().iter().any(|&e| self.dead[e.idx()]) {
+                        self.doomed.push(m);
+                        return;
+                    }
+                }
+            }
             let ad = self.adaptive.as_ref().unwrap();
             let lands_final = ad.router.graph().dst(EdgeId(edge)) == ad.dst[m as usize];
             if lands_final && self.config.final_edge == FinalEdgePolicy::Unlimited {
@@ -1142,7 +1302,11 @@ impl<'a> Sim<'a> {
             let floor_free = self.per_edge_min.saturating_sub(h);
             let shared_free =
                 (self.shared_cap[r] - self.shared_used[r]).saturating_sub(self.planned_shared[r]);
-            let free = (self.per_edge_max.saturating_sub(h)).min(floor_free + shared_free) as usize;
+            let free = if self.is_dead(e) {
+                0 // defensive: severed worms are discarded before classify
+            } else {
+                (self.per_edge_max.saturating_sub(h)).min(floor_free + shared_free) as usize
+            };
             let group = self.buckets.group_mut(gi);
             if free == 0 {
                 self.blocked.extend_from_slice(group);
@@ -1177,6 +1341,7 @@ impl<'a> Sim<'a> {
     /// worm is an ordinary oblivious worm for the rest of its journey.
     fn extend_route(&mut self, m: u32) {
         let mi = m as usize;
+        let post_fault = self.next_kill > 0;
         let ad = self.adaptive.as_mut().expect("pending worm without state");
         debug_assert_eq!(ad.routes[mi].len() as u32, self.worms[mi].advance);
         match ad.selected[mi] {
@@ -1186,6 +1351,9 @@ impl<'a> Sim<'a> {
                 if misroute {
                     ad.misroute_hops += 1;
                     ad.budget[mi] -= 1;
+                    if post_fault {
+                        self.fault_detour_hops += 1;
+                    }
                 }
                 let arrived = ad.router.graph().dst(e) == ad.dst[mi];
                 self.worms[mi].hops += 1;
@@ -1226,6 +1394,23 @@ impl<'a> Sim<'a> {
             .adaptive
             .as_ref()
             .map_or((0, 0), |a| (a.escape_fallbacks, a.misroute_hops));
+        // Fault stats. The applied-kill cursor is engine-identical: the
+        // event engine's fast-forwards stop at kill times exactly as they
+        // stop at message releases, so both engines apply every schedule
+        // entry at the same simulated step. Recovery time is the gap from
+        // the last applied kill to the first delivery at or after it.
+        let kills_applied = self.next_kill as u64;
+        let fault_recovery_steps = if self.next_kill > 0 {
+            let last_kill_at = self.kill_schedule[self.next_kill - 1].0;
+            self.outcomes
+                .iter()
+                .filter_map(|o| o.finished)
+                .filter(|&f| f >= last_kill_at)
+                .min()
+                .map_or(0, |f| f - last_kill_at)
+        } else {
+            0
+        };
         // A capped run may end before the source emitted every message it
         // knows about; pad to the declared id bound so e.g. a replayed
         // slice still reports one (default) outcome per input spec.
@@ -1246,6 +1431,10 @@ impl<'a> Sim<'a> {
                 flit_hops: self.flit_hops,
                 escape_fallbacks,
                 misroute_hops,
+                kills_applied,
+                fault_discards: self.fault_discards,
+                fault_detour_hops: self.fault_detour_hops,
+                fault_recovery_steps,
                 deadlock: deadlock_report,
                 open_loop: None,
                 closed_loop: None,
@@ -1283,10 +1472,22 @@ impl<'a> Sim<'a> {
             } else if t >= self.config.max_steps {
                 break Outcome::MaxSteps;
             }
+            // Kills scheduled at `t` take effect at the start of the step:
+            // severed worms are discarded (their VCs released, visible to
+            // this step's arbitration) before admissions, so messages
+            // released at `t` already see the updated dead set.
+            if self.faulted() && self.apply_kills(t) {
+                let outcomes = &self.outcomes;
+                self.active
+                    .retain(|&m| outcomes[m as usize].discarded.is_none());
+            }
             let new = self.admit_ready(t);
             for i in new {
                 let m = self.admitted_id(i);
-                self.active.push(m);
+                // Skip messages discarded at admission (dead-on-arrival).
+                if self.outcomes[m as usize].discarded.is_none() {
+                    self.active.push(m);
+                }
             }
 
             let moved = match self.config.bandwidth {
@@ -1317,7 +1518,7 @@ impl<'a> Sim<'a> {
         for i in 0..self.admitted.len() {
             let m = self.admitted[i];
             let mi = m as usize;
-            if !self.worms[mi].done() && !self.outcomes[mi].discarded {
+            if !self.worms[mi].done() && self.outcomes[mi].discarded.is_none() {
                 self.active.push(m);
             }
         }
@@ -1421,6 +1622,7 @@ impl<'a> Sim<'a> {
         self.movers.clear();
         self.blocked.clear();
         self.buckets.clear();
+        self.doomed.clear();
         // Phase 1: classify worms into drains, contenders, free movers
         // (pending adaptive worms select their wanted hop here).
         for i in 0..self.active.len() {
@@ -1429,11 +1631,17 @@ impl<'a> Sim<'a> {
         }
         // Phase 2: per-edge arbitration using start-of-step holder counts.
         self.arbitrate(t);
-        // Phase 3: apply.
+        // Phase 3: apply. Doomed worms (severed escape continuation) are
+        // discarded here rather than during classification so their VC
+        // releases land mid-step — visible at `t+1`, like any release.
         let moved = !self.movers.is_empty();
         for i in 0..self.movers.len() {
             let m = self.movers[i];
             self.apply_advance(m, t);
+        }
+        for i in 0..self.doomed.len() {
+            let m = self.doomed[i];
+            self.discard(m, t, DiscardReason::LinkDown);
         }
         for i in 0..self.blocked.len() {
             let m = self.blocked[i];
@@ -1443,12 +1651,14 @@ impl<'a> Sim<'a> {
                 self.trace.push(TraceEvent::Blocked { t, msg: m, edge });
             }
             if self.config.blocked == BlockedPolicy::Discard {
-                self.discard(m, t);
+                self.discard(m, t, DiscardReason::Delay);
             }
         }
         self.settle_max_vcs();
         self.retire_finished();
-        moved
+        // A fault discard is progress for the deadlock test: it released
+        // VCs mid-step, so blocked worms may advance at `t+1`.
+        moved || !self.doomed.is_empty()
     }
 
     /// One step under the restricted model: each physical edge transmits at
@@ -1729,7 +1939,7 @@ impl<'a> Sim<'a> {
         self.acquired.clear();
     }
 
-    pub(crate) fn discard(&mut self, m: u32, t: u64) {
+    pub(crate) fn discard(&mut self, m: u32, t: u64, reason: DiscardReason) {
         let (lo, hi) = self.worms[m as usize].held_range();
         for j in lo..=hi {
             if self.needs_vc(&self.worms[m as usize], j) {
@@ -1737,7 +1947,10 @@ impl<'a> Sim<'a> {
                 self.release_vc(e);
             }
         }
-        self.outcomes[m as usize].discarded = true;
+        self.outcomes[m as usize].discarded = Some(reason);
+        if reason == DiscardReason::LinkDown {
+            self.fault_discards += 1;
+        }
         self.unfinished -= 1;
         self.record_done(m, t, false);
         if self.tracing {
@@ -1751,7 +1964,7 @@ impl<'a> Sim<'a> {
         let outcomes = &self.outcomes;
         let worms = &self.worms;
         self.active
-            .retain(|&m| !worms[m as usize].done() && !outcomes[m as usize].discarded);
+            .retain(|&m| !worms[m as usize].done() && outcomes[m as usize].discarded.is_none());
     }
 
     /// Recomputes VC holder counts from scratch and checks all invariants.
@@ -2776,6 +2989,118 @@ mod tests {
         let specs = vec![MessageSpec::new(Path::new(vec![e01]), 2)];
         let config = pooled_cfg(4, 1, 2).bandwidth(BandwidthModel::OneFlitPerStep);
         let _ = run(&g, &specs, &config);
+    }
+
+    // ---- fault injection --------------------------------------------
+
+    use wormhole_topology::fault::{FaultPlan, FaultedMesh};
+
+    #[test]
+    fn kill_severs_inflight_worm_and_later_traffic_recovers() {
+        // Worm A spans the whole chain; edge 4 dies at step 3 while A is
+        // mid-flight, so A's frozen remaining path is severed and it is
+        // discarded with LinkDown — releasing its VCs. Worm B, released
+        // after the kill on the surviving prefix, completes untouched;
+        // the recovery stat measures kill → B's delivery.
+        let (g, edges) = chain(6);
+        let plan = FaultPlan::new().kill_link(3, edges[4]);
+        let specs = vec![
+            MessageSpec::new(Path::new(edges.clone()), 4),
+            MessageSpec::new(Path::new(edges[0..2].to_vec()), 3).release_at(4),
+        ];
+        let r = assert_engines_agree(&g, &specs, &cfg(2).faults(plan));
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.kills_applied, 1);
+        assert_eq!(r.fault_discards, 1);
+        assert_eq!(r.messages[0].discarded, Some(DiscardReason::LinkDown));
+        assert_eq!(r.messages[0].finished, None);
+        // B: released 4, 2 hops + 3 flits ⇒ finished at 4 + 2 + 3 − 1.
+        assert_eq!(r.messages[1].finished, Some(8));
+        assert_eq!(r.messages[1].stalls, 0, "A's VCs were freed by the kill");
+        assert_eq!(r.fault_recovery_steps, 8 - 3);
+        assert_eq!(r.delivered(), 1);
+    }
+
+    #[test]
+    fn oblivious_admission_onto_a_dead_edge_is_discarded() {
+        // Edge 1 dies before worm A is even released: its fixed route has
+        // nowhere else to go, so admission discards it on the spot
+        // (LinkDown, never holds a VC). Worm B's route avoids the dead
+        // edge and is unaffected.
+        let (g, edges) = chain(6);
+        let plan = FaultPlan::new().kill_link(1, edges[1]);
+        let specs = vec![
+            MessageSpec::new(Path::new(edges[0..3].to_vec()), 4).release_at(5),
+            MessageSpec::new(Path::new(edges[2..5].to_vec()), 4).release_at(5),
+        ];
+        let r = assert_engines_agree(&g, &specs, &cfg(1).faults(plan));
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert_eq!(r.messages[0].discarded, Some(DiscardReason::LinkDown));
+        assert_eq!(r.messages[0].first_move, None);
+        assert_eq!(r.messages[1].finished, Some(5 + 3 + 4 - 1));
+        assert_eq!(r.fault_discards, 1);
+    }
+
+    #[test]
+    fn adaptive_worm_routes_around_a_killed_channel() {
+        // Node 2 = (+2, 0) on a radix-4 ring: both directions are
+        // minimal. The + channel out of node 0 dies before the worm
+        // starts, so minimal-adaptive (through FaultedMesh's filtered
+        // candidates) takes the − direction instead — same hop count, no
+        // misroute, no discard.
+        let t = adaptive_torus(4, 2);
+        let plan = FaultPlan::new().kill_channel(1, &t, &[0, 0], 0, false);
+        let fm = FaultedMesh::new(&t, &plan).expect("plan keeps rings connected");
+        let specs = adaptive_specs(&t, &[(0, 2)], 4);
+        let config = cfg(2)
+            .route_selection(RouteSelection::MinimalAdaptive)
+            .faults(plan);
+        let event = run_adaptive(&fm, &specs, &config.clone().engine(Engine::EventDriven));
+        let legacy = run_adaptive(&fm, &specs, &config.clone().engine(Engine::Legacy));
+        assert!(
+            event.same_execution(&legacy),
+            "engines diverged:\n event: {event:?}\nlegacy: {legacy:?}"
+        );
+        assert_eq!(event.outcome, Outcome::Completed);
+        assert_eq!(event.fault_discards, 0);
+        assert_eq!(event.messages[0].finished, Some(2 + 4 - 1));
+        assert_eq!(event.misroute_hops, 0, "− direction is still minimal");
+        assert!(event.kills_applied >= 1);
+    }
+
+    #[test]
+    fn capped_faulted_run_separates_survivors_from_fault_discards() {
+        // A step-capped faulted run must report the three populations
+        // distinctly: delivered, fault-discarded, and still in flight at
+        // the cap. Worm A dies under the kill, worm B is too long to
+        // finish within the cap, worm C completes.
+        let (g, edges) = chain(6);
+        let plan = FaultPlan::new().kill_link(2, edges[4]);
+        let specs = vec![
+            MessageSpec::new(Path::new(edges.clone()), 4),
+            MessageSpec::new(Path::new(edges[0..4].to_vec()), 30).release_at(3),
+            MessageSpec::new(Path::new(edges[0..2].to_vec()), 2).release_at(3),
+        ];
+        let r = assert_engines_agree(&g, &specs, &cfg(2).faults(plan).max_steps(10));
+        assert_eq!(r.outcome, Outcome::MaxSteps);
+        assert_eq!(r.fault_discards, 1);
+        assert_eq!(r.discarded(), 1);
+        assert_eq!(r.in_flight(), 1, "the capped worm is not a fault casualty");
+        assert_eq!(r.delivered(), 1);
+        assert_eq!(r.messages[0].discarded, Some(DiscardReason::LinkDown));
+        assert_eq!(r.messages[1].discarded, None);
+        assert_eq!(r.messages[1].finished, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn sim_rejects_invalid_fault_plans() {
+        let (g, edges) = chain(3);
+        let plan = FaultPlan::new()
+            .kill_link(1, edges[0])
+            .kill_link(2, edges[0]);
+        let specs = vec![MessageSpec::new(Path::new(edges.clone()), 2)];
+        let _ = run(&g, &specs, &cfg(1).faults(plan));
     }
 
     #[test]

@@ -4,17 +4,18 @@
 //! experiments all            # every experiment, full-size sweeps
 //! experiments e1 e3          # selected experiments
 //! experiments --fast all     # reduced sweeps (CI-sized)
-//! experiments bench-json     # time fast x2/x7/x9/x10/x11 → BENCH_sim.json
+//! experiments bench-json     # time fast x2/x7/x9/x10/x11/x12 → BENCH_sim.json
 //! ```
 
 use std::time::Instant;
 
 use wormhole_flitsim::config::Engine;
 use wormhole_harness::experiments::{
-    all_ids, run_by_id, x10_bounds, x11_closed_loop, x2_open_loop, x7_dateline, x9_dynamic_vcs,
+    all_ids, run_by_id, x10_bounds, x11_closed_loop, x12_faults, x2_open_loop, x7_dateline,
+    x9_dynamic_vcs,
 };
 
-/// Times the fast x2/x7/x9/x11 families on both simulator engines and writes
+/// Times the fast x2/x7/x9/x11/x12 families on both simulator engines and writes
 /// the wall-clock trajectory record (`BENCH_sim.json` unless a path is
 /// given). Committed once per perf-relevant PR so regressions have a
 /// baseline.
@@ -53,6 +54,16 @@ fn bench_json(out_path: &str) {
         assert!(!points.is_empty());
         eprintln!("[bench-json] x11 {ename}: {ms:.3} ms");
         rows.push(("x11", ename, ms));
+
+        // x12 times the fault machinery: the kill phase, severed-worm
+        // sweeps, and fault-filtered adaptive routing across the
+        // fault-rate × selection × VC-arm grid.
+        let t0 = Instant::now();
+        let points = x12_faults::sweep_points_with(true, engine);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(!points.is_empty());
+        eprintln!("[bench-json] x12 {ename}: {ms:.3} ms");
+        rows.push(("x12", ename, ms));
     }
 
     // x10 splits along a different axis than the simulator engines: the

@@ -37,6 +37,7 @@ pub mod adaptive;
 pub mod benes;
 pub mod butterfly;
 pub mod dateline;
+pub mod fault;
 pub mod graph;
 pub mod hypercube;
 pub mod lowerbound;
@@ -47,6 +48,7 @@ pub mod subsets;
 
 pub use adaptive::AdaptiveRouter;
 pub use dateline::channel_dependency_graph;
+pub use fault::{FaultError, FaultEvent, FaultPlan, FaultTarget, FaultedMesh};
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use mesh::RoutingDiscipline;
 pub use path::{Path, PathError, PathSet};

@@ -264,7 +264,7 @@ impl Mesh {
     /// Coordinate of `v` in dimension `d` (allocation-free; used by the
     /// per-hop hot paths instead of [`Mesh::coords`]).
     #[inline]
-    fn coord(&self, v: NodeId, d: u32) -> u32 {
+    pub(crate) fn coord(&self, v: NodeId, d: u32) -> u32 {
         (v.0 / self.radix.pow(d)) % self.radix
     }
 
@@ -279,14 +279,14 @@ impl Mesh {
         out
     }
 
-    fn step_edge(&self, v: NodeId, dim: u32, minus: bool, class: u32) -> EdgeId {
+    pub(crate) fn step_edge(&self, v: NodeId, dim: u32, minus: bool, class: u32) -> EdgeId {
         self.try_step_edge(v, dim, minus, class)
             .unwrap_or_else(|| panic!("no edge from {v:?} in dim {dim} minus={minus}"))
     }
 
     /// Whether minimal routing travels the `−` direction in dimension `d`
     /// from coordinate `have` to `want` (ties broken toward `+`).
-    fn travels_minus(&self, have: u32, want: u32) -> bool {
+    pub(crate) fn travels_minus(&self, have: u32, want: u32) -> bool {
         if !self.wrap {
             have > want
         } else {
@@ -384,7 +384,13 @@ impl Mesh {
 
     /// The edge leaving `v` in direction `(dim, ±)` on `class`, or `None`
     /// where the mesh has no such link (non-wrap boundary).
-    fn try_step_edge(&self, v: NodeId, dim: u32, minus: bool, class: u32) -> Option<EdgeId> {
+    pub(crate) fn try_step_edge(
+        &self,
+        v: NodeId,
+        dim: u32,
+        minus: bool,
+        class: u32,
+    ) -> Option<EdgeId> {
         debug_assert!(class < self.classes);
         let idx = ((v.idx() * self.dims as usize + dim as usize) * 2 + minus as usize)
             * self.classes as usize
@@ -398,7 +404,7 @@ impl Mesh {
     /// a wrap ring at exactly half-ring distance **both** directions are
     /// minimal (unlike the oblivious tie-break of
     /// [`Mesh::dimension_order_path`], which must pick one).
-    fn reduces_distance(&self, have: u32, want: u32, minus: bool) -> bool {
+    pub(crate) fn reduces_distance(&self, have: u32, want: u32, minus: bool) -> bool {
         if have == want {
             return false;
         }

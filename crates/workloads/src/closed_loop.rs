@@ -164,6 +164,10 @@ pub struct ClosedLoopSource<'a> {
     chain_latencies: Vec<u64>,
     /// Completed-chain busy steps per client.
     backlog: Vec<u64>,
+    /// Fault awareness ([`ClosedLoopSource::with_faults`]): from the
+    /// first kill time on, freshly issued messages route via
+    /// [`Substrate::route_avoiding`] against the end-of-plan dead set.
+    fault: Option<(u64, Vec<bool>)>,
 }
 
 impl<'a> ClosedLoopSource<'a> {
@@ -182,6 +186,7 @@ impl<'a> ClosedLoopSource<'a> {
             chains_completed: 0,
             chain_latencies: Vec::new(),
             backlog: vec![0; cfg.clients as usize],
+            fault: None,
         };
         for c in 0..cfg.clients {
             for slot in 0..cfg.window {
@@ -195,6 +200,39 @@ impl<'a> ClosedLoopSource<'a> {
             }
         }
         s
+    }
+
+    /// Makes the source fault-aware: once `plan`'s first kill time is
+    /// reached, newly issued requests and replies route via
+    /// [`Substrate::route_avoiding`] against the plan's **end-of-plan**
+    /// dead set (conservative: an edge that dies later is avoided from
+    /// the first kill on, so a rerouted message is never severed by a
+    /// subsequent kill of the same plan). Where the substrate has no
+    /// diversity the canonical route is kept — the message is discarded
+    /// on release and [`TrafficSource::on_discarded`] reissues it, which
+    /// is exactly the collapse the diversity-free control arms measure.
+    pub fn with_faults(
+        mut self,
+        plan: &wormhole_topology::fault::FaultPlan,
+        graph: &wormhole_topology::graph::Graph,
+    ) -> Self {
+        if let Some(at) = plan.first_kill_at() {
+            self.fault = Some((at, plan.dead_edges(graph)));
+        }
+        self
+    }
+
+    /// The route for a message released at `release` — canonical until
+    /// the first kill, fault-avoiding (where possible) afterwards.
+    fn route_for(&self, src: u32, dst: u32, release: u64) -> wormhole_topology::path::Path {
+        if let Some((first_kill, dead)) = &self.fault {
+            if release >= *first_kill {
+                if let Some(p) = self.sub.route_avoiding(src, dst, dead) {
+                    return p;
+                }
+            }
+        }
+        self.sub.route(src, dst)
     }
 
     #[inline]
@@ -269,6 +307,17 @@ impl<'a> ClosedLoopSource<'a> {
     pub fn emitted(&self) -> usize {
         self.meta.len()
     }
+
+    /// Number of chain slots still in flight — chains that neither
+    /// completed nor retired cleanly. Zero after a faulted run means
+    /// every severed half-chain was reissued and completed; nonzero
+    /// counts chains wedged on dead edges with no route diversity left.
+    pub fn open_chains(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.phase, SlotPhase::InFlight(_)))
+            .count()
+    }
 }
 
 impl TrafficSource for ClosedLoopSource<'_> {
@@ -288,10 +337,15 @@ impl TrafficSource for ClosedLoopSource<'_> {
             };
             if let Kind::Request = sched.kind {
                 let si = self.slot_idx(sched.client, sched.slot);
-                self.slots[si].phase = SlotPhase::InFlight(release);
+                // A fault-retried request keeps the chain's original
+                // start; only a fresh chain opens a new latency window.
+                if !matches!(self.slots[si].phase, SlotPhase::InFlight(_)) {
+                    self.slots[si].phase = SlotPhase::InFlight(release);
+                }
                 self.requests_issued += 1;
             }
-            let spec = MessageSpec::new(self.sub.route(src, dst), length).release_at(release);
+            let spec =
+                MessageSpec::new(self.route_for(src, dst, release), length).release_at(release);
             self.meta.push(MsgMeta {
                 release,
                 length,
@@ -340,8 +394,15 @@ impl TrafficSource for ClosedLoopSource<'_> {
     fn on_discarded(&mut self, id: u32, t: u64) {
         // A discarded half-chain is reissued (same endpoints, fresh
         // message id) one step later; the chain keeps its original
-        // start, so the retry cost shows up in the chain latency.
+        // start, so the retry cost shows up in the chain latency. At or
+        // past the horizon nothing new is issued — the chain stays
+        // in flight and is charged as backlog, matching the
+        // request-issue horizon rule (and bounding fault-retry loops on
+        // substrates with no route diversity left).
         let m = self.meta[id as usize];
+        if t + 1 >= self.cfg.horizon {
+            return;
+        }
         self.sched.insert((t + 1, self.seq), m.sched);
         self.seq += 1;
     }
@@ -474,6 +535,89 @@ mod tests {
         let olstats = r.open_loop.unwrap();
         assert!(olstats.backlog.0 <= 2 * cl.outstanding_bound() as usize);
         assert!(olstats.backlog.1 <= 2 * cl.outstanding_bound() as usize);
+    }
+
+    #[test]
+    fn faulted_benes_chains_reissue_and_complete() {
+        use wormhole_topology::fault::FaultPlan;
+        // Kill a middle-stage edge of each client's canonical route to
+        // its aligned server while the loop is in full swing. The Benes
+        // has middle-column diversity, so every severed half-chain is
+        // reissued on a surviving route and the loop drains completely.
+        let sub = Substrate::benes(3); // 8 endpoints
+        let cfg = ClosedLoopConfig {
+            clients: 4,
+            servers: 4,
+            window: 2,
+            req_len: 4,
+            reply_len: 4,
+            think: (0, 2),
+            server_delay: (0, 2),
+            start_spread: 4,
+            horizon: 300,
+            seed: 7,
+        };
+        let mut plan = FaultPlan::new();
+        let mut seen = Vec::new();
+        for c in 0..cfg.clients {
+            let p = sub.route(c, c + cfg.clients);
+            let e = p.edges()[p.edges().len() / 2];
+            if !seen.contains(&e) {
+                seen.push(e);
+                plan = plan.kill_link(40, e);
+            }
+        }
+        let run = |engine| {
+            let sim = SimConfig::new(2).engine(engine).faults(plan.clone());
+            let mut src = ClosedLoopSource::new(&sub, &cfg).with_faults(&plan, sub.graph());
+            let r = wormhole::run_source(sub.graph(), &mut src, &sim);
+            let cl = src.stats(r.total_steps);
+            (r, cl, src.open_chains())
+        };
+        let (r, cl, open) = run(Engine::EventDriven);
+        assert_eq!(r.outcome, Outcome::Completed, "{:?}", r.outcome);
+        assert!(r.kills_applied > 0);
+        assert!(r.fault_discards > 0, "kills should sever in-flight worms");
+        assert_eq!(open, 0, "every severed chain reissued and completed");
+        assert!(cl.chains_completed > 0, "{cl:?}");
+        let (rl, cll, _) = run(Engine::Legacy);
+        assert!(r.same_execution(&rl), "engines diverged on faulted Benes");
+        assert_eq!(cl, cll);
+    }
+
+    #[test]
+    fn faulted_butterfly_retries_stop_at_horizon() {
+        use wormhole_topology::fault::FaultPlan;
+        // The butterfly has exactly one route per pair: a killed edge
+        // permanently wedges every chain crossing it. Retries are
+        // reissued (and discarded dead-on-arrival) until the horizon,
+        // then stop; the run still drains, with the wedged chains left
+        // in flight as backlog rather than spinning forever.
+        let sub = Substrate::butterfly(3);
+        let cfg = small_cfg(2, 200);
+        let p = sub.route(0, 4);
+        let plan = FaultPlan::new().kill_link(30, p.edges()[1]);
+        let run = |engine| {
+            let sim = SimConfig::new(2).engine(engine).faults(plan.clone());
+            let mut src = ClosedLoopSource::new(&sub, &cfg).with_faults(&plan, sub.graph());
+            let r = wormhole::run_source(sub.graph(), &mut src, &sim);
+            let cl = src.stats(r.total_steps);
+            (r, cl, src.open_chains())
+        };
+        let (r, cl, open) = run(Engine::EventDriven);
+        assert_eq!(r.outcome, Outcome::Completed, "{:?}", r.outcome);
+        assert!(r.fault_discards > 0, "{r:?}");
+        assert!(open > 0, "wedged chains never complete: {cl:?}");
+        assert!(cl.chains_completed > 0, "unaffected pairs keep looping");
+        // The retry loop is bounded: reissues run right up to the
+        // horizon and no further.
+        assert!(r.total_steps + 1 >= cfg.horizon, "{}", r.total_steps);
+        let (rl, cll, _) = run(Engine::Legacy);
+        assert!(
+            r.same_execution(&rl),
+            "engines diverged on wedged butterfly"
+        );
+        assert_eq!(cl, cll);
     }
 
     #[test]

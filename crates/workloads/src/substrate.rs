@@ -148,6 +148,35 @@ impl Substrate {
         }
     }
 
+    /// The canonical route if it survives `dead`, or an alternative that
+    /// does — `None` when every route this substrate can offer crosses a
+    /// dead edge.
+    ///
+    /// Only the Beneš network has oblivious path diversity to spend: it
+    /// tries the canonical mid-column `src ^ dst` first, then every
+    /// other mid-column in ascending order, and returns the first fully
+    /// alive route. The butterfly's input→output path is unique, and the
+    /// mesh/torus/hypercube canonical routes are fixed by their
+    /// discipline (adaptive runs route around faults per hop *inside*
+    /// the simulator instead), so those substrates return the canonical
+    /// route or nothing.
+    pub fn route_avoiding(&self, src: u32, dst: u32, dead: &[bool]) -> Option<Path> {
+        let alive = |p: &Path| p.edges().iter().all(|&e| !dead[e.idx()]);
+        match self {
+            Substrate::Benes(bn) => {
+                let canonical = src ^ dst;
+                std::iter::once(canonical)
+                    .chain((0..bn.n()).filter(|&mid| mid != canonical))
+                    .map(|mid| bn.path(src, mid, dst))
+                    .find(alive)
+            }
+            _ => {
+                let p = self.route(src, dst);
+                alive(&p).then_some(p)
+            }
+        }
+    }
+
     /// Whether a `src → dst` pair injects a message. Node-based substrates
     /// skip self-traffic (the route is empty); the butterfly and Beneš
     /// route every pair, including same-terminal ones (the route always
@@ -301,5 +330,34 @@ mod tests {
     #[should_panic(expected = "endpoint out of range")]
     fn out_of_range_endpoint_panics_in_release_too() {
         Substrate::torus(4, 2).route(0, 16);
+    }
+
+    #[test]
+    fn benes_reroutes_around_dead_edges_butterfly_cannot() {
+        let bn = Substrate::benes(3);
+        let g = bn.graph();
+        let canonical = bn.route(2, 5);
+        let mut dead = vec![false; g.num_edges()];
+        // With no faults the canonical mid-column route comes back.
+        assert_eq!(bn.route_avoiding(2, 5, &dead), Some(canonical.clone()));
+        // Kill one canonical edge: the detour must avoid it, keep the
+        // endpoints, and still be a valid path.
+        dead[canonical.edges()[2].idx()] = true;
+        let detour = bn.route_avoiding(2, 5, &dead).expect("Beneš has diversity");
+        assert!(detour.edges().iter().all(|&e| !dead[e.idx()]));
+        assert_eq!(detour.src(g), canonical.src(g));
+        assert_eq!(detour.dst(g), canonical.dst(g));
+        detour.validate(g).unwrap();
+
+        // The butterfly's unique path has nothing to fall back on.
+        let bf = Substrate::butterfly(3);
+        let p = bf.route(2, 5);
+        let mut dead = vec![false; bf.graph().num_edges()];
+        dead[p.edges()[1].idx()] = true;
+        assert_eq!(bf.route_avoiding(2, 5, &dead), None);
+        assert!(
+            bf.route_avoiding(1, 0, &dead).is_some(),
+            "others unaffected"
+        );
     }
 }

@@ -60,7 +60,7 @@ pub mod prelude {
     pub use wormhole_flitsim::open_loop::{run_open_loop, run_open_loop_adaptive, OpenLoopConfig};
     pub use wormhole_flitsim::source::{ReplaySource, TrafficSource};
     pub use wormhole_flitsim::stats::{
-        ClosedLoopStats, LatencyStats, OpenLoopStats, Outcome, SimResult,
+        ClosedLoopStats, DiscardReason, LatencyStats, OpenLoopStats, Outcome, SimResult,
     };
     pub use wormhole_flitsim::wormhole::run as wormhole_run;
     pub use wormhole_flitsim::wormhole::run_adaptive as wormhole_run_adaptive;
@@ -71,6 +71,7 @@ pub mod prelude {
     };
     pub use wormhole_topology::adaptive::AdaptiveRouter;
     pub use wormhole_topology::butterfly::Butterfly;
+    pub use wormhole_topology::fault::{FaultError, FaultPlan, FaultedMesh};
     pub use wormhole_topology::graph::{EdgeId, Graph, GraphBuilder, NodeId};
     pub use wormhole_topology::mesh::{Mesh, RoutingDiscipline};
     pub use wormhole_topology::path::{Path, PathSet};

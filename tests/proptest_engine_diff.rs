@@ -468,4 +468,183 @@ proptest! {
             "leveled diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
         );
     }
+
+    /// Timed link kills on open-loop butterfly traffic: the kill phase
+    /// runs at the start of the step in both engines, so severed worms,
+    /// dead-on-arrival admissions, and every fault counter
+    /// (`kills_applied`, `fault_discards`, `fault_recovery_steps`) must
+    /// land bit-identically — including when a tight step cap lands
+    /// mid-recovery.
+    #[test]
+    fn engines_agree_on_faulted_butterfly_workloads(
+        k in 2u32..6,
+        rate_pct in 5u32..60,
+        l in 1u32..8,
+        b_idx in 0u32..3,
+        arb in 0u32..4,
+        kills in 1usize..5,
+        kill_at in 1u64..80,
+        cap_small in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_topology::fault::FaultPlan;
+        let substrate = Substrate::butterfly(k);
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(120);
+        if specs.is_empty() {
+            return Ok(());
+        }
+        // Kill middle edges of a few in-use routes, deduplicated because
+        // FaultPlan::validate rejects double kills of the same edge.
+        let mut plan = FaultPlan::new();
+        let mut seen = Vec::new();
+        for i in 0..kills {
+            let s = &specs[(i * 7 + seed as usize) % specs.len()];
+            let e = s.path.edges()[s.path.edges().len() / 2];
+            if !seen.contains(&e) {
+                seen.push(e);
+                plan = plan.kill_link(kill_at + i as u64, e);
+            }
+        }
+        let mut cfg = SimConfig::new(vcs(b_idx))
+            .arbitration(arbitration(arb))
+            .seed(seed ^ 0xfa)
+            .max_steps(400)
+            .faults(plan)
+            .check_invariants(true);
+        if cap_small {
+            cfg = cfg.max_steps(kill_at + 3);
+        }
+        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        prop_assert!(
+            ev.same_execution(&lg),
+            "faulted butterfly diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+        // A discarded worm frees everything it held; nothing may both
+        // finish and be discarded.
+        prop_assert_eq!(
+            ev.delivered() + ev.discarded() + ev.in_flight(),
+            ev.messages.len()
+        );
+    }
+
+    /// Random Bernoulli channel kills on dateline tori, static and
+    /// pooled VC arms: kills release pooled credits back to the router,
+    /// so the shared-credit grant order after a kill is engine-exact,
+    /// and the surviving dateline traffic stays deadlock-free.
+    #[test]
+    fn engines_agree_on_faulted_torus_tornado(
+        radix in 4u32..8,
+        dims in 1u32..3,
+        min_idx in 0u32..2,
+        extra in 0u32..4,
+        cap_idx in 0u32..3,
+        l in 2u32..8,
+        rate_pct in 5u32..40,
+        fault_pct in 1u32..25,
+        pooled in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_topology::fault::FaultPlan;
+        let substrate = Substrate::torus_with(radix, dims, RoutingDiscipline::DatelineClasses);
+        let mesh = substrate.as_mesh().expect("torus is mesh-based");
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::Tornado,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(100);
+        let plan = FaultPlan::bernoulli_channels(mesh, fault_pct as f64 / 100.0, 80, seed ^ 0xdead);
+        let mut cfg = SimConfig::new(2)
+            .arbitration(arbitration(seed as u32))
+            .seed(seed)
+            .max_steps(2_000)
+            .faults(plan)
+            .check_invariants(true);
+        if pooled {
+            cfg = cfg.vc_policy(pooled_policy(
+                substrate.graph().max_out_degree() as u32,
+                min_idx,
+                extra,
+                cap_idx,
+            ));
+        }
+        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        prop_assert!(
+            ev.same_execution(&lg),
+            "faulted torus diverged (pooled={pooled}):\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+        // Kills only remove wait-for dependencies; the dateline argument
+        // still covers every survivor.
+        prop_assert!(
+            !matches!(ev.outcome, Outcome::Deadlock(_)),
+            "faulted dateline torus wedged: {:?}", ev.outcome
+        );
+    }
+
+    /// Fault-aware adaptive routing on escape tori: `FaultedMesh`
+    /// filters candidates and detours escape routes around dead edges,
+    /// pending worms re-route after a kill, and doomed pending worms are
+    /// discarded — all of it engine-exact and wedge-free.
+    #[test]
+    fn engines_agree_on_faulted_adaptive_tori(
+        radix in 3u32..7,
+        dims in 1u32..3,
+        b_idx in 0u32..3,
+        l in 1u32..8,
+        rate_pct in 5u32..40,
+        fault_pct in 1u32..25,
+        fully in proptest::bool::ANY,
+        quota in 0u32..5,
+        arb in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_flitsim::config::RouteSelection;
+        use wormhole_topology::fault::{FaultPlan, FaultedMesh};
+        let substrate = Substrate::torus_with(radix, dims, RoutingDiscipline::AdaptiveEscape);
+        let mesh = substrate.as_mesh().expect("torus is mesh-based");
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(100);
+        let plan = FaultPlan::bernoulli_channels(mesh, fault_pct as f64 / 100.0, 80, seed ^ 0xfa17);
+        let fm = FaultedMesh::new(mesh, &plan).expect("generator emits valid plans");
+        let sel = if fully {
+            RouteSelection::FullyAdaptive
+        } else {
+            RouteSelection::MinimalAdaptive
+        };
+        let cfg = SimConfig::new(vcs(b_idx))
+            .arbitration(arbitration(arb))
+            .seed(seed)
+            .route_selection(sel)
+            .misroute_quota(quota)
+            .max_steps(2_000)
+            .faults(plan)
+            .check_invariants(true);
+        let ev = wormhole::run_adaptive(&fm, &specs, &cfg.clone().engine(Engine::EventDriven));
+        let lg = wormhole::run_adaptive(&fm, &specs, &cfg.clone().engine(Engine::Legacy));
+        prop_assert!(
+            ev.same_execution(&lg),
+            "faulted adaptive ({sel:?}) diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+        // The faulted escape subnetwork is still acyclic, so adaptive
+        // traffic on the broken torus must never wedge.
+        prop_assert!(
+            !matches!(ev.outcome, Outcome::Deadlock(_)),
+            "faulted adaptive torus wedged: {:?}", ev.outcome
+        );
+    }
 }

@@ -380,6 +380,107 @@ proptest! {
         prop_assert_eq!(r.delivered(), n as usize);
     }
 
+    /// Fault tolerance by construction: on every randomly faulted
+    /// 1D/2D/3D torus the Bernoulli channel-kill generator can emit,
+    /// the surviving escape subnetwork's all-pairs dependency graph is
+    /// still acyclic (so the Duato argument — and deadlock freedom —
+    /// holds on the broken network), escape routes avoid every dead
+    /// edge, and filtered adaptive candidates never offer one.
+    #[test]
+    fn faulted_tori_keep_escape_routing_acyclic(
+        radix in 3u32..6,
+        dims in 1u32..4,
+        p_pct in 1u32..35,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_topology::adaptive::AdaptiveRouter;
+        use wormhole_topology::fault::{FaultPlan, FaultedMesh};
+        let t = Mesh::new_disciplined(radix, dims, true, RoutingDiscipline::AdaptiveEscape);
+        let plan = FaultPlan::bernoulli_channels(&t, p_pct as f64 / 100.0, 50, seed);
+        let fm = FaultedMesh::new(&t, &plan).expect("generator emits valid plans");
+        let dead = fm.dead().to_vec();
+        let n = t.num_nodes();
+        let mut routes = Vec::new();
+        let mut cand = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let p = fm.escape_route(NodeId(s), NodeId(d));
+                for &e in p.edges() {
+                    prop_assert!(!dead[e.idx()], "escape route crosses a dead edge");
+                    prop_assert!(t.is_escape_edge(e), "escape route uses adaptive lane");
+                }
+                routes.push(p);
+                cand.clear();
+                fm.candidates(NodeId(s), NodeId(d), true, &mut cand);
+                for &(e, _) in &cand {
+                    prop_assert!(!dead[e.idx()], "candidate on a dead edge");
+                }
+            }
+        }
+        prop_assert!(
+            channel_dependency_graph(Mesh::graph(&t), &routes).is_acyclic(),
+            "faulted escape routes on torus {}^{} (p={}%) must stay acyclic",
+            radix, dims, p_pct
+        );
+    }
+
+    /// Pooled-VC conservation under mid-run router kills: kills release
+    /// the severed worms' VCs, and the per-step conservation checks
+    /// (`check_invariants`) plus the reported high-water marks must
+    /// still respect the pool bounds; both engines agree on the whole
+    /// execution, fault counters included.
+    #[test]
+    fn pooled_conservation_survives_router_kills(
+        radix in 3u32..6,
+        dims in 1u32..3,
+        min in 1u32..3,
+        extra in 0u32..4,
+        l in 1u32..8,
+        rate_pct in 5u32..40,
+        kill_at in 1u64..40,
+        victim in 0u32..216,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_topology::fault::FaultPlan;
+        use wormhole_workloads::{ArrivalProcess, Substrate, TrafficPattern, Workload};
+        let substrate = Substrate::torus_with(radix, dims, RoutingDiscipline::DatelineClasses);
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(60);
+        let n = substrate.graph().num_nodes() as u32;
+        let plan = FaultPlan::new().kill_router(kill_at, NodeId(victim % n));
+        let fanout = substrate.graph().max_out_degree() as u32;
+        let pool = min * fanout + extra;
+        let cfg = SimConfig::new(1)
+            .vc_policy(VcPolicy::pooled(pool, min, pool))
+            .faults(plan)
+            .max_steps(2_000)
+            .check_invariants(true);
+        let ev = wormhole_run(substrate.graph(), &specs, &cfg.clone().engine(Engine::EventDriven));
+        let lg = wormhole_run(substrate.graph(), &specs, &cfg.clone().engine(Engine::Legacy));
+        prop_assert!(
+            ev.same_execution(&lg),
+            "router-kill runs diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
+        );
+        prop_assert!(ev.max_vcs_in_use <= pool);
+        prop_assert!(ev.max_pool_in_use <= pool, "pool oversubscribed: {:?}", ev.max_pool_in_use);
+        // Dateline routes keep the survivors deadlock-free.
+        prop_assert!(!matches!(ev.outcome, Outcome::Deadlock(_)));
+        // Every message is accounted for exactly once.
+        prop_assert_eq!(
+            ev.delivered() + ev.discarded() + ev.in_flight(),
+            ev.messages.len()
+        );
+    }
+
     /// Discard policy: the messages that do deliver finish by the
     /// unblocked floor of the slowest one, and delivered + discarded
     /// partition the input.

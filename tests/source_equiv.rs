@@ -175,6 +175,69 @@ proptest! {
         }
     }
 
+    /// Timed link kills must be invisible to the source refactor too:
+    /// the kill phase, severed-worm discards, and the
+    /// `TrafficSource::on_discarded` notification path all run inside
+    /// the engine, so `run(specs)` ≡ `run_source(ReplaySource)` holds
+    /// bit for bit on faulted butterflies — fault counters included.
+    #[test]
+    fn replay_source_is_bit_identical_on_faulted_butterflies(
+        k in 2u32..6,
+        rate_pct in 5u32..60,
+        l in 1u32..8,
+        b in 1u32..4,
+        arb in 0u32..4,
+        kills in 1usize..4,
+        kill_at in 1u64..60,
+        cap_small in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_topology::fault::FaultPlan;
+        let substrate = Substrate::butterfly(k);
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(120);
+        if specs.is_empty() {
+            return Ok(());
+        }
+        let mut plan = FaultPlan::new();
+        let mut seen = Vec::new();
+        for i in 0..kills {
+            let s = &specs[(i * 11 + seed as usize) % specs.len()];
+            let e = s.path.edges()[s.path.edges().len() / 2];
+            if !seen.contains(&e) {
+                seen.push(e);
+                plan = plan.kill_link(kill_at + i as u64, e);
+            }
+        }
+        let mut cfg = SimConfig::new(b)
+            .arbitration(arbitration(arb))
+            .seed(seed ^ 0x50c)
+            .faults(plan)
+            .check_invariants(true);
+        if cap_small {
+            cfg = cfg.max_steps(kill_at + 5);
+        }
+        for engine in [Engine::EventDriven, Engine::Legacy] {
+            let cfg = cfg.clone().engine(engine);
+            let slice = wormhole::run(substrate.graph(), &specs, &cfg);
+            let mut src = ReplaySource::new(specs.clone());
+            let replay = wormhole::run_source(substrate.graph(), &mut src, &cfg);
+            prop_assert!(
+                slice.same_execution(&replay),
+                "{engine:?}: faulted replay diverged:\n slice: {slice:?}\nreplay: {replay:?}"
+            );
+            // Fault discards surface identically through both paths.
+            prop_assert_eq!(slice.fault_discards, replay.fault_discards);
+            prop_assert_eq!(slice.kills_applied, replay.kills_applied);
+        }
+    }
+
     /// Trace-format round trip: a generated workload written as a trace
     /// and streamed back through [`TraceSource`] reproduces (a) the rows,
     /// (b) the routed specs, and (c) the execution — on both engines —
