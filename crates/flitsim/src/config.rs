@@ -1,6 +1,7 @@
 //! Simulator configuration: the model knobs of §1.1 and §1.4.
 
 use wormhole_topology::fault::FaultPlan;
+use wormhole_topology::region::RegionPlan;
 
 /// How much traffic a physical channel moves per flit step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -170,9 +171,13 @@ pub enum FinalEdgePolicy {
     Unlimited,
 }
 
-/// Which stepper drives a full-bandwidth run. Both engines are required
-/// to produce bit-identical [`crate::stats::SimResult`]s (the proptest
-/// differential suite enforces it); they differ only in cost.
+/// Which stepper drives a full-bandwidth run. All engines are required
+/// to produce bit-identical [`crate::stats::SimResult`]s on every
+/// configuration they accept (the proptest differential suite enforces
+/// it); they differ only in cost. When [`Engine::Parallel`] is asked
+/// for a configuration it does not support it falls back to a
+/// sequential engine and says so in
+/// [`crate::stats::SimResult::engine_fallback`] — never silently.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Engine {
     /// Event-driven core: worms that lose arbitration park on a per-edge
@@ -183,6 +188,21 @@ pub enum Engine {
     /// oracle (and used automatically by [`crate::wormhole::run_traced`],
     /// whose per-step `Blocked` events are inherently step-enumerated).
     Legacy,
+    /// Partitioned parallel engine: the network is decomposed into
+    /// regions ([`SimConfig::regions`], or a default contiguous cut),
+    /// each advanced on its own worker; workers synchronize on
+    /// conservative windows bounded by the plan's cross-region header
+    /// latency (`RegionPlan::lookahead`). Supports static + pooled VC
+    /// policies under oblivious routing at full bandwidth;
+    /// adaptive/faulted/traced/restricted-bandwidth configs fall back
+    /// to a sequential engine with an explicit
+    /// [`crate::stats::EngineFallback`] note.
+    Parallel {
+        /// Worker thread count; `0` means use all available parallelism.
+        /// Clamped to the region count. The result is byte-identical
+        /// for every thread count, including 1.
+        threads: u32,
+    },
 }
 
 /// How a message's route is chosen.
@@ -319,6 +339,14 @@ pub struct SimConfig {
     pub max_steps: u64,
     /// RNG seed (used only by [`Arbitration::Random`]).
     pub seed: u64,
+    /// Region partition used by [`Engine::Parallel`] (ignored by the
+    /// sequential engines). `None` lets the engine build a default
+    /// contiguous cut over the graph's node-id order
+    /// (`RegionPlan::contiguous`); substrate-aware plans come from
+    /// `wormhole_workloads::Substrate::region_plan`. The plan only
+    /// affects which worker owns which router — the `SimResult` is
+    /// bit-identical for every valid plan and thread count.
+    pub regions: Option<RegionPlan>,
     /// Timed link/router kills applied during the run (validated against
     /// the graph at simulation start; see
     /// `wormhole_topology::fault::FaultPlan`). A kill scheduled at step
@@ -351,6 +379,7 @@ impl SimConfig {
             misroute_quota: 4,
             max_steps: 100_000_000,
             seed: 0,
+            regions: None,
             faults: None,
             check_invariants: false,
         }
@@ -417,6 +446,13 @@ impl SimConfig {
         self
     }
 
+    /// Installs a region partition for [`Engine::Parallel`] (see
+    /// [`SimConfig::regions`]).
+    pub fn regions(mut self, plan: RegionPlan) -> Self {
+        self.regions = Some(plan);
+        self
+    }
+
     /// Installs a fault plan (timed link/router kills; see
     /// [`SimConfig::faults`]).
     pub fn faults(mut self, plan: FaultPlan) -> Self {
@@ -465,6 +501,23 @@ mod tests {
     #[should_panic(expected = "at least one virtual channel")]
     fn rejects_zero_vcs() {
         SimConfig::new(0);
+    }
+
+    #[test]
+    fn parallel_engine_builder() {
+        use wormhole_topology::graph::{GraphBuilder, NodeId};
+        let mut b = GraphBuilder::new(4);
+        for v in 0..3 {
+            b.add_edge(NodeId(v), NodeId(v + 1));
+        }
+        let g = b.build();
+        let plan = RegionPlan::contiguous(&g, 2);
+        let c = SimConfig::new(1)
+            .engine(Engine::Parallel { threads: 4 })
+            .regions(plan.clone());
+        assert_eq!(c.engine, Engine::Parallel { threads: 4 });
+        assert_eq!(c.regions, Some(plan));
+        assert_eq!(SimConfig::new(1).regions, None);
     }
 
     #[test]

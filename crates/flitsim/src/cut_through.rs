@@ -269,6 +269,7 @@ pub fn run(graph: &Graph, specs: &[MessageSpec], config: &VctConfig) -> SimResul
         deadlock: None,
         open_loop: None,
         closed_loop: None,
+        engine_fallback: None,
     }
 }
 

@@ -19,11 +19,15 @@
 //! measurement windows, latency percentiles, accepted throughput, and
 //! saturation detection).
 //!
-//! The full-bandwidth wormhole model has two bit-identical cores behind
+//! The wormhole model has three bit-identical cores behind
 //! [`config::Engine`]: the default event-driven engine (wait-queue
-//! wakeups, contention-free fast-forward) and the legacy per-step
-//! stepper kept as its differential oracle — see the [`wormhole`]
-//! module docs for the equivalence invariants.
+//! wakeups, contention-free fast-forward), the legacy per-step stepper
+//! kept as its differential oracle, and a partitioned parallel engine
+//! ([`config::Engine::Parallel`]) that shards the network into regions
+//! advanced on worker threads under conservative lookahead windows —
+//! see the [`wormhole`] module docs for the equivalence invariants and
+//! [`stats::EngineFallback`] for the configurations the parallel engine
+//! explicitly hands back to a sequential core.
 //!
 //! Routes are fixed at injection under
 //! [`config::RouteSelection::Oblivious`]; the adaptive policies
@@ -54,6 +58,7 @@ mod engine;
 pub mod events;
 pub mod message;
 pub mod open_loop;
+mod parallel;
 pub mod source;
 pub mod stats;
 pub mod store_forward;
@@ -67,5 +72,6 @@ pub use message::{specs_from_path_slice, specs_from_paths, MessageSpec};
 pub use open_loop::{run_open_loop, run_open_loop_adaptive, OpenLoopConfig};
 pub use source::{ReplaySource, TrafficSource};
 pub use stats::{
-    ClosedLoopStats, DiscardReason, LatencyStats, MessageOutcome, OpenLoopStats, Outcome, SimResult,
+    ClosedLoopStats, DiscardReason, EngineFallback, LatencyStats, MessageOutcome, OpenLoopStats,
+    Outcome, SimResult,
 };

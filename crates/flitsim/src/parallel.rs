@@ -1,0 +1,853 @@
+//! The partitioned parallel engine behind [`Engine::Parallel`].
+//!
+//! The network is decomposed into the regions of a
+//! [`RegionPlan`] (from [`SimConfig::regions`], or a default contiguous
+//! cut): every node — and with it every outgoing edge, i.e. the VC
+//! holder state that lives at the sending router — is owned by exactly
+//! one region, and each region is advanced on its own worker thread.
+//! Workers synchronize on conservative time windows in the
+//! Chandy–Misra style: a region may run ahead only as far as the
+//! earliest instant a neighboring region could influence it. A header
+//! crosses one edge per flit step in this model, so any plan with a
+//! cross-region edge has a lookahead of exactly one step
+//! ([`RegionPlan::lookahead`]) and the windows collapse to lockstep
+//! supersteps — which is what turns "approximately the same result"
+//! into a provable bit-identity with the sequential engines.
+//!
+//! # Why the superstep is exactly the sequential step
+//!
+//! Within one window each region runs the same classify → arbitrate →
+//! apply phases as [`Sim::step_full_bandwidth`], over the worms
+//! *resident* in it (a worm resides in the region owning its next
+//! wanted edge; draining worms stay where they finished acquiring).
+//! The phases only read and write state the region owns:
+//!
+//! * **Arbitration** reads start-of-step holder counts of owned edges.
+//!   All out-edges of a router share its region, so even the pooled
+//!   policy's shared-credit accounting (ascending-edge-id grant order)
+//!   is region-local. Contenders are ordered by the same canonical
+//!   keys as [`order_contenders`] — message id, `(release, id)`,
+//!   `(priority, id)`, or the stateless per-`(seed, step, edge)`
+//!   shuffle — so each edge's winner set is engine-independent.
+//! * **Acquisitions** are always local: a winner's wanted edge is in
+//!   its resident region by definition.
+//! * **Releases** (tail leaving an edge, final-edge release, discard)
+//!   may target an edge owned by another region; those are buffered in
+//!   a per-region outbox and applied by the coordinator *between*
+//!   supersteps — visible at `t + 1`, exactly the visibility a
+//!   sequential mid-step release has on the next step's arbitration.
+//!
+//! Between windows the coordinator merges outboxes in region-index
+//! order, applies remote releases, samples `max_vcs_in_use` /
+//! `max_pool_in_use` from the post-release (end-of-step) counts like
+//! [`Sim::settle_max_vcs`], retires finished/discarded worms into the
+//! per-id outcome table, and migrates worms whose next wanted edge
+//! moved across the cut. Every cross-region effect is either
+//! commutative (holder increments/decrements, flit-hop sums) or
+//! canonically ordered (completion callbacks are flushed sorted by
+//! `(time, id)` as always), so the result is byte-identical for every
+//! worker count and every valid plan.
+//!
+//! # Accepted configurations and the explicit fallback
+//!
+//! The engine accepts static and pooled VC policies, every arbitration
+//! and blocked policy, and oblivious routing under the full-bandwidth
+//! model. Configurations whose step semantics are inherently global —
+//! adaptive routing (hop selection reads remote occupancy mid-step),
+//! fault injection, the restricted one-flit-per-step model, and event
+//! tracing — run on a sequential engine instead, reported in
+//! [`SimResult::engine_fallback`](crate::stats::SimResult); see
+//! [`EngineFallback`](crate::stats::EngineFallback). The dispatch
+//! never falls back silently.
+//!
+//! [`Engine::Parallel`]: crate::config::Engine::Parallel
+//! [`SimConfig::regions`]: crate::config::SimConfig::regions
+//! [`order_contenders`]: crate::wormhole::order_contenders
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use rand::prelude::*;
+
+use wormhole_topology::region::RegionPlan;
+
+use crate::config::{Arbitration, BlockedPolicy, FinalEdgePolicy, SimConfig, VcPolicy};
+use crate::events::DeadlockReport;
+use crate::stats::{DiscardReason, MessageOutcome, Outcome};
+use crate::wormhole::{arb_rng, FlatBuckets, Sim, Worm};
+
+/// Default region count when [`SimConfig::regions`] is `None`
+/// (clamped to the node count by [`RegionPlan::contiguous`]).
+///
+/// [`SimConfig::regions`]: crate::config::SimConfig::regions
+const DEFAULT_REGIONS: u32 = 8;
+
+/// Immutable per-run lookup state shared by the coordinator and every
+/// worker: the configuration, the region layout, and the VC-policy
+/// decomposition. Borrowing this never conflicts with the
+/// coordinator's `&mut Sim` — everything is copied out of the [`Sim`]
+/// (or borrows only the config, whose lifetime outlives the run).
+struct Ctx<'a> {
+    config: &'a SimConfig,
+    /// Edge → source-router index (`graph.edge_sources()` copy).
+    edge_src: Vec<u32>,
+    /// Edge → owning region (= region of the source router).
+    edge_region: Vec<u32>,
+    /// Node → owning region ([`RegionPlan::node_regions`] copy).
+    node_region: Vec<u32>,
+    /// Pooled only: each router's shared-portion capacity.
+    shared_cap: Vec<u32>,
+    pooled: bool,
+    per_edge_min: u32,
+    per_edge_max: u32,
+    num_edges: usize,
+    num_nodes: usize,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(sim: &Sim<'a>, plan: &RegionPlan) -> Ctx<'a> {
+        let graph = sim.graph;
+        let config = sim.config;
+        let (pooled, per_edge_min, per_edge_max, pool) = match config.vc_policy {
+            VcPolicy::Static(b) => (false, b, b, 0),
+            VcPolicy::RouterPooled {
+                pool,
+                per_edge_min,
+                per_edge_max,
+            } => (true, per_edge_min, per_edge_max, pool),
+        };
+        // `Sim::new` already validated the pool covers every floor.
+        let shared_cap = if pooled {
+            graph
+                .nodes()
+                .map(|v| pool - per_edge_min * graph.out_degree(v) as u32)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let node_region = plan.node_regions().to_vec();
+        let edge_region = graph
+            .edge_sources()
+            .iter()
+            .map(|&s| node_region[s as usize])
+            .collect();
+        Ctx {
+            config,
+            edge_src: graph.edge_sources().to_vec(),
+            edge_region,
+            node_region,
+            shared_cap,
+            pooled,
+            per_edge_min,
+            per_edge_max,
+            num_edges: graph.num_edges(),
+            num_nodes: graph.num_nodes(),
+        }
+    }
+}
+
+/// Whether crossing 1-based path edge `edge_1based` requires a VC —
+/// [`Sim::needs_vc`] for the oblivious worms this engine accepts.
+#[inline]
+fn needs_vc(ctx: &Ctx, w: &Worm, edge_1based: u32) -> bool {
+    edge_1based < w.hops || w.pending_route || ctx.config.final_edge == FinalEdgePolicy::RequiresVc
+}
+
+/// A worm resident in a region: the rigid-worm kinematics plus
+/// everything the region needs to arbitrate and retire it without
+/// touching shared per-id tables (those are written once, at
+/// retirement or write-back, by the coordinator).
+struct RWorm {
+    /// Message id.
+    id: u32,
+    worm: Worm,
+    /// Spec release time (the `OldestFirst` arbitration key).
+    release: u64,
+    /// Spec priority (the `PriorityRank` arbitration key).
+    priority: u32,
+    /// The full path as global edge ids (copied at admission — worms
+    /// migrate between regions, specs don't).
+    path: Box<[u32]>,
+    /// The per-message outcome, carried with the worm and written back
+    /// to `Sim::outcomes` at retirement / run end.
+    out: MessageOutcome,
+    /// Retired (finished or discarded) this step; dropped by the sweep.
+    gone: bool,
+}
+
+/// A completed or discarded worm, handed to the coordinator.
+struct Retired {
+    id: u32,
+    /// Final `advance` (makes `Worm::done` true for delivered worms
+    /// once written back).
+    advance: u32,
+    /// Completion time: `t + 1` for deliveries, `t` for discards —
+    /// the same stamps the sequential engines record.
+    time: u64,
+    delivered: bool,
+    out: MessageOutcome,
+}
+
+/// One region's owned state: holder/pool counters for its edges and
+/// routers (full-size arrays indexed by *global* ids — foreign entries
+/// stay zero, so ascending local edge order is ascending global order
+/// for free), its resident worms, per-step scratch, and the outboxes
+/// the coordinator drains between supersteps.
+struct Region {
+    idx: u32,
+    holders: Vec<u16>,
+    pool_used: Vec<u32>,
+    shared_used: Vec<u32>,
+    planned_shared: Vec<u32>,
+    touched_routers: Vec<u32>,
+    group_order: Vec<u32>,
+    buckets: FlatBuckets,
+    worms: Vec<RWorm>,
+    /// Swap buffer for the retire/handoff sweep (keeps capacity).
+    scratch: Vec<RWorm>,
+    /// Winner indices into `worms` this step.
+    movers: Vec<u32>,
+    /// Loser indices into `worms` this step.
+    blocked: Vec<u32>,
+    /// Global edge ids acquired this step (drained by `settle_max`).
+    acquired: Vec<u32>,
+    /// Outbox: releases targeting edges owned by other regions.
+    remote_releases: Vec<u32>,
+    /// Outbox: worms whose next wanted edge crossed the cut.
+    handoffs: Vec<(u32, RWorm)>,
+    /// Outbox: worms that finished or were discarded this step.
+    retired: Vec<Retired>,
+    /// Whether any resident worm advanced this step.
+    moved: bool,
+    max_vcs: u16,
+    max_pool: u32,
+    flit_hops: u64,
+}
+
+/// Orders contender *indices* into `worms` by the canonical
+/// [`order_contenders`](crate::wormhole::order_contenders) keys. Every
+/// key starts with (or is) the message id, and ids are unique, so the
+/// sorted index sequence corresponds position-for-position to the
+/// sorted id sequence the sequential engines produce — including under
+/// `Random`, whose Fisher–Yates shuffle permutes positions identically
+/// (it is keyed by the global `(seed, step, edge)` tuple, never by the
+/// worker).
+fn order_contenders_local(ctx: &Ctx, worms: &[RWorm], t: u64, e: usize, contenders: &mut [u32]) {
+    match ctx.config.arbitration {
+        Arbitration::FifoById => contenders.sort_unstable_by_key(|&i| worms[i as usize].id),
+        Arbitration::OldestFirst => {
+            contenders.sort_unstable_by_key(|&i| {
+                let w = &worms[i as usize];
+                (w.release, w.id)
+            });
+        }
+        Arbitration::PriorityRank => {
+            contenders.sort_unstable_by_key(|&i| {
+                let w = &worms[i as usize];
+                (w.priority, w.id)
+            });
+        }
+        Arbitration::Random => {
+            contenders.sort_unstable_by_key(|&i| worms[i as usize].id);
+            contenders.shuffle(&mut arb_rng(ctx.config.seed, t, e));
+        }
+    }
+}
+
+impl Region {
+    fn new(idx: u32, ctx: &Ctx) -> Region {
+        Region {
+            idx,
+            holders: vec![0; ctx.num_edges],
+            pool_used: vec![0; ctx.num_nodes],
+            shared_used: vec![0; if ctx.pooled { ctx.num_nodes } else { 0 }],
+            planned_shared: vec![0; if ctx.pooled { ctx.num_nodes } else { 0 }],
+            touched_routers: Vec::new(),
+            group_order: Vec::new(),
+            buckets: FlatBuckets::with_edges(ctx.num_edges),
+            worms: Vec::new(),
+            scratch: Vec::new(),
+            movers: Vec::new(),
+            blocked: Vec::new(),
+            acquired: Vec::new(),
+            remote_releases: Vec::new(),
+            handoffs: Vec::new(),
+            retired: Vec::new(),
+            moved: false,
+            max_vcs: 0,
+            max_pool: 0,
+            flit_hops: 0,
+        }
+    }
+
+    /// [`Sim::free_vcs`] over this region's counters (no dead edges —
+    /// faulted configurations never reach the parallel engine).
+    #[inline]
+    fn free_vcs(&self, ctx: &Ctx, e: usize) -> u32 {
+        let h = self.holders[e] as u32;
+        let cap_free = ctx.per_edge_max.saturating_sub(h);
+        if !ctx.pooled {
+            return cap_free;
+        }
+        let r = ctx.edge_src[e] as usize;
+        let floor_free = ctx.per_edge_min.saturating_sub(h);
+        cap_free.min(floor_free + (ctx.shared_cap[r] - self.shared_used[r]))
+    }
+
+    /// [`Sim::acquire_vc`] on an owned edge (winners always acquire
+    /// locally: their wanted edge defines their residency).
+    #[inline]
+    fn acquire(&mut self, ctx: &Ctx, e: usize) {
+        debug_assert_eq!(ctx.edge_region[e], self.idx, "acquire on a foreign edge");
+        let h = self.holders[e];
+        self.holders[e] = h + 1;
+        let r = ctx.edge_src[e] as usize;
+        self.pool_used[r] += 1;
+        if ctx.pooled && h as u32 >= ctx.per_edge_min {
+            self.shared_used[r] += 1;
+        }
+        debug_assert!(self.holders[e] as u32 <= ctx.per_edge_max);
+    }
+
+    /// Releases one VC on `e`: locally if this region owns the edge,
+    /// otherwise via the outbox (applied between supersteps — the
+    /// `t + 1` visibility every sequential mid-step release has).
+    #[inline]
+    fn release(&mut self, ctx: &Ctx, e: usize) {
+        if ctx.edge_region[e] == self.idx {
+            self.release_local(ctx, e);
+        } else {
+            self.remote_releases.push(e as u32);
+        }
+    }
+
+    /// [`Sim::release_vc`] on an owned edge (also the coordinator's
+    /// entry point for applying another region's outbox entry).
+    #[inline]
+    fn release_local(&mut self, ctx: &Ctx, e: usize) {
+        let h = self.holders[e];
+        self.holders[e] = h - 1;
+        let r = ctx.edge_src[e] as usize;
+        self.pool_used[r] -= 1;
+        if ctx.pooled && h as u32 > ctx.per_edge_min {
+            self.shared_used[r] -= 1;
+        }
+    }
+
+    /// One superstep over the resident worms: the classify → arbitrate
+    /// → apply phases of [`Sim::step_full_bandwidth`], ending with the
+    /// retire/handoff sweep. Reads and writes only region-owned
+    /// state; cross-region effects go to the outboxes.
+    fn step(&mut self, ctx: &Ctx, t: u64) {
+        self.movers.clear();
+        self.blocked.clear();
+        self.buckets.clear();
+        // Phase 1: classify (drains and VC-free final hops move freely;
+        // everything else contends for its next edge).
+        for i in 0..self.worms.len() {
+            let w = &self.worms[i].worm;
+            if w.advance >= w.hops {
+                self.movers.push(i as u32);
+            } else {
+                let next = w.advance + 1;
+                if needs_vc(ctx, w, next) {
+                    let e = self.worms[i].path[next as usize - 1] as usize;
+                    self.buckets.push(e, i as u32);
+                } else {
+                    self.movers.push(i as u32);
+                }
+            }
+        }
+        // Phase 2: arbitration from start-of-step holder counts.
+        self.arbitrate(ctx, t);
+        self.moved = !self.movers.is_empty();
+        // Phase 3: apply.
+        for i in 0..self.movers.len() {
+            let m = self.movers[i];
+            self.advance_worm(ctx, m, t);
+        }
+        for i in 0..self.blocked.len() {
+            let m = self.blocked[i];
+            self.worms[m as usize].out.stalls += 1;
+            if ctx.config.blocked == BlockedPolicy::Discard {
+                self.discard_worm(ctx, m, t);
+            }
+        }
+        self.sweep(ctx);
+    }
+
+    /// [`Sim::arbitrate`] over this region's contender buckets. The
+    /// pooled branch allocates shared credits in ascending edge-id
+    /// order; bucket edges are global ids, so the local order *is* the
+    /// canonical global order.
+    fn arbitrate(&mut self, ctx: &Ctx, t: u64) {
+        let groups = self.buckets.group();
+        if !ctx.pooled {
+            for gi in 0..groups {
+                let e = self.buckets.edge(gi);
+                let free = self.free_vcs(ctx, e) as usize;
+                let group = self.buckets.group_mut(gi);
+                if group.len() > free {
+                    if free == 0 {
+                        self.blocked.extend_from_slice(group);
+                        continue;
+                    }
+                    order_contenders_local(ctx, &self.worms, t, e, group);
+                    self.blocked.extend_from_slice(&group[free..]);
+                    self.movers.extend_from_slice(&group[..free]);
+                } else {
+                    self.movers.extend_from_slice(group);
+                }
+            }
+            return;
+        }
+        {
+            let Region {
+                group_order,
+                buckets,
+                ..
+            } = self;
+            group_order.clear();
+            group_order.extend(0..groups as u32);
+            group_order.sort_unstable_by_key(|&gi| buckets.edge(gi as usize));
+        }
+        for i in 0..self.group_order.len() {
+            let gi = self.group_order[i] as usize;
+            let e = self.buckets.edge(gi);
+            let r = ctx.edge_src[e] as usize;
+            let h = self.holders[e] as u32;
+            let floor_free = ctx.per_edge_min.saturating_sub(h);
+            let shared_free =
+                (ctx.shared_cap[r] - self.shared_used[r]).saturating_sub(self.planned_shared[r]);
+            let free = (ctx.per_edge_max.saturating_sub(h)).min(floor_free + shared_free) as usize;
+            let group = self.buckets.group_mut(gi);
+            if free == 0 {
+                self.blocked.extend_from_slice(group);
+                continue;
+            }
+            let granted = if group.len() > free {
+                order_contenders_local(ctx, &self.worms, t, e, group);
+                self.blocked.extend_from_slice(&group[free..]);
+                self.movers.extend_from_slice(&group[..free]);
+                free as u32
+            } else {
+                self.movers.extend_from_slice(group);
+                group.len() as u32
+            };
+            let shared_taken = granted.saturating_sub(floor_free);
+            if shared_taken > 0 {
+                if self.planned_shared[r] == 0 {
+                    self.touched_routers.push(r as u32);
+                }
+                self.planned_shared[r] += shared_taken;
+            }
+        }
+        for i in 0..self.touched_routers.len() {
+            self.planned_shared[self.touched_routers[i] as usize] = 0;
+        }
+        self.touched_routers.clear();
+    }
+
+    /// [`Sim::apply_advance`] for resident worm index `i`.
+    fn advance_worm(&mut self, ctx: &Ctx, i: u32, t: u64) {
+        let wi = i as usize;
+        let (hops, length, width) = {
+            let w = &self.worms[wi].worm;
+            (w.hops, w.length, w.crossing_width())
+        };
+        self.flit_hops += width as u64;
+        if self.worms[wi].out.first_move.is_none() {
+            self.worms[wi].out.first_move = Some(t);
+        }
+        self.worms[wi].worm.advance += 1;
+        let a = self.worms[wi].worm.advance;
+        // Acquire the newly crossed edge (always owned).
+        if a <= hops && needs_vc(ctx, &self.worms[wi].worm, a) {
+            let e = self.worms[wi].path[a as usize - 1];
+            self.acquire(ctx, e as usize);
+            self.acquired.push(e);
+        }
+        // Release the edge the tail just left (possibly foreign).
+        if a > length {
+            let rel = a - length;
+            if needs_vc(ctx, &self.worms[wi].worm, rel) {
+                let e = self.worms[wi].path[rel as usize - 1];
+                self.release(ctx, e as usize);
+            }
+        }
+        if self.worms[wi].worm.done() {
+            if needs_vc(ctx, &self.worms[wi].worm, hops) {
+                let e = self.worms[wi].path[hops as usize - 1];
+                self.release(ctx, e as usize);
+            }
+            let w = &mut self.worms[wi];
+            w.out.finished = Some(t + 1);
+            w.gone = true;
+            self.retired.push(Retired {
+                id: w.id,
+                advance: w.worm.advance,
+                time: t + 1,
+                delivered: true,
+                out: w.out,
+            });
+        }
+    }
+
+    /// [`Sim::discard`] for resident worm index `i`
+    /// ([`BlockedPolicy::Discard`] only — no faults here).
+    fn discard_worm(&mut self, ctx: &Ctx, i: u32, t: u64) {
+        let wi = i as usize;
+        let (lo, hi) = self.worms[wi].worm.held_range();
+        for j in lo..=hi {
+            if needs_vc(ctx, &self.worms[wi].worm, j) {
+                let e = self.worms[wi].path[j as usize - 1];
+                self.release(ctx, e as usize);
+            }
+        }
+        let w = &mut self.worms[wi];
+        w.out.discarded = Some(DiscardReason::Delay);
+        w.gone = true;
+        self.retired.push(Retired {
+            id: w.id,
+            advance: w.worm.advance,
+            time: t,
+            delivered: false,
+            out: w.out,
+        });
+    }
+
+    /// End-of-step sweep: drop retired worms, keep residents, and
+    /// emigrate worms whose next wanted edge is owned elsewhere
+    /// (draining worms have no wanted edge and stay put).
+    fn sweep(&mut self, ctx: &Ctx) {
+        std::mem::swap(&mut self.worms, &mut self.scratch);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for w in scratch.drain(..) {
+            if w.gone {
+                continue;
+            }
+            let target = if w.worm.advance >= w.worm.hops {
+                self.idx
+            } else {
+                ctx.edge_region[w.path[w.worm.advance as usize] as usize]
+            };
+            if target == self.idx {
+                self.worms.push(w);
+            } else {
+                self.handoffs.push((target, w));
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// [`Sim::settle_max_vcs`] over this step's acquisitions. Called by
+    /// the coordinator *after* remote releases are applied, so the
+    /// sample is the end-of-step holder count — order-free and
+    /// engine-identical.
+    fn settle_max(&mut self, ctx: &Ctx) {
+        for i in 0..self.acquired.len() {
+            let e = self.acquired[i] as usize;
+            self.max_vcs = self.max_vcs.max(self.holders[e]);
+            let r = ctx.edge_src[e] as usize;
+            self.max_pool = self.max_pool.max(self.pool_used[r]);
+        }
+        self.acquired.clear();
+    }
+}
+
+/// Everything the worker threads can see: the regions (each behind its
+/// own mutex — workers step disjoint index sets, so locks are always
+/// uncontended), the superstep barriers, and the broadcast clock.
+struct Shared<'a> {
+    regions: Vec<Mutex<Region>>,
+    /// Opens a superstep (workers wait here between windows).
+    start: Barrier,
+    /// Closes a superstep (the coordinator merges after this).
+    end: Barrier,
+    /// The window's flit step, broadcast before `start` opens.
+    /// Relaxed ordering suffices — the barriers synchronize.
+    t_now: AtomicU64,
+    /// Set by the coordinator before the final `start` wave.
+    stop: AtomicBool,
+    ctx: Ctx<'a>,
+}
+
+/// Worker `w` of `nthreads`: step regions `w, w + nthreads, …` each
+/// window until the coordinator raises `stop`.
+fn worker_loop(shared: &Shared<'_>, w: usize, nthreads: usize) {
+    loop {
+        shared.start.wait();
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let t = shared.t_now.load(Ordering::Relaxed);
+        let mut r = w;
+        while r < shared.regions.len() {
+            shared.regions[r].lock().unwrap().step(&shared.ctx, t);
+            r += nthreads;
+        }
+        shared.end.wait();
+    }
+}
+
+/// Advances every region through the window at step `t` — on the
+/// worker pool when there is one, inline otherwise.
+fn step_window(shared: &Shared<'_>, nthreads: usize, t: u64) {
+    if nthreads == 1 {
+        for reg in &shared.regions {
+            reg.lock().unwrap().step(&shared.ctx, t);
+        }
+        return;
+    }
+    shared.t_now.store(t, Ordering::Relaxed);
+    shared.start.wait();
+    // The coordinator doubles as worker 0.
+    let mut r = 0;
+    while r < shared.regions.len() {
+        shared.regions[r].lock().unwrap().step(&shared.ctx, t);
+        r += nthreads;
+    }
+    shared.end.wait();
+}
+
+/// Builds the region-resident copy of freshly admitted message `m`.
+fn make_rworm(sim: &Sim<'_>, m: u32) -> RWorm {
+    let mi = m as usize;
+    let spec = &sim.specs[mi];
+    let src = &sim.worms[mi];
+    RWorm {
+        id: m,
+        worm: Worm {
+            advance: src.advance,
+            hops: src.hops,
+            length: src.length,
+            pending_route: false,
+        },
+        release: spec.release,
+        priority: spec.priority,
+        path: spec.path.edges().iter().map(|e| e.0).collect(),
+        out: sim.outcomes[mi],
+        gone: false,
+    }
+}
+
+/// Copies every in-flight resident worm's kinematics and outcome back
+/// into the per-id tables (retired worms were written at retirement).
+fn write_back(sim: &mut Sim<'_>, shared: &Shared<'_>) {
+    for cell in &shared.regions {
+        let reg = cell.lock().unwrap();
+        for w in &reg.worms {
+            let mi = w.id as usize;
+            sim.worms[mi].advance = w.worm.advance;
+            sim.outcomes[mi] = w.out;
+        }
+    }
+}
+
+/// Scatters the region-owned holder/pool counters back into the
+/// [`Sim`] arrays (each global index is owned by exactly one region).
+fn sync_counters(sim: &mut Sim<'_>, shared: &Shared<'_>) {
+    let ctx = &shared.ctx;
+    for (r, cell) in shared.regions.iter().enumerate() {
+        let reg = cell.lock().unwrap();
+        for (e, &owner) in ctx.edge_region.iter().enumerate() {
+            if owner as usize == r {
+                sim.holders[e] = reg.holders[e];
+            }
+        }
+        for (v, &owner) in ctx.node_region.iter().enumerate() {
+            if owner as usize == r {
+                sim.pool_used[v] = reg.pool_used[v];
+                if ctx.pooled {
+                    sim.shared_used[v] = reg.shared_used[v];
+                }
+            }
+        }
+    }
+}
+
+/// Folds the per-region accumulators into the run totals (exactly
+/// once, at run end).
+fn fold_stats(sim: &mut Sim<'_>, shared: &Shared<'_>) {
+    for cell in &shared.regions {
+        let reg = cell.lock().unwrap();
+        sim.flit_hops += reg.flit_hops;
+        sim.max_vcs = sim.max_vcs.max(reg.max_vcs);
+        sim.max_pool = sim.max_pool.max(reg.max_pool);
+    }
+}
+
+/// The coordinator: mirrors [`Sim::drive_legacy`]'s loop head (idle
+/// fast-forward, step-cap accounting, admissions) around the parallel
+/// superstep, then merges outboxes in region-index order.
+fn run_loop(
+    sim: &mut Sim<'_>,
+    shared: &Shared<'_>,
+    nthreads: usize,
+) -> (Outcome, u64, Option<DeadlockReport>) {
+    let mut t: u64 = 0;
+    let mut n_active: usize = 0;
+    let mut deadlock_report = None;
+    let mut rel_buf: Vec<u32> = Vec::new();
+    let mut handoff_buf: Vec<(u32, RWorm)> = Vec::new();
+    let mut retired_buf: Vec<Retired> = Vec::new();
+    let outcome = loop {
+        // Idle fast-forward and termination — byte-for-byte the legacy
+        // loop head's decisions (see `drive_legacy` for the cap rules).
+        if n_active == 0 {
+            match sim.peek_next_release(t) {
+                None => break Outcome::Completed,
+                Some(r) => {
+                    if t >= sim.config.max_steps {
+                        break Outcome::MaxSteps;
+                    }
+                    if r >= sim.config.max_steps {
+                        t = sim.config.max_steps;
+                        break Outcome::MaxSteps;
+                    }
+                    t = t.max(r);
+                }
+            }
+        } else if t >= sim.config.max_steps {
+            break Outcome::MaxSteps;
+        }
+        let new = sim.admit_ready(t);
+        for i in new {
+            let m = sim.admitted_id(i);
+            if sim.outcomes[m as usize].discarded.is_none() {
+                let w = make_rworm(sim, m);
+                let target = shared.ctx.edge_region[w.path[0] as usize] as usize;
+                shared.regions[target].lock().unwrap().worms.push(w);
+                n_active += 1;
+            }
+        }
+
+        // One conservative window: every region steps `t`.
+        step_window(shared, nthreads, t);
+
+        // Merge, in region-index order (the effects are commutative or
+        // canonically re-sorted downstream; fixing the order makes the
+        // run reproducible by inspection, not just by argument).
+        let mut moved = false;
+        for cell in &shared.regions {
+            let mut reg = cell.lock().unwrap();
+            moved |= reg.moved;
+            rel_buf.append(&mut reg.remote_releases);
+            handoff_buf.append(&mut reg.handoffs);
+            retired_buf.append(&mut reg.retired);
+        }
+        // Cross-region releases land now — visible to step `t + 1`,
+        // like any sequential mid-step release...
+        for &e in &rel_buf {
+            let e = e as usize;
+            let owner = shared.ctx.edge_region[e] as usize;
+            shared.regions[owner]
+                .lock()
+                .unwrap()
+                .release_local(&shared.ctx, e);
+        }
+        rel_buf.clear();
+        // ...and *before* the occupancy maxima are sampled, so the
+        // sample is the end-of-step state, as in the sequential engines.
+        for cell in &shared.regions {
+            cell.lock().unwrap().settle_max(&shared.ctx);
+        }
+        for rt in retired_buf.drain(..) {
+            let mi = rt.id as usize;
+            sim.worms[mi].advance = rt.advance;
+            sim.outcomes[mi] = rt.out;
+            sim.record_done(rt.id, rt.time, rt.delivered);
+            if rt.delivered {
+                sim.last_finish = sim.last_finish.max(rt.time);
+            }
+            sim.unfinished -= 1;
+            n_active -= 1;
+        }
+        for (target, w) in handoff_buf.drain(..) {
+            shared.regions[target as usize]
+                .lock()
+                .unwrap()
+                .worms
+                .push(w);
+        }
+
+        if !moved && n_active > 0 && sim.config.blocked == BlockedPolicy::Stall {
+            // Static state, nothing can ever move again: deadlock, with
+            // the same report the sequential engines build.
+            write_back(sim, shared);
+            sim.rebuild_active();
+            deadlock_report = Some(sim.build_deadlock_report());
+            break Outcome::Deadlock(sim.active.clone());
+        }
+        if sim.config.check_invariants {
+            write_back(sim, shared);
+            sync_counters(sim, shared);
+            sim.rebuild_active();
+            sim.validate();
+        }
+        t += 1;
+    };
+    write_back(sim, shared);
+    sync_counters(sim, shared);
+    fold_stats(sim, shared);
+    sim.rebuild_active();
+    (outcome, t, deadlock_report)
+}
+
+/// Entry point from the engine dispatch: runs `sim` to its outcome on
+/// the partitioned engine with `threads` workers (0 = all available;
+/// always clamped to the region count). The caller has already
+/// verified the configuration is supported — unsupported ones take the
+/// explicit-fallback path and never reach this function.
+pub(crate) fn drive(sim: &mut Sim<'_>, threads: u32) -> (Outcome, u64, Option<DeadlockReport>) {
+    let graph = sim.graph;
+    if graph.num_nodes() == 0 {
+        // Nothing to partition (and no message can have a valid path);
+        // the legacy driver resolves the source bookkeeping.
+        return sim.drive_legacy();
+    }
+    let plan = match &sim.config.regions {
+        Some(p) => {
+            assert!(
+                p.matches(graph),
+                "region plan does not match the simulated graph"
+            );
+            p.clone()
+        }
+        None => RegionPlan::contiguous(graph, DEFAULT_REGIONS),
+    };
+    let k = plan.num_regions() as usize;
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let req = if threads == 0 {
+        avail
+    } else {
+        threads as usize
+    };
+    let nthreads = req.min(k).max(1);
+    let ctx = Ctx::new(sim, &plan);
+    let regions = (0..k)
+        .map(|r| Mutex::new(Region::new(r as u32, &ctx)))
+        .collect();
+    let shared = Shared {
+        regions,
+        start: Barrier::new(nthreads),
+        end: Barrier::new(nthreads),
+        t_now: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        ctx,
+    };
+    if nthreads == 1 {
+        run_loop(sim, &shared, 1)
+    } else {
+        std::thread::scope(|s| {
+            let sh = &shared;
+            for w in 1..nthreads {
+                s.spawn(move || worker_loop(sh, w, nthreads));
+            }
+            let out = run_loop(sim, sh, nthreads);
+            sh.stop.store(true, Ordering::Relaxed);
+            sh.start.wait();
+            out
+        })
+    }
+}

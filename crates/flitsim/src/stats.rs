@@ -15,6 +15,40 @@ pub enum Outcome {
     MaxSteps,
 }
 
+/// Why a run requested under [`crate::config::Engine::Parallel`] was
+/// executed by a sequential engine instead. The parallel engine's
+/// contract is *bit-identical or explicit fallback*: for every
+/// configuration it accepts it must reproduce the sequential engines'
+/// [`SimResult`] exactly, and for every configuration it does not
+/// accept it must say so here — never silently degrade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineFallback {
+    /// Adaptive route selection: per-hop choices read global VC
+    /// occupancy, which a partitioned engine cannot see consistently.
+    AdaptiveRouting,
+    /// A fault plan is installed: kills apply network-wide at the start
+    /// of a step and discard worms in several regions at once.
+    FaultInjection,
+    /// The restricted [`crate::config::BandwidthModel::OneFlitPerStep`]
+    /// model, which has its own single per-flit stepper.
+    RestrictedBandwidth,
+    /// An event-trace hook is attached (`run_traced`), whose per-step
+    /// `Blocked` events are inherently step-enumerated.
+    Tracing,
+}
+
+impl EngineFallback {
+    /// Short lowercase name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineFallback::AdaptiveRouting => "adaptive",
+            EngineFallback::FaultInjection => "faults",
+            EngineFallback::RestrictedBandwidth => "restricted-bw",
+            EngineFallback::Tracing => "tracing",
+        }
+    }
+}
+
 /// Why a message was discarded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DiscardReason {
@@ -229,15 +263,24 @@ pub struct SimResult {
     /// [`SimResult::open_loop`] — excluded from
     /// [`SimResult::same_execution`]).
     pub closed_loop: Option<ClosedLoopStats>,
+    /// `Some(reason)` when [`crate::config::Engine::Parallel`] was
+    /// requested but the run was executed by a sequential engine (see
+    /// [`EngineFallback`]). `None` for sequential-engine runs and for
+    /// parallel runs that were actually partitioned. Excluded from
+    /// [`SimResult::same_execution`] — it describes *which machinery
+    /// ran*, not what the simulation computed, and the fallback contract
+    /// is precisely that the computation is unchanged.
+    pub engine_fallback: Option<EngineFallback>,
 }
 
 impl SimResult {
     /// Field-for-field execution equality over everything the simulator
     /// computes (`open_loop` and `closed_loop` excluded — both are
-    /// derived windowing, attached after the run). This is the
-    /// differential-oracle relation the two
-    /// full-bandwidth engines ([`crate::config::Engine`]) must satisfy on
-    /// every workload.
+    /// derived windowing, attached after the run — and
+    /// [`SimResult::engine_fallback`] excluded, because it records which
+    /// machinery executed the run, not what the run computed). This is
+    /// the differential-oracle relation all full-bandwidth engines
+    /// ([`crate::config::Engine`]) must satisfy on every workload.
     pub fn same_execution(&self, other: &SimResult) -> bool {
         self.outcome == other.outcome
             && self.total_steps == other.total_steps
@@ -344,6 +387,7 @@ mod tests {
             deadlock: None,
             open_loop: None,
             closed_loop: None,
+            engine_fallback: None,
         };
         assert_eq!(r.delivered(), 2);
         assert_eq!(r.discarded(), 1);

@@ -159,7 +159,7 @@ use crate::config::{
 use crate::events::{DeadlockReport, TraceEvent, WaitFor};
 use crate::message::MessageSpec;
 use crate::source::{ReplaySource, TrafficSource};
-use crate::stats::{DiscardReason, MessageOutcome, Outcome, SimResult};
+use crate::stats::{DiscardReason, EngineFallback, MessageOutcome, Outcome, SimResult};
 
 /// Restricted-model flit position: not yet injected.
 const FLIT_UNINJECTED: u32 = 0;
@@ -192,7 +192,7 @@ impl Worm {
 
     /// 1-based range of path edges on which this worm currently holds a VC.
     #[inline]
-    fn held_range(&self) -> (u32, u32) {
+    pub(crate) fn held_range(&self) -> (u32, u32) {
         if self.advance == 0 {
             return (1, 0); // empty
         }
@@ -203,7 +203,7 @@ impl Worm {
 
     /// Number of flits that cross an edge when the worm advances once.
     #[inline]
-    fn crossing_width(&self) -> u32 {
+    pub(crate) fn crossing_width(&self) -> u32 {
         let next = self.advance + 1;
         let lo = (next + 1).saturating_sub(self.length).max(1);
         let hi = next.min(self.hops);
@@ -341,7 +341,7 @@ pub fn run_traced(
 /// draw no longer depends on how many arbitration events preceded it,
 /// which is what lets the event-driven engine skip blocked steps and
 /// still reproduce the legacy stepper bit for bit.
-fn arb_rng(seed: u64, t: u64, e: usize) -> StdRng {
+pub(crate) fn arb_rng(seed: u64, t: u64, e: usize) -> StdRng {
     let mut x = seed
         ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (e as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
@@ -400,7 +400,7 @@ pub(crate) struct FlatBuckets {
 }
 
 impl FlatBuckets {
-    fn with_edges(num_edges: usize) -> Self {
+    pub(crate) fn with_edges(num_edges: usize) -> Self {
         Self {
             pairs: Vec::new(),
             touched: Vec::new(),
@@ -524,9 +524,9 @@ pub(crate) struct Sim<'a> {
     /// slots for ids not yet seen — never activated, so never stepped).
     pub(crate) specs: Vec<MessageSpec>,
     pub(crate) config: &'a SimConfig,
-    /// The simulated graph (admission-time validation and adaptive
-    /// endpoint lookup).
-    graph: &'a Graph,
+    /// The simulated graph (admission-time validation, adaptive
+    /// endpoint lookup, and the parallel engine's region layout).
+    pub(crate) graph: &'a Graph,
     /// The message stream driving the run (see [`TrafficSource`]).
     source: &'a mut dyn TrafficSource,
     pub(crate) worms: Vec<Worm>,
@@ -540,11 +540,11 @@ pub(crate) struct Sim<'a> {
     /// VCs currently held across the outgoing edges of each router
     /// (Σ `holders` per source node) — maintained under both policies so
     /// `max_pool_in_use` is policy- and engine-identical.
-    pool_used: Vec<u32>,
+    pub(crate) pool_used: Vec<u32>,
     /// [`VcPolicy::RouterPooled`] only: VCs drawn from each router's
     /// *shared* portion, Σ over out-edges of `max(0, holders − floor)`.
     /// Empty under the static policy.
-    shared_used: Vec<u32>,
+    pub(crate) shared_used: Vec<u32>,
     /// Pooled only: each router's shared-portion capacity,
     /// `pool − per_edge_min · fanout`. Empty under the static policy.
     shared_cap: Vec<u32>,
@@ -586,9 +586,9 @@ pub(crate) struct Sim<'a> {
     pub(crate) reactive: bool,
     pub(crate) movers: Vec<u32>,
     pub(crate) blocked: Vec<u32>,
-    max_vcs: u16,
-    max_pool: u32,
-    flit_hops: u64,
+    pub(crate) max_vcs: u16,
+    pub(crate) max_pool: u32,
+    pub(crate) flit_hops: u64,
     pub(crate) last_finish: u64,
     pub(crate) unfinished: usize,
     /// Edges acquired this step; drained by [`Sim::settle_max_vcs`].
@@ -943,7 +943,7 @@ impl<'a> Sim<'a> {
     /// Buffers a completion for the next source flush. `delivered` is
     /// `false` for discards.
     #[inline]
-    fn record_done(&mut self, m: u32, t: u64, delivered: bool) {
+    pub(crate) fn record_done(&mut self, m: u32, t: u64, delivered: bool) {
         self.delivery_buf.push((t, m, delivered));
     }
 
@@ -1376,10 +1376,47 @@ impl<'a> Sim<'a> {
     }
 
     fn run_inner(mut self) -> (SimResult, Vec<TraceEvent>) {
-        let use_event = self.config.engine == Engine::EventDriven
-            && self.config.bandwidth == BandwidthModel::BFlitsPerStep
-            && !self.tracing;
-        let (outcome, t, deadlock_report) = if use_event {
+        // The parallel engine only accepts configurations whose step
+        // semantics it can reproduce bit-for-bit; everything else falls
+        // back to a sequential engine with an explicit note in the
+        // result (`SimResult::engine_fallback`) — never silently.
+        let engine_fallback = if let Engine::Parallel { .. } = self.config.engine {
+            if self.adaptive.is_some() {
+                Some(EngineFallback::AdaptiveRouting)
+            } else if self.faulted() {
+                Some(EngineFallback::FaultInjection)
+            } else if self.config.bandwidth == BandwidthModel::OneFlitPerStep {
+                Some(EngineFallback::RestrictedBandwidth)
+            } else if self.tracing {
+                Some(EngineFallback::Tracing)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let use_event = match self.config.engine {
+            Engine::EventDriven => {
+                self.config.bandwidth == BandwidthModel::BFlitsPerStep && !self.tracing
+            }
+            // A fallback run picks the fastest sequential engine that
+            // accepts the configuration.
+            Engine::Parallel { .. } => {
+                engine_fallback.is_some()
+                    && self.config.bandwidth == BandwidthModel::BFlitsPerStep
+                    && !self.tracing
+            }
+            Engine::Legacy => false,
+        };
+        let use_parallel =
+            matches!(self.config.engine, Engine::Parallel { .. }) && engine_fallback.is_none();
+        let (outcome, t, deadlock_report) = if use_parallel {
+            let threads = match self.config.engine {
+                Engine::Parallel { threads } => threads,
+                _ => unreachable!(),
+            };
+            crate::parallel::drive(&mut self, threads)
+        } else if use_event {
             crate::engine::drive(&mut self)
         } else {
             self.drive_legacy()
@@ -1438,13 +1475,14 @@ impl<'a> Sim<'a> {
                 deadlock: deadlock_report,
                 open_loop: None,
                 closed_loop: None,
+                engine_fallback,
             },
             self.trace,
         )
     }
 
     /// The original per-step driver: rescans every active worm each step.
-    fn drive_legacy(&mut self) -> (Outcome, u64, Option<DeadlockReport>) {
+    pub(crate) fn drive_legacy(&mut self) -> (Outcome, u64, Option<DeadlockReport>) {
         let mut t: u64 = 0;
         let mut deadlock_report = None;
         let outcome = loop {

@@ -4,15 +4,16 @@
 //! experiments all            # every experiment, full-size sweeps
 //! experiments e1 e3          # selected experiments
 //! experiments --fast all     # reduced sweeps (CI-sized)
-//! experiments bench-json     # time fast x2/x7/x9/x10/x11/x12 → BENCH_sim.json
+//! experiments --threads 2 x13  # x13 with a single-entry worker ladder
+//! experiments bench-json     # time fast x2/x7/x9–x13 → BENCH_sim.json
 //! ```
 
 use std::time::Instant;
 
 use wormhole_flitsim::config::Engine;
 use wormhole_harness::experiments::{
-    all_ids, run_by_id, x10_bounds, x11_closed_loop, x12_faults, x2_open_loop, x7_dateline,
-    x9_dynamic_vcs,
+    all_ids, run_by_id, x10_bounds, x11_closed_loop, x12_faults, x13_parallel, x2_open_loop,
+    x7_dateline, x9_dynamic_vcs,
 };
 
 /// Times the fast x2/x7/x9/x11/x12 families on both simulator engines and writes
@@ -82,6 +83,23 @@ fn bench_json(out_path: &str) {
     assert!(!points.is_empty());
     eprintln!("[bench-json] x10 analytic: {ms:.3} ms");
     rows.push(("x10", "analytic", ms));
+
+    // x13 times the partitioned engine itself against its sequential
+    // baseline on the fast scaling sweep; the 2-worker row is the one
+    // CI smoke-runs.
+    for workers in [1u32, 2] {
+        let t0 = Instant::now();
+        let points = x13_parallel::sweep_points_with(true, &[workers]);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(!points.is_empty());
+        let ename: &'static str = if workers == 1 {
+            "parallel-1t"
+        } else {
+            "parallel-2t"
+        };
+        eprintln!("[bench-json] x13 {ename}: {ms:.3} ms");
+        rows.push(("x13", ename, ms));
+    }
     let mut json = String::from("{\n  \"benchmark\": \"experiments bench-json\",\n  \"mode\": \"fast\",\n  \"unit\": \"wall_ms\",\n  \"families\": [\n");
     for (i, (family, engine, ms)) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
@@ -109,7 +127,28 @@ fn main() {
         return;
     }
     let fast = args.iter().any(|a| a == "--fast");
-    let ids: Vec<String> = args.into_iter().filter(|a| a != "--fast").collect();
+    // `--threads N` narrows x13's worker ladder to a single entry (the
+    // CI smoke run uses `--threads 2`); other experiments ignore it.
+    let threads: Option<u32> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a positive integer"));
+    let mut skip_next = false;
+    let ids: Vec<String> = args
+        .into_iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if a == "--threads" {
+                skip_next = true;
+                return false;
+            }
+            a != "--fast"
+        })
+        .collect();
     let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         all_ids().iter().map(|s| s.to_string()).collect()
     } else {
@@ -124,7 +163,11 @@ fn main() {
     let t0 = Instant::now();
     for id in &ids {
         let started = Instant::now();
-        match run_by_id(id, fast) {
+        let result = match threads {
+            Some(n) if id == "x13" => Some((String::new(), x13_parallel::run_with(fast, &[n]))),
+            _ => run_by_id(id, fast),
+        };
+        match result {
             Some((preamble, tables)) => {
                 println!("\n---\n\n## Experiment {}\n", id.to_uppercase());
                 if !preamble.is_empty() {

@@ -13,6 +13,7 @@ pub mod figures;
 pub mod x10_bounds;
 pub mod x11_closed_loop;
 pub mod x12_faults;
+pub mod x13_parallel;
 pub mod x1_circuit;
 pub mod x2_open_loop;
 pub mod x3_throughput;
@@ -29,7 +30,7 @@ use crate::table::Table;
 pub fn all_ids() -> &'static [&'static str] {
     &[
         "f1", "f2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "x1", "x2", "x3", "x4",
-        "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12",
+        "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13",
     ]
 }
 
@@ -66,6 +67,7 @@ pub fn run_by_id(id: &str, fast: bool) -> Option<(String, Vec<Table>)> {
         "x10" => (String::new(), x10_bounds::run(fast)),
         "x11" => (String::new(), x11_closed_loop::run(fast)),
         "x12" => (String::new(), x12_faults::run(fast)),
+        "x13" => (String::new(), x13_parallel::run(fast)),
         _ => return None,
     })
 }

@@ -44,6 +44,7 @@ pub mod lowerbound;
 pub mod mesh;
 pub mod path;
 pub mod random_nets;
+pub mod region;
 pub mod subsets;
 
 pub use adaptive::AdaptiveRouter;
@@ -52,3 +53,4 @@ pub use fault::{FaultError, FaultEvent, FaultPlan, FaultTarget, FaultedMesh};
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use mesh::RoutingDiscipline;
 pub use path::{Path, PathError, PathSet};
+pub use region::RegionPlan;

@@ -1,0 +1,217 @@
+//! Network partitions for the parallel simulation engine.
+//!
+//! A [`RegionPlan`] assigns every node of a [`Graph`] to one of `k`
+//! *regions*. A routing edge belongs to the region of its **source**
+//! node, so the VC holders of an edge — state that lives at the sending
+//! router — are owned by exactly one region. The parallel engine
+//! (`flitsim`'s `Engine::Parallel`) advances each region on its own
+//! worker and synchronizes on conservative time windows bounded by the
+//! plan's [`RegionPlan::lookahead`]: the minimum number of flit steps
+//! before an event in one region can influence another. In this model a
+//! header crosses one edge per flit step, so any plan with at least one
+//! cross-region edge has a lookahead of exactly 1 — the engine's
+//! synchronization window collapses to lockstep supersteps, which is
+//! what makes bit-identity with the sequential engines provable rather
+//! than approximate.
+//!
+//! Plans are built either directly ([`RegionPlan::contiguous`],
+//! [`RegionPlan::contiguous_aligned`], [`RegionPlan::from_node_regions`])
+//! or substrate-aware via `wormhole_workloads::Substrate::region_plan`,
+//! which aligns the cut to coordinate planes (per-dimension slabs on
+//! meshes/tori, per-stage cuts on butterflies).
+
+use crate::graph::Graph;
+
+/// A partition of a graph's nodes into regions, the unit of parallelism
+/// for the partitioned discrete-event engine. Edges follow their source
+/// node; see the module docs for the ownership and lookahead story.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionPlan {
+    num_regions: u32,
+    node_region: Vec<u32>,
+    cross_edges: u64,
+}
+
+impl RegionPlan {
+    /// Partitions the nodes into `k` contiguous, balanced index ranges.
+    ///
+    /// On graphs whose node numbering follows the topology's coordinates
+    /// (all builders in this crate), contiguous ranges are geometric
+    /// cuts: little-endian mesh ids make them slabs along the last
+    /// dimension, level-major butterfly ids make them stage groups.
+    ///
+    /// `k` is clamped to the node count; panics on `k == 0` or an empty
+    /// graph.
+    pub fn contiguous(graph: &Graph, k: u32) -> Self {
+        Self::contiguous_aligned(graph, k, 1)
+    }
+
+    /// Like [`RegionPlan::contiguous`], but region boundaries fall only
+    /// on multiples of `align` nodes — e.g. `align = nodes/radix` turns
+    /// the ranges into whole coordinate planes of a mesh. Panics on
+    /// `align == 0` or when `align` does not divide the node count.
+    pub fn contiguous_aligned(graph: &Graph, k: u32, align: u32) -> Self {
+        let n = graph.num_nodes() as u32;
+        assert!(k >= 1, "need at least one region");
+        assert!(n >= 1, "cannot partition an empty graph");
+        assert!(align >= 1, "alignment must be >= 1");
+        assert!(
+            n.is_multiple_of(align),
+            "alignment {align} does not divide the node count {n}"
+        );
+        let blocks = n / align;
+        let k = k.min(blocks);
+        // Spread `blocks` blocks over `k` regions as evenly as possible
+        // (first `blocks % k` regions get one extra block).
+        let base = blocks / k;
+        let extra = blocks % k;
+        let mut node_region = Vec::with_capacity(n as usize);
+        for r in 0..k {
+            let b = base + u32::from(r < extra);
+            for _ in 0..b * align {
+                node_region.push(r);
+            }
+        }
+        debug_assert_eq!(node_region.len(), n as usize);
+        Self::from_node_regions(graph, node_region)
+    }
+
+    /// Builds a plan from an explicit node→region assignment. Panics
+    /// unless the assignment covers every node, uses a dense region id
+    /// range `0..k`, and leaves no region empty.
+    pub fn from_node_regions(graph: &Graph, node_region: Vec<u32>) -> Self {
+        assert_eq!(
+            node_region.len(),
+            graph.num_nodes(),
+            "assignment length must equal the node count"
+        );
+        assert!(!node_region.is_empty(), "cannot partition an empty graph");
+        let k = node_region.iter().copied().max().unwrap() + 1;
+        let mut seen = vec![false; k as usize];
+        for &r in &node_region {
+            seen[r as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "region ids must be dense: every region in 0..{k} must own a node"
+        );
+        let cross_edges = graph
+            .edges()
+            .filter(|&e| node_region[graph.src(e).idx()] != node_region[graph.dst(e).idx()])
+            .count() as u64;
+        Self {
+            num_regions: k,
+            node_region,
+            cross_edges,
+        }
+    }
+
+    /// Number of regions (≥ 1).
+    #[inline]
+    pub fn num_regions(&self) -> u32 {
+        self.num_regions
+    }
+
+    /// Region of each node, indexed by node id.
+    #[inline]
+    pub fn node_regions(&self) -> &[u32] {
+        &self.node_region
+    }
+
+    /// Number of edges whose endpoints lie in different regions.
+    #[inline]
+    pub fn cross_edges(&self) -> u64 {
+        self.cross_edges
+    }
+
+    /// Conservative lookahead in flit steps: the minimum time before an
+    /// event in one region can be observed by another. Every edge
+    /// crossing costs exactly one flit step in this model, so the bound
+    /// is 1 whenever any edge crosses the cut; with no cross edges the
+    /// regions are causally independent and the bound is `u64::MAX`.
+    #[inline]
+    pub fn lookahead(&self) -> u64 {
+        if self.cross_edges == 0 {
+            u64::MAX
+        } else {
+            1
+        }
+    }
+
+    /// Whether this plan was built for a graph of the same shape.
+    #[inline]
+    pub fn matches(&self, graph: &Graph) -> bool {
+        self.node_region.len() == graph.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, NodeId};
+
+    fn chain(n: u32) -> Graph {
+        let mut b = GraphBuilder::new(n as usize);
+        for v in 0..n - 1 {
+            b.add_edge(NodeId(v), NodeId(v + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn contiguous_balanced() {
+        let g = chain(10);
+        let p = RegionPlan::contiguous(&g, 3);
+        assert_eq!(p.num_regions(), 3);
+        // 10 = 4 + 3 + 3
+        assert_eq!(p.node_regions(), &[0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // Exactly the two edges 3->4 and 6->7 cross the cut.
+        assert_eq!(p.cross_edges(), 2);
+        assert_eq!(p.lookahead(), 1);
+        assert!(p.matches(&g));
+    }
+
+    #[test]
+    fn clamps_region_count_to_nodes() {
+        let g = chain(3);
+        let p = RegionPlan::contiguous(&g, 16);
+        assert_eq!(p.num_regions(), 3);
+        assert_eq!(p.node_regions(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn aligned_boundaries() {
+        let g = chain(12);
+        let p = RegionPlan::contiguous_aligned(&g, 3, 4);
+        assert_eq!(p.num_regions(), 3);
+        assert_eq!(p.node_regions()[3], 0);
+        assert_eq!(p.node_regions()[4], 1);
+        assert_eq!(p.node_regions()[8], 2);
+    }
+
+    #[test]
+    fn independent_regions_have_infinite_lookahead() {
+        // Two disjoint 2-chains: nodes 0->1 and 2->3.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        let p = RegionPlan::from_node_regions(&g, vec![0, 0, 1, 1]);
+        assert_eq!(p.cross_edges(), 0);
+        assert_eq!(p.lookahead(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn rejects_sparse_region_ids() {
+        let g = chain(4);
+        RegionPlan::from_node_regions(&g, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn rejects_misaligned() {
+        let g = chain(10);
+        RegionPlan::contiguous_aligned(&g, 2, 4);
+    }
+}

@@ -24,6 +24,7 @@ use wormhole_topology::graph::{Graph, NodeId};
 use wormhole_topology::hypercube::Hypercube;
 use wormhole_topology::mesh::{Mesh, RoutingDiscipline};
 use wormhole_topology::path::Path;
+use wormhole_topology::region::RegionPlan;
 
 /// A network with a dense endpoint space and an oblivious routing function.
 #[derive(Clone, Debug)]
@@ -185,6 +186,34 @@ impl Substrate {
         matches!(self, Substrate::Butterfly(_) | Substrate::Benes(_)) || src != dst
     }
 
+    /// A [`RegionPlan`] with (at most) `k` regions whose cuts respect
+    /// this substrate's geometry, for the partitioned parallel engine
+    /// (`wormhole_flitsim::config::Engine::Parallel`):
+    ///
+    /// * **mesh / torus** — region boundaries fall on whole coordinate
+    ///   planes of the last (highest-stride) dimension, so each region
+    ///   is a slab and only the slab-face channels (plus wraparound on
+    ///   tori) cross the cut;
+    /// * **butterfly / Beneš** — boundaries fall on whole levels
+    ///   (node ids are level-major), so regions are stage groups and
+    ///   only inter-stage channels cross;
+    /// * **hypercube** — plain contiguous index ranges (halving the id
+    ///   range splits on the top address bit, i.e. into subcubes).
+    ///
+    /// `k` is clamped to the number of alignable blocks; the plan is
+    /// never empty. Alignment only shapes the cut — any plan is correct,
+    /// aligned plans just minimize cross-region traffic.
+    pub fn region_plan(&self, k: u32) -> RegionPlan {
+        let g = self.graph();
+        let align = match self {
+            Substrate::Butterfly(bf) => bf.n_inputs(),
+            Substrate::Benes(bn) => bn.n(),
+            Substrate::Mesh(m) => m.num_nodes() / m.radix(),
+            Substrate::Hypercube(_) => 1,
+        };
+        RegionPlan::contiguous_aligned(g, k, align)
+    }
+
     /// Short human-readable name for tables.
     pub fn name(&self) -> String {
         match self {
@@ -243,6 +272,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn region_plans_respect_geometry() {
+        // Butterfly stages: k=3 → 16 nodes in 4 levels of 4; a 2-region
+        // plan cuts between levels, so only one level's out-channels
+        // (2·n_inputs wires after class-free dedup = 8 edges) cross.
+        let bf = Substrate::butterfly(2);
+        let p = bf.region_plan(2);
+        assert_eq!(p.num_regions(), 2);
+        assert_eq!(p.lookahead(), 1);
+        assert_eq!(p.cross_edges(), 2 * bf.endpoints() as u64);
+        // Torus slabs: 4x4 with k=4 → one row per region; every edge in
+        // the first dimension stays inside its slab.
+        let t = Substrate::torus_with(4, 2, RoutingDiscipline::DatelineClasses);
+        let p = t.region_plan(4);
+        assert_eq!(p.num_regions(), 4);
+        // k beyond the alignable block count clamps instead of panicking.
+        let p = t.region_plan(64);
+        assert_eq!(p.num_regions(), 4);
+        // Hypercube halves are subcubes.
+        let p = Substrate::hypercube(4).region_plan(2);
+        assert_eq!(p.num_regions(), 2);
+        assert_eq!(p.node_regions()[7], 0);
+        assert_eq!(p.node_regions()[8], 1);
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub fn write_trace<W: Write>(w: &mut W, rows: &[TraceRow]) -> io::Result<()> {
 /// Incremental trace reader: yields rows one at a time, enforcing the
 /// format (four decimal columns, non-decreasing releases) with
 /// line-numbered errors. Never buffers more than one line.
+///
+/// Every line — including the last — must end in a newline, as
+/// [`write_trace`] emits them: a final line missing its `\n` cannot be
+/// told apart from a file truncated mid-row, so it is a line-numbered
+/// [`io::ErrorKind::UnexpectedEof`] error, never a silently accepted
+/// partial row. An empty trace (zero bytes) is valid and yields no rows.
 pub struct TraceReader<R: BufRead> {
     inner: R,
     line_no: usize,
@@ -118,6 +124,20 @@ impl<R: BufRead> Iterator for TraceReader<R> {
             self.line_no += 1;
             match self.inner.read_line(&mut self.buf) {
                 Ok(0) => return None,
+                // A final line without its newline is indistinguishable
+                // from a trace cut off mid-row ("0 1 5 12" truncated to
+                // "0 1 5 1" still parses): reject it rather than
+                // silently replaying a corrupted tail.
+                Ok(_) if !self.buf.ends_with('\n') => {
+                    return Some(Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "trace line {}: truncated final line (missing trailing \
+                             newline; the trace may have been cut off mid-row)",
+                            self.line_no
+                        ),
+                    )));
+                }
                 Ok(_) => {}
                 Err(e) => return Some(Err(e)),
             }
@@ -312,6 +332,33 @@ mod tests {
         assert!(z.to_string().contains("zero-length"), "{z}");
         let x = read_trace(BufReader::new("0 1 0 2 9\n".as_bytes())).unwrap_err();
         assert!(x.to_string().contains("four columns"), "{x}");
+    }
+
+    #[test]
+    fn rejects_truncated_final_row_with_line_number() {
+        // "0 1 5 12" cut off after the first digit of `length`: the
+        // fragment parses as a complete row, so only the missing
+        // newline betrays the truncation.
+        let text = "0 1 0 2\n1 0 5 1";
+        let err = read_trace(BufReader::new(text.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("truncated"), "{msg}");
+        // Truncation mid-comment is just as suspect.
+        let c = read_trace(BufReader::new("# header".as_bytes())).unwrap_err();
+        assert_eq!(c.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn empty_trace_is_valid_and_yields_no_rows() {
+        let rows = read_trace(BufReader::new("".as_bytes())).unwrap();
+        assert!(rows.is_empty());
+        // Writer output round-trips even for zero rows: the header
+        // comment ends in a newline, so nothing is "truncated".
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert!(read_trace(BufReader::new(&buf[..])).unwrap().is_empty());
     }
 
     #[test]

@@ -1,24 +1,33 @@
-//! Differential oracle for the two full-bandwidth simulator engines.
+//! Differential test matrix for the three wormhole simulator engines.
 //!
 //! The event-driven engine (wait-queue wakeups, contention-free
-//! fast-forward, arithmetic stall accounting) must produce **bit-identical**
-//! [`SimResult`]s to the legacy per-step rescanning stepper — outcome,
-//! finish times, first moves, stalls, `flit_hops`, `max_vcs_in_use`, and
-//! deadlock reports included — on randomized workloads spanning shared
-//! chains, open-loop butterfly traffic, torus tornado batches (where
-//! the naive arm deadlocks and the dateline arm completes), and
-//! adaptive route selection on three-class escape tori (where route
-//! choice itself depends on VC occupancy).
+//! fast-forward, arithmetic stall accounting) and the partitioned
+//! parallel engine (per-region workers under conservative lookahead
+//! windows) must produce **bit-identical** [`SimResult`]s to the legacy
+//! per-step rescanning stepper — outcome, finish times, first moves,
+//! stalls, `flit_hops`, `max_vcs_in_use`, and deadlock reports included
+//! — on randomized workloads spanning shared chains, open-loop
+//! butterfly traffic, torus tornado batches (where the naive arm
+//! deadlocks and the dateline arm completes), and adaptive route
+//! selection on three-class escape tori (where route choice itself
+//! depends on VC occupancy).
+//!
+//! Configurations the parallel engine deliberately does not accept
+//! (adaptive routing, fault injection) must take the *documented*
+//! fallback: a sequential run flagged in `SimResult::engine_fallback`,
+//! still field-for-field identical to the sequential engines apart
+//! from that note.
 
 use proptest::prelude::*;
 
 use wormhole_flitsim::config::{Arbitration, Engine, SimConfig, VcPolicy};
 use wormhole_flitsim::message::specs_from_paths;
-use wormhole_flitsim::stats::{Outcome, SimResult};
+use wormhole_flitsim::stats::{EngineFallback, Outcome, SimResult};
 use wormhole_flitsim::wormhole;
 use wormhole_flitsim::MessageSpec;
 use wormhole_topology::graph::Graph;
 use wormhole_topology::random_nets::{shared_chain_instance, LeveledNet};
+use wormhole_topology::region::RegionPlan;
 use wormhole_workloads::{ArrivalProcess, RoutingDiscipline, Substrate, TrafficPattern, Workload};
 
 fn arbitration(i: u32) -> Arbitration {
@@ -55,10 +64,44 @@ fn degenerate_pooled(b: u32, max_fanout: u32) -> VcPolicy {
     VcPolicy::pooled(b * max_fanout.max(1), b, b)
 }
 
-fn run_both(graph: &Graph, specs: &[MessageSpec], config: &SimConfig) -> (SimResult, SimResult) {
+/// Runs all three engines and checks the full matrix: EventDriven ≡
+/// Legacy ≡ Parallel, field for field. The parallel arm must run
+/// natively (no fallback) — every config routed through here is in its
+/// supported set — and is exercised at 2 workers (the 1/2/8-worker
+/// sweep lives in `parallel_determinism.rs`).
+fn run_all(graph: &Graph, specs: &[MessageSpec], config: &SimConfig) -> (SimResult, SimResult) {
     let ev = wormhole::run(graph, specs, &config.clone().engine(Engine::EventDriven));
     let lg = wormhole::run(graph, specs, &config.clone().engine(Engine::Legacy));
+    let par = wormhole::run(
+        graph,
+        specs,
+        &config.clone().engine(Engine::Parallel { threads: 2 }),
+    );
+    assert!(
+        par.engine_fallback.is_none(),
+        "supported config unexpectedly fell back: {:?}",
+        par.engine_fallback
+    );
+    assert!(
+        par.same_execution(&lg),
+        "parallel diverged from legacy:\nparallel: {par:?}\n  legacy: {lg:?}"
+    );
     (ev, lg)
+}
+
+/// Runs the parallel engine on a config it must *not* accept and
+/// checks the documented contract: an explicit `engine_fallback` note
+/// and an otherwise field-for-field sequential result.
+fn assert_fallback(result: &SimResult, oracle: &SimResult, expect: EngineFallback) {
+    assert_eq!(
+        result.engine_fallback,
+        Some(expect),
+        "unsupported config must fall back explicitly, never silently"
+    );
+    assert!(
+        result.same_execution(oracle),
+        "fallback run diverged from its sequential oracle:\nfallback: {result:?}\n  oracle: {oracle:?}"
+    );
 }
 
 proptest! {
@@ -76,6 +119,7 @@ proptest! {
         arb in 0u32..4,
         stagger in 0u64..6,
         cap_small in proptest::bool::ANY,
+        regions in 1u32..6,
         seed in 0u64..1000,
     ) {
         let (g, ps) = shared_chain_instance(c, d);
@@ -92,11 +136,12 @@ proptest! {
         let mut cfg = SimConfig::new(vcs(b_idx))
             .arbitration(arbitration(arb))
             .seed(seed)
+            .regions(RegionPlan::contiguous(&g, regions))
             .check_invariants(true);
         if cap_small {
             cfg = cfg.max_steps((d + l) as u64);
         }
-        let (ev, lg) = run_both(&g, &specs, &cfg);
+        let (ev, lg) = run_all(&g, &specs, &cfg);
         prop_assert!(
             ev.same_execution(&lg),
             "chains diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
@@ -134,7 +179,7 @@ proptest! {
             .seed(seed ^ 0xabc)
             .max_steps(400)
             .check_invariants(true);
-        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        let (ev, lg) = run_all(substrate.graph(), &specs, &cfg);
         prop_assert!(
             ev.same_execution(&lg),
             "butterfly diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
@@ -152,6 +197,7 @@ proptest! {
         l in 2u32..8,
         rate_pct in 5u32..40,
         naive in proptest::bool::ANY,
+        regions in 1u32..9,
         seed in 0u64..1000,
     ) {
         let discipline = if naive {
@@ -171,9 +217,10 @@ proptest! {
         let cfg = SimConfig::new(vcs(b_idx))
             .arbitration(arbitration(seed as u32))
             .seed(seed)
+            .regions(RegionPlan::contiguous(substrate.graph(), regions))
             .max_steps(2_000)
             .check_invariants(true);
-        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        let (ev, lg) = run_all(substrate.graph(), &specs, &cfg);
         prop_assert!(
             ev.same_execution(&lg),
             "torus diverged ({discipline:?}):\n event: {:?}\nlegacy: {:?}", ev, lg
@@ -234,6 +281,14 @@ proptest! {
             ev.same_execution(&lg),
             "adaptive ({sel:?}) diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
         );
+        // The parallel engine does not accept adaptive routing: the run
+        // must land on the documented explicit fallback, never silently.
+        let par = wormhole::run_adaptive(
+            mesh,
+            &specs,
+            &cfg.clone().engine(Engine::Parallel { threads: 2 }),
+        );
+        assert_fallback(&par, &ev, EngineFallback::AdaptiveRouting);
         // Adaptive-escape runs can stall but never wedge.
         prop_assert!(!matches!(ev.outcome, Outcome::Deadlock(_)));
     }
@@ -270,7 +325,7 @@ proptest! {
         if cap_small {
             cfg = cfg.max_steps((d + l) as u64);
         }
-        let (ev, lg) = run_both(&g, &specs, &cfg);
+        let (ev, lg) = run_all(&g, &specs, &cfg);
         prop_assert!(
             ev.same_execution(&lg),
             "pooled chains ({policy:?}) diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
@@ -318,7 +373,7 @@ proptest! {
             .seed(seed)
             .max_steps(2_000)
             .check_invariants(true);
-        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        let (ev, lg) = run_all(substrate.graph(), &specs, &cfg);
         prop_assert!(
             ev.same_execution(&lg),
             "pooled torus diverged ({discipline:?}, {policy:?}):\n event: {:?}\nlegacy: {:?}",
@@ -389,6 +444,12 @@ proptest! {
             "pooled adaptive ({sel:?}, {policy:?}) diverged:\n event: {:?}\nlegacy: {:?}",
             ev, lg
         );
+        let par = wormhole::run_adaptive(
+            mesh,
+            &specs,
+            &cfg.clone().engine(Engine::Parallel { threads: 2 }),
+        );
+        assert_fallback(&par, &ev, EngineFallback::AdaptiveRouting);
         // Escape floors ≥ 1 keep pooled adaptive runs wedge-free.
         prop_assert!(!matches!(ev.outcome, Outcome::Deadlock(_)));
     }
@@ -462,7 +523,7 @@ proptest! {
         if discard {
             cfg = cfg.blocked(BlockedPolicy::Discard);
         }
-        let (ev, lg) = run_both(net.graph(), &specs, &cfg);
+        let (ev, lg) = run_all(net.graph(), &specs, &cfg);
         prop_assert!(
             ev.same_execution(&lg),
             "leveled diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
@@ -521,11 +582,20 @@ proptest! {
         if cap_small {
             cfg = cfg.max_steps(kill_at + 3);
         }
-        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        let ev = wormhole::run(substrate.graph(), &specs, &cfg.clone().engine(Engine::EventDriven));
+        let lg = wormhole::run(substrate.graph(), &specs, &cfg.clone().engine(Engine::Legacy));
         prop_assert!(
             ev.same_execution(&lg),
             "faulted butterfly diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
         );
+        // Fault injection is outside the parallel engine's supported
+        // set: explicit fallback, same execution as the oracle.
+        let par = wormhole::run(
+            substrate.graph(),
+            &specs,
+            &cfg.clone().engine(Engine::Parallel { threads: 2 }),
+        );
+        assert_fallback(&par, &ev, EngineFallback::FaultInjection);
         // A discarded worm frees everything it held; nothing may both
         // finish and be discarded.
         prop_assert_eq!(
@@ -563,6 +633,7 @@ proptest! {
         );
         let specs = w.generate(100);
         let plan = FaultPlan::bernoulli_channels(mesh, fault_pct as f64 / 100.0, 80, seed ^ 0xdead);
+        let plan_empty = plan.is_empty();
         let mut cfg = SimConfig::new(2)
             .arbitration(arbitration(seed as u32))
             .seed(seed)
@@ -577,11 +648,26 @@ proptest! {
                 cap_idx,
             ));
         }
-        let (ev, lg) = run_both(substrate.graph(), &specs, &cfg);
+        let ev = wormhole::run(substrate.graph(), &specs, &cfg.clone().engine(Engine::EventDriven));
+        let lg = wormhole::run(substrate.graph(), &specs, &cfg.clone().engine(Engine::Legacy));
         prop_assert!(
             ev.same_execution(&lg),
             "faulted torus diverged (pooled={pooled}):\n event: {:?}\nlegacy: {:?}", ev, lg
         );
+        // A Bernoulli draw can come up empty; an empty plan is a supported
+        // config, so the parallel engine runs it natively — otherwise it
+        // must name the fault-injection fallback.
+        let par = wormhole::run(
+            substrate.graph(),
+            &specs,
+            &cfg.clone().engine(Engine::Parallel { threads: 2 }),
+        );
+        if plan_empty {
+            prop_assert!(par.engine_fallback.is_none());
+            prop_assert!(par.same_execution(&lg));
+        } else {
+            assert_fallback(&par, &ev, EngineFallback::FaultInjection);
+        }
         // Kills only remove wait-for dependencies; the dateline argument
         // still covers every survivor.
         prop_assert!(
@@ -640,6 +726,14 @@ proptest! {
             ev.same_execution(&lg),
             "faulted adaptive ({sel:?}) diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
         );
+        // Adaptive routing is checked before faults in the fallback
+        // precedence, so the note names the routing policy here.
+        let par = wormhole::run_adaptive(
+            &fm,
+            &specs,
+            &cfg.clone().engine(Engine::Parallel { threads: 2 }),
+        );
+        assert_fallback(&par, &ev, EngineFallback::AdaptiveRouting);
         // The faulted escape subnetwork is still acyclic, so adaptive
         // traffic on the broken torus must never wedge.
         prop_assert!(
