@@ -1,0 +1,66 @@
+//! Strong scaling of the partitioned parallel engine: tornado batches
+//! on small and large dateline tori at 1 / 2 / 4 workers, with the two
+//! sequential engines as baselines on the same batch.
+//!
+//! This measures the engine outside the experiment harness: the x13
+//! sweep times whole sweeps (and asserts bit-identity per point); here
+//! criterion isolates a single run per configuration so thread-count
+//! and torus-size effects are separable. The tornado pattern travels
+//! only in dimension 0 while the region plan slabs the last dimension,
+//! so no route crosses a cut and the plan-aware lookahead lets the
+//! post-injection drain run barrier-free — the best case for the
+//! windowed engine, and exactly the x13 configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wormhole_flitsim::config::{Engine, SimConfig};
+use wormhole_flitsim::wormhole;
+use wormhole_flitsim::MessageSpec;
+use wormhole_workloads::{ArrivalProcess, RoutingDiscipline, Substrate, TrafficPattern, Workload};
+
+const MSG_LEN: u32 = 8;
+const REGIONS: u32 = 8;
+
+/// One tornado batch on a dateline torus, x13-style.
+fn tornado_batch(radix: u32, msgs: u64) -> (Substrate, Vec<MessageSpec>, SimConfig) {
+    let substrate = Substrate::torus_with(radix, 2, RoutingDiscipline::DatelineClasses);
+    let w = Workload::new(
+        substrate.clone(),
+        TrafficPattern::Tornado,
+        ArrivalProcess::bernoulli(0.35),
+        MSG_LEN,
+        9 + radix as u64,
+    );
+    let specs = w.generate(msgs);
+    let plan = substrate.region_plan(REGIONS);
+    let cfg = SimConfig::new(2).seed(13).regions(plan);
+    (substrate, specs, cfg)
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    for (label, radix, msgs) in [("small", 6u32, 150u64), ("large", 16, 400)] {
+        let (substrate, specs, cfg) = tornado_batch(radix, msgs);
+        let mut group = c.benchmark_group(format!("parallel_tornado_{label}"));
+        group.sample_size(10);
+        for (ename, engine) in [("event", Engine::EventDriven), ("legacy", Engine::Legacy)] {
+            group.bench_function(ename, |bch| {
+                let cfg = cfg.clone().engine(engine);
+                bch.iter(|| wormhole::run(substrate.graph(), &specs, &cfg))
+            });
+        }
+        for threads in [1u32, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("parallel", threads),
+                &threads,
+                |bch, &t| {
+                    let cfg = cfg.clone().engine(Engine::Parallel { threads: t });
+                    bch.iter(|| wormhole::run(substrate.graph(), &specs, &cfg))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -7,55 +7,91 @@
 //! one region, and each region is advanced on its own worker thread.
 //! Workers synchronize on conservative time windows in the
 //! Chandy–Misra style: a region may run ahead only as far as the
-//! earliest instant a neighboring region could influence it. A header
-//! crosses one edge per flit step in this model, so any plan with a
-//! cross-region edge has a lookahead of exactly one step
-//! ([`RegionPlan::lookahead`]) and the windows collapse to lockstep
-//! supersteps — which is what turns "approximately the same result"
-//! into a provable bit-identity with the sequential engines.
+//! earliest instant it could influence (or be influenced by) a
+//! neighbor. Unlike the global lookahead-1 bound — which collapses the
+//! windows to lockstep supersteps — the window grant here is
+//! *plan-aware and per-worm*: [`RegionPlan::distance_to_cut`] gives the
+//! minimum number of flit steps before a header at node `v` can
+//! traverse a cross-region edge, and [`worm_bound`] refines that to the
+//! exact worm population (a drain whose held edges are all local can
+//! never influence another region again; an in-flight worm whose
+//! remaining path stays inside its region is bounded only by the next
+//! admission). The coordinator takes the minimum over the populated
+//! regions, caps it at the next message release and the step cap, and
+//! broadcasts one *window* `[t, t + w)`; each worker then runs its
+//! regions through the whole window without any synchronization — a
+//! null-message-style window grant.
 //!
-//! # Why the superstep is exactly the sequential step
+//! # Why a window is exactly the sequential steps it replaces
 //!
-//! Within one window each region runs the same classify → arbitrate →
-//! apply phases as [`Sim::step_full_bandwidth`], over the worms
-//! *resident* in it (a worm resides in the region owning its next
-//! wanted edge; draining worms stay where they finished acquiring).
-//! The phases only read and write state the region owns:
+//! Within a window each region runs the same classify → arbitrate →
+//! apply phases as [`Sim::step_full_bandwidth`], one step at a time,
+//! over the worms *resident* in it (a worm resides in the region owning
+//! its next wanted edge; draining worms stay where they finished
+//! acquiring; a pending adaptive worm resides in its head node's
+//! region). The grant construction guarantees that for every step of
+//! the window strictly before the last, every acquire, release, and
+//! candidate/arbitration read touches only region-owned state:
 //!
-//! * **Arbitration** reads start-of-step holder counts of owned edges.
-//!   All out-edges of a router share its region, so even the pooled
-//!   policy's shared-credit accounting (ascending-edge-id grant order)
-//!   is region-local. Contenders are ordered by the same canonical
-//!   keys as [`order_contenders`] — message id, `(release, id)`,
-//!   `(priority, id)`, or the stateless per-`(seed, step, edge)`
-//!   shuffle — so each edge's winner set is engine-independent.
-//! * **Acquisitions** are always local: a winner's wanted edge is in
-//!   its resident region by definition.
-//! * **Releases** (tail leaving an edge, final-edge release, discard)
-//!   may target an edge owned by another region; those are buffered in
-//!   a per-region outbox and applied by the coordinator *between*
-//!   supersteps — visible at `t + 1`, exactly the visibility a
-//!   sequential mid-step release has on the next step's arbitration.
+//! * **Held edges**: a worm holding a foreign edge caps its bound at 1,
+//!   so multi-step windows only ever contain worms whose held — and
+//!   therefore releasable — edges are all local.
+//! * **Oblivious worms** advance at most one hop per step, so a worm
+//!   whose first foreign path edge sits `j` hops past its head cannot
+//!   contend for it before relative step `j − 1` — the last step of a
+//!   `j − 1`-step window, where crossing it is exactly the handoff the
+//!   coordinator applies at the boundary.
+//! * **Pending adaptive worms** contend only for out-edges of their
+//!   head node, all owned by the head's region; by
+//!   [`RegionPlan::distance_to_cut`] the head cannot reach a foreign
+//!   node in fewer steps than the granted window, and any escape tail
+//!   committed mid-window is itself a walk from the head, so its
+//!   in-window prefix stays local too.
+//!
+//! Because regions are mutually invisible inside a window, the
+//! sequential engines' accelerations apply verbatim *per region*.
+//! Each region keeps a **per-region event queue**: a worm that loses
+//! arbitration under [`BlockedPolicy::Stall`] and whose wanted edge is
+//! still full at the end of the step *parks* on that edge's wait key
+//! (the edge itself, or the source router under pooling — the event
+//! engine's parking discipline, applied region-locally). A parked worm
+//! is skipped by the step loop — its edge provably stays full until a
+//! release on its key, so skipping is behavior-free — and its stall
+//! counts settle arithmetically at wake (`t − parked_at`), making the
+//! per-step cost proportional to movers and wakeups, not residents.
+//! When every runnable resident is draining and the queue is empty,
+//! the region batch-advances them with [`Sim::fast_drain`]'s
+//! closed-form release/flit-hop formulas; and when a step moves
+//! nothing the region is *frozen* — provably identical until the
+//! window ends (releases only come from moves, and nothing external
+//! arrives mid-window) — so it stops stepping and the coordinator tops
+//! up the skipped stall counts afterwards. A region whose worms all
+//! retire simply stops. An all-regions-frozen window reproduces the
+//! sequential deadlock verdict at the exact step the last region
+//! froze.
 //!
 //! Between windows the coordinator merges outboxes in region-index
-//! order, applies remote releases, samples `max_vcs_in_use` /
-//! `max_pool_in_use` from the post-release (end-of-step) counts like
-//! [`Sim::settle_max_vcs`], retires finished/discarded worms into the
-//! per-id outcome table, and migrates worms whose next wanted edge
-//! moved across the cut. Every cross-region effect is either
-//! commutative (holder increments/decrements, flit-hop sums) or
-//! canonically ordered (completion callbacks are flushed sorted by
-//! `(time, id)` as always), so the result is byte-identical for every
-//! worker count and every valid plan.
+//! order: remote releases (possible only in one-step windows, where a
+//! worm may hold a foreign edge) land before the occupancy maxima are
+//! sampled, finished/discarded worms retire into the per-id outcome
+//! table (their completion callbacks flushed in canonical `(time, id)`
+//! order, as always), and worms whose next wanted edge crossed the cut
+//! migrate. Admissions happen at window starts only — the grant never
+//! extends past the source's next release, and a reactive source pins
+//! the window to one step. Every cross-region effect is therefore
+//! either commutative or canonically ordered, and the result is
+//! byte-identical for every worker count and every valid plan.
 //!
 //! # Accepted configurations and the explicit fallback
 //!
 //! The engine accepts static and pooled VC policies, every arbitration
-//! and blocked policy, and oblivious routing under the full-bandwidth
-//! model. Configurations whose step semantics are inherently global —
-//! adaptive routing (hop selection reads remote occupancy mid-step),
-//! fault injection, the restricted one-flit-per-step model, and event
-//! tracing — run on a sequential engine instead, reported in
+//! and blocked policy, oblivious *and* adaptive (`MinimalAdaptive` /
+//! `FullyAdaptive`) routing under the full-bandwidth model. Adaptive
+//! hop selection is region-local by construction: candidates are
+//! out-edges of the pending head, whose occupancies the resident region
+//! owns. The remaining fallbacks are fault plans (kills apply globally
+//! at start-of-step), the restricted one-flit-per-step model, and event
+//! tracing — those run on a sequential engine instead, reported in
 //! [`SimResult::engine_fallback`](crate::stats::SimResult); see
 //! [`EngineFallback`](crate::stats::EngineFallback). The dispatch
 //! never falls back silently.
@@ -69,12 +105,16 @@ use std::sync::{Barrier, Mutex};
 
 use rand::prelude::*;
 
+use wormhole_topology::adaptive::AdaptiveRouter;
+use wormhole_topology::graph::{EdgeId, Graph, NodeId};
 use wormhole_topology::region::RegionPlan;
 
-use crate::config::{Arbitration, BlockedPolicy, FinalEdgePolicy, SimConfig, VcPolicy};
+use crate::config::{
+    Arbitration, BlockedPolicy, FinalEdgePolicy, RouteSelection, SimConfig, VcPolicy,
+};
 use crate::events::DeadlockReport;
 use crate::stats::{DiscardReason, MessageOutcome, Outcome};
-use crate::wormhole::{arb_rng, FlatBuckets, Sim, Worm};
+use crate::wormhole::{arb_rng, FlatBuckets, SelectedHop, Sim, Worm};
 
 /// Default region count when [`SimConfig::regions`] is `None`
 /// (clamped to the node count by [`RegionPlan::contiguous`]).
@@ -83,18 +123,28 @@ use crate::wormhole::{arb_rng, FlatBuckets, Sim, Worm};
 const DEFAULT_REGIONS: u32 = 8;
 
 /// Immutable per-run lookup state shared by the coordinator and every
-/// worker: the configuration, the region layout, and the VC-policy
-/// decomposition. Borrowing this never conflicts with the
-/// coordinator's `&mut Sim` — everything is copied out of the [`Sim`]
-/// (or borrows only the config, whose lifetime outlives the run).
+/// worker: the configuration, the region layout, the lookahead matrix,
+/// and the VC-policy decomposition. Borrowing this never conflicts with
+/// the coordinator's `&mut Sim` — everything is copied out of the
+/// [`Sim`] or borrows run-outliving state (config, graph, router).
 struct Ctx<'a> {
     config: &'a SimConfig,
+    graph: &'a Graph,
     /// Edge → source-router index (`graph.edge_sources()` copy).
     edge_src: Vec<u32>,
+    /// Edge → destination-node index.
+    edge_dst: Vec<u32>,
     /// Edge → owning region (= region of the source router).
     edge_region: Vec<u32>,
     /// Node → owning region ([`RegionPlan::node_regions`] copy).
     node_region: Vec<u32>,
+    /// Node → minimum flit steps before a header there can traverse a
+    /// cross-region edge ([`RegionPlan::distance_to_cut`]).
+    dist_to_cut: Vec<u64>,
+    /// Adaptive routing only: the shared hop-selection router.
+    router: Option<&'a dyn AdaptiveRouter>,
+    /// Adaptive routing only: `FullyAdaptive` (misroutes allowed).
+    fully: bool,
     /// Pooled only: each router's shared-portion capacity.
     shared_cap: Vec<u32>,
     pooled: bool,
@@ -133,9 +183,14 @@ impl<'a> Ctx<'a> {
             .collect();
         Ctx {
             config,
+            graph,
             edge_src: graph.edge_sources().to_vec(),
+            edge_dst: graph.edges().map(|e| graph.dst(e).0).collect(),
             edge_region,
             node_region,
+            dist_to_cut: plan.distance_to_cut(graph),
+            router: sim.adaptive.as_ref().map(|ad| ad.router),
+            fully: config.route_selection == RouteSelection::FullyAdaptive,
             shared_cap,
             pooled,
             per_edge_min,
@@ -147,15 +202,15 @@ impl<'a> Ctx<'a> {
 }
 
 /// Whether crossing 1-based path edge `edge_1based` requires a VC —
-/// [`Sim::needs_vc`] for the oblivious worms this engine accepts.
+/// [`Sim::needs_vc`] over the region-resident worm copy.
 #[inline]
 fn needs_vc(ctx: &Ctx, w: &Worm, edge_1based: u32) -> bool {
     edge_1based < w.hops || w.pending_route || ctx.config.final_edge == FinalEdgePolicy::RequiresVc
 }
 
 /// A worm resident in a region: the rigid-worm kinematics plus
-/// everything the region needs to arbitrate and retire it without
-/// touching shared per-id tables (those are written once, at
+/// everything the region needs to arbitrate, route, and retire it
+/// without touching shared per-id tables (those are written once, at
 /// retirement or write-back, by the coordinator).
 struct RWorm {
     /// Message id.
@@ -165,22 +220,125 @@ struct RWorm {
     release: u64,
     /// Spec priority (the `PriorityRank` arbitration key).
     priority: u32,
-    /// The full path as global edge ids (copied at admission — worms
-    /// migrate between regions, specs don't).
-    path: Box<[u32]>,
+    /// The route as global edge ids (copied at admission — worms
+    /// migrate between regions, specs don't). Grows hop by hop while
+    /// `pending_route` is set.
+    path: Vec<u32>,
+    /// Injection node (adaptive head position at `advance == 0`).
+    src: u32,
+    /// Destination node (adaptive arrival test).
+    dst: u32,
+    /// Remaining misroute budget (`FullyAdaptive`).
+    budget: u32,
+    /// This step's wanted-hop selection (pending worms only).
+    selected: SelectedHop,
     /// The per-message outcome, carried with the worm and written back
     /// to `Sim::outcomes` at retirement / run end.
     out: MessageOutcome,
     /// Retired (finished or discarded) this step; dropped by the sweep.
     gone: bool,
+    /// Blocked on a provably full edge this step; the sweep moves it to
+    /// the region's wait queue instead of the runnable list.
+    park: bool,
+    /// Cached "[`worm_bound`] is `u64::MAX`": set by the coordinator at
+    /// admission/handoff for a non-pending worm whose held and future
+    /// path edges are all region-local. Absorbing while resident — held
+    /// edges only march forward along the (fixed, all-local) path — so
+    /// the hot park/window-end paths skip the O(path) rescan.
+    local_path: bool,
+}
+
+impl RWorm {
+    /// The head's current node (pending worms: where selection runs).
+    #[inline]
+    fn head_node(&self, ctx: &Ctx) -> usize {
+        if self.worm.advance == 0 {
+            self.src as usize
+        } else {
+            ctx.edge_dst[self.path[self.worm.advance as usize - 1] as usize] as usize
+        }
+    }
+}
+
+/// How many steps worm `rw`, resident in region `home`, can run before
+/// it could first touch (acquire, release, or contend for) an edge
+/// owned by another region — the per-worm refinement of the plan's
+/// lookahead, and the quantity the window grant minimizes over.
+///
+/// * Any *held* foreign edge caps the bound at 1: its release may need
+///   to cross the cut on the very next step.
+/// * A pending adaptive head only contends for out-edges of its current
+///   node, so it is bounded by [`RegionPlan::distance_to_cut`] — it
+///   cannot stand on a foreign node (or commit a route prefix leaving
+///   the region) any sooner.
+/// * A draining worm only releases held (hence local) edges: unbounded.
+/// * An in-flight oblivious worm advances one hop per step, so its
+///   first foreign path edge at 1-based index `j` cannot be contended
+///   before relative step `j − 1 − advance`.
+fn worm_bound(ctx: &Ctx, rw: &RWorm, home: u32) -> u64 {
+    let w = &rw.worm;
+    let (lo, hi) = w.held_range();
+    for j in lo..=hi {
+        if needs_vc(ctx, w, j) && ctx.edge_region[rw.path[j as usize - 1] as usize] != home {
+            return 1;
+        }
+    }
+    if w.pending_route {
+        return ctx.dist_to_cut[rw.head_node(ctx)].max(1);
+    }
+    if w.advance >= w.hops {
+        return u64::MAX;
+    }
+    debug_assert_eq!(
+        ctx.edge_region[rw.path[w.advance as usize] as usize], home,
+        "resident worm's next wanted edge is foreign"
+    );
+    for j in (w.advance + 2)..=w.hops {
+        if ctx.edge_region[rw.path[j as usize - 1] as usize] != home {
+            return (j - 1 - w.advance) as u64;
+        }
+    }
+    u64::MAX
+}
+
+/// No waiter — the wait-queue chain terminator.
+const NONE: u32 = u32::MAX;
+
+/// The park/wake key for a worm blocked on edge `e` —
+/// [`Sim::wait_key`]'s rule over the region copy: the edge itself
+/// under the static policy (only a release there can unblock it), the
+/// source router under pooling (a release on any sibling edge can
+/// return shared credit). Both live in the blocked worm's own region:
+/// the wanted edge defines residency, and an edge's region is its
+/// source router's.
+#[inline]
+fn wait_key(ctx: &Ctx, e: usize) -> usize {
+    if ctx.pooled {
+        ctx.edge_src[e] as usize
+    } else {
+        e
+    }
+}
+
+/// A slab entry in a region's wait queue: a parked worm plus the
+/// intrusive chain link. `rw == None` marks a free slot.
+struct ParkSlot {
+    rw: Option<RWorm>,
+    /// The step the worm parked at (its stall for that step is already
+    /// counted); a wake at `t` settles the skipped steps arithmetically
+    /// as `t - parked_at`.
+    parked_at: u64,
+    /// Next slot waiting on the same key, or [`NONE`].
+    next: u32,
 }
 
 /// A completed or discarded worm, handed to the coordinator.
 struct Retired {
     id: u32,
-    /// Final `advance` (makes `Worm::done` true for delivered worms
-    /// once written back).
-    advance: u32,
+    /// Final kinematics (makes `Worm::done` true for delivered worms
+    /// once written back; adaptive worms also carry their final `hops`
+    /// and cleared `pending_route`).
+    worm: Worm,
     /// Completion time: `t + 1` for deliveries, `t` for discards —
     /// the same stamps the sequential engines record.
     time: u64,
@@ -192,7 +350,7 @@ struct Retired {
 /// routers (full-size arrays indexed by *global* ids — foreign entries
 /// stay zero, so ascending local edge order is ascending global order
 /// for free), its resident worms, per-step scratch, and the outboxes
-/// the coordinator drains between supersteps.
+/// the coordinator drains between windows.
 struct Region {
     idx: u32,
     holders: Vec<u16>,
@@ -211,17 +369,55 @@ struct Region {
     blocked: Vec<u32>,
     /// Global edge ids acquired this step (drained by `settle_max`).
     acquired: Vec<u32>,
-    /// Outbox: releases targeting edges owned by other regions.
+    /// Candidate scratch for adaptive hop selection.
+    cand: Vec<(EdgeId, bool)>,
+    /// Outbox: releases targeting edges owned by other regions (only
+    /// possible in one-step windows).
     remote_releases: Vec<u32>,
     /// Outbox: worms whose next wanted edge crossed the cut.
     handoffs: Vec<(u32, RWorm)>,
-    /// Outbox: worms that finished or were discarded this step.
+    /// Outbox: worms that finished or were discarded this window.
     retired: Vec<Retired>,
+    /// The per-region event queue: worms blocked on a full edge under
+    /// [`BlockedPolicy::Stall`] park here (slab + per-key intrusive
+    /// chains) instead of re-contending every step, exactly as in the
+    /// sequential event engine — a parked worm's edge stays full until
+    /// a release on its wait key, so skipping it is behavior-free and
+    /// the per-step cost drops from all residents to movers + wakeups.
+    park_slab: Vec<ParkSlot>,
+    /// Free slots in `park_slab`.
+    free_slots: Vec<u32>,
+    /// Head slot of each wait key's chain ([`NONE`] = no waiters).
+    /// Keyed by global edge id (static) or router id (pooled); blocked
+    /// worms only ever wait on region-owned keys.
+    waiter_head: Vec<u32>,
+    /// Live entries in `park_slab`.
+    n_parked: usize,
+    /// Wait keys released since the last wake pass.
+    released_keys: Vec<u32>,
+    /// Running minimum [`worm_bound`] over the parked population
+    /// (monotone while any worm stays parked; reset when the queue
+    /// empties). Folding this into `safe` keeps the window grant sound
+    /// without rescanning parked worms — conservative after wakes.
+    parked_safe: u64,
     /// Whether any resident worm advanced this step.
     moved: bool,
+    /// `1 + `the last in-window step that moved a resident (0 = none).
+    last_move_plus1: u64,
+    /// First in-window step at which the region froze (nothing moved
+    /// under [`BlockedPolicy::Stall`] with residents left); `u64::MAX`
+    /// when it did not freeze. Frozen steps skip their stall counting —
+    /// the coordinator tops it up from this mark.
+    static_from: u64,
+    /// Window grant: how far the residents can run before touching a
+    /// cross edge (minimum [`worm_bound`]; refreshed at window end and
+    /// tightened by the coordinator on every handoff/admission).
+    safe: u64,
     max_vcs: u16,
     max_pool: u32,
     flit_hops: u64,
+    escape_fallbacks: u64,
+    misroute_hops: u64,
 }
 
 /// Orders contender *indices* into `worms` by the canonical
@@ -270,13 +466,32 @@ impl Region {
             movers: Vec::new(),
             blocked: Vec::new(),
             acquired: Vec::new(),
+            cand: Vec::new(),
             remote_releases: Vec::new(),
             handoffs: Vec::new(),
             retired: Vec::new(),
+            park_slab: Vec::new(),
+            free_slots: Vec::new(),
+            waiter_head: vec![
+                NONE;
+                if ctx.pooled {
+                    ctx.num_nodes
+                } else {
+                    ctx.num_edges
+                }
+            ],
+            n_parked: 0,
+            released_keys: Vec::new(),
+            parked_safe: u64::MAX,
             moved: false,
+            last_move_plus1: 0,
+            static_from: u64::MAX,
+            safe: u64::MAX,
             max_vcs: 0,
             max_pool: 0,
             flit_hops: 0,
+            escape_fallbacks: 0,
+            misroute_hops: 0,
         }
     }
 
@@ -310,8 +525,10 @@ impl Region {
     }
 
     /// Releases one VC on `e`: locally if this region owns the edge,
-    /// otherwise via the outbox (applied between supersteps — the
-    /// `t + 1` visibility every sequential mid-step release has).
+    /// otherwise via the outbox (applied between windows — the `t + 1`
+    /// visibility every sequential mid-step release has). Foreign
+    /// releases imply a held foreign edge, whose 1-step [`worm_bound`]
+    /// guarantees the window was a single step.
     #[inline]
     fn release(&mut self, ctx: &Ctx, e: usize) {
         if ctx.edge_region[e] == self.idx {
@@ -322,7 +539,9 @@ impl Region {
     }
 
     /// [`Sim::release_vc`] on an owned edge (also the coordinator's
-    /// entry point for applying another region's outbox entry).
+    /// entry point for applying another region's outbox entry). Records
+    /// the wait key so the next [`Self::wake_parked`] pass can unpark
+    /// the waiters the release may have unblocked.
     #[inline]
     fn release_local(&mut self, ctx: &Ctx, e: usize) {
         let h = self.holders[e];
@@ -332,10 +551,339 @@ impl Region {
         if ctx.pooled && h as u32 > ctx.per_edge_min {
             self.shared_used[r] -= 1;
         }
+        self.released_keys.push(wait_key(ctx, e) as u32);
     }
 
-    /// One superstep over the resident worms: the classify → arbitrate
-    /// → apply phases of [`Sim::step_full_bandwidth`], ending with the
+    /// Whether any worm still lives in this region — runnable or
+    /// parked. Parked worms are invisible to the step loop but fully
+    /// resident: they hold VCs, pin the window grant, and count as
+    /// active for termination.
+    #[inline]
+    fn has_residents(&self) -> bool {
+        !self.worms.is_empty() || self.n_parked > 0
+    }
+
+    /// Moves `rw`, blocked at step `t` on its (provably full) wanted
+    /// edge, onto the wait queue. Its stall for step `t` is already
+    /// counted; the skipped steps settle arithmetically at wake.
+    fn park_worm(&mut self, ctx: &Ctx, mut rw: RWorm, t: u64) {
+        rw.park = false;
+        if !rw.local_path {
+            self.parked_safe = self.parked_safe.min(worm_bound(ctx, &rw, self.idx));
+        }
+        let e = rw.path[rw.worm.advance as usize] as usize;
+        let key = wait_key(ctx, e);
+        let next = self.waiter_head[key];
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.park_slab[s as usize] = ParkSlot {
+                    rw: Some(rw),
+                    parked_at: t,
+                    next,
+                };
+                s
+            }
+            None => {
+                self.park_slab.push(ParkSlot {
+                    rw: Some(rw),
+                    parked_at: t,
+                    next,
+                });
+                (self.park_slab.len() - 1) as u32
+            }
+        };
+        self.waiter_head[key] = slot;
+        self.n_parked += 1;
+    }
+
+    /// Wakes every waiter of every key released during step `t` (or,
+    /// on the coordinator's call in one-step windows, released by a
+    /// remote worm during that window's step). A woken worm's skipped
+    /// stalls settle as `t - parked_at` — it was provably blocked at
+    /// every one of those steps, its edge being full throughout — and
+    /// it re-contends at `t + 1`, exactly when the release becomes
+    /// visible sequentially. Waking is conservative: a still-blocked
+    /// worm re-parks after its next (stall-counted) step.
+    fn wake_parked(&mut self, _ctx: &Ctx, t: u64) {
+        if self.n_parked == 0 {
+            self.released_keys.clear();
+            return;
+        }
+        while let Some(k) = self.released_keys.pop() {
+            let mut slot = self.waiter_head[k as usize];
+            self.waiter_head[k as usize] = NONE;
+            while slot != NONE {
+                let s = &mut self.park_slab[slot as usize];
+                let next = s.next;
+                let mut rw = s.rw.take().expect("free slot on a waiter chain");
+                rw.out.stalls += t - s.parked_at;
+                self.free_slots.push(slot);
+                self.n_parked -= 1;
+                self.worms.push(rw);
+                slot = next;
+            }
+        }
+        if self.n_parked == 0 {
+            self.parked_safe = u64::MAX;
+        }
+    }
+
+    /// Returns every parked worm to the runnable list with its stalls
+    /// settled through step `through` — the run is ending (deadlock or
+    /// step cap) and the sequential engines count a stall for each of
+    /// those steps.
+    fn settle_parked(&mut self, through: u64) {
+        if self.n_parked == 0 {
+            return;
+        }
+        for slot in &mut self.park_slab {
+            if let Some(mut rw) = slot.rw.take() {
+                rw.out.stalls += through.saturating_sub(slot.parked_at);
+                self.worms.push(rw);
+            }
+        }
+        for h in &mut self.waiter_head {
+            *h = NONE;
+        }
+        self.park_slab.clear();
+        self.free_slots.clear();
+        self.n_parked = 0;
+        self.parked_safe = u64::MAX;
+    }
+
+    /// Whether every resident is draining (`advance ≥ hops`, route
+    /// frozen) — the trigger for the closed-form fast-forward.
+    fn all_draining(&self) -> bool {
+        self.worms
+            .iter()
+            .all(|w| !w.worm.pending_route && w.worm.advance >= w.worm.hops)
+    }
+
+    /// Runs this region through the window `[t0, end)` without touching
+    /// any other region's state: per-step classify → arbitrate → apply
+    /// while interaction is possible, the all-draining closed form when
+    /// it is not, and an early stop once the region is provably static
+    /// (frozen) or empty. Refreshes the `safe` grant for the next
+    /// window on the way out.
+    fn run_window(&mut self, ctx: &Ctx, t0: u64, end: u64) {
+        self.static_from = u64::MAX;
+        self.last_move_plus1 = 0;
+        // Multi-step windows are interaction-free, so the end-of-step
+        // occupancy sample is exact locally; one-step windows keep the
+        // coordinator's settle (remote releases may still land).
+        let local_settle = end - t0 > 1;
+        let mut t = t0;
+        while t < end {
+            if self.worms.is_empty() {
+                // Runnable empty with worms still parked: every parked
+                // worm waits on a full edge, and local releases only
+                // come from local moves — none can happen. Static from
+                // here (only a cross-region release could wake anyone,
+                // and that is a between-windows event).
+                if self.n_parked > 0 {
+                    self.static_from = t;
+                }
+                break;
+            }
+            if local_settle && self.n_parked == 0 && self.all_draining() {
+                self.fast_drain_all(ctx, t, end);
+                break;
+            }
+            self.step(ctx, t);
+            if self.moved {
+                self.last_move_plus1 = t + 1;
+            }
+            if local_settle {
+                self.settle_max(ctx);
+            }
+            if !self.moved
+                && ctx.config.blocked == BlockedPolicy::Stall
+                && (self.n_parked > 0 || !self.worms.is_empty())
+            {
+                // Frozen: releases only come from moves and nothing
+                // external arrives mid-window, so every remaining step
+                // of the window repeats this one exactly. Stop stepping;
+                // the coordinator tops up the skipped stall counts (the
+                // runnable residents'; parked worms settle at wake).
+                self.static_from = t;
+                break;
+            }
+            t += 1;
+        }
+        let mut safe = self.parked_safe;
+        for w in &self.worms {
+            if !w.local_path {
+                safe = safe.min(worm_bound(ctx, w, self.idx));
+            }
+        }
+        self.safe = safe;
+    }
+
+    /// Batch-advances an all-draining population from `t` to `end` (or
+    /// each worm's finish, whichever is first) — [`Sim::fast_drain`]'s
+    /// closed-form flit-hop sum and tail-release sequence, applied
+    /// region-locally. Safe because drains acquire nothing and only
+    /// release held edges, which the window grant proved local (except
+    /// in one-step windows, where `release` falls back to the outbox).
+    fn fast_drain_all(&mut self, ctx: &Ctx, t: u64, end: u64) {
+        debug_assert!(t < end);
+        debug_assert_eq!(self.n_parked, 0, "fast drain with a populated wait queue");
+        for wi in 0..self.worms.len() {
+            let (hops, length, a0) = {
+                let w = &self.worms[wi].worm;
+                (w.hops, w.length, w.advance)
+            };
+            let fin_a = hops + length - 1;
+            let k = ((fin_a - a0) as u64).min(end - t);
+            debug_assert!(k > 0, "a finished worm survived the sweep");
+            let a1 = a0 + k as u32;
+            // flit_hops: Σ width(a) for a ∈ (a0, a1]; width(a) = hops
+            // while a ≤ L (the tail is still injecting), hops + L − a
+            // after.
+            {
+                let (d, l) = (hops as u64, length as u64);
+                let (a0, a1) = (a0 as u64, a1 as u64);
+                let flat_hi = a1.min(l);
+                if flat_hi > a0 {
+                    self.flit_hops += d * (flat_hi - a0);
+                }
+                let s = a0.max(l) + 1;
+                if a1 >= s {
+                    let (w_hi, w_lo) = (d + l - s, d + l - a1);
+                    self.flit_hops += (w_hi + w_lo) * (a1 - s + 1) / 2;
+                }
+            }
+            // The tail leaves edges (a0+1−L ..= a1−L) ∩ [1, hops−1].
+            if a1 > length {
+                let lo = (a0 + 1).saturating_sub(length).max(1);
+                for rel in lo..=a1 - length {
+                    if needs_vc(ctx, &self.worms[wi].worm, rel) {
+                        let e = self.worms[wi].path[rel as usize - 1];
+                        self.release(ctx, e as usize);
+                    }
+                }
+            }
+            self.worms[wi].worm.advance = a1;
+            self.last_move_plus1 = self.last_move_plus1.max(t + k);
+            if a1 == fin_a {
+                if needs_vc(ctx, &self.worms[wi].worm, hops) {
+                    let e = self.worms[wi].path[hops as usize - 1];
+                    self.release(ctx, e as usize);
+                }
+                let fin_t = t + k; // the finishing advance ran at t+k−1
+                let w = &mut self.worms[wi];
+                w.out.finished = Some(fin_t);
+                w.gone = true;
+                self.retired.push(Retired {
+                    id: w.id,
+                    worm: Worm {
+                        advance: w.worm.advance,
+                        hops: w.worm.hops,
+                        length: w.worm.length,
+                        pending_route: w.worm.pending_route,
+                    },
+                    time: fin_t,
+                    delivered: true,
+                    out: w.out,
+                });
+            }
+        }
+        self.sweep(ctx, t);
+        // Nobody is waiting (asserted above) — drop the release keys
+        // the drain recorded so they cannot wake a later parkee.
+        self.released_keys.clear();
+    }
+
+    /// [`Sim::select_pending`] over region-local state: the wanted hop
+    /// of pending worm index `i`, from start-of-step holder counts. All
+    /// candidates are out-edges of the head node, which this region
+    /// owns — so the local counters are the global truth and both
+    /// engines make the same choice.
+    fn select_pending(&mut self, ctx: &Ctx, i: usize) -> SelectedHop {
+        let mut cand = std::mem::take(&mut self.cand);
+        let router = ctx.router.expect("pending worm without a router");
+        let g = ctx.graph;
+        let rw = &self.worms[i];
+        let a = rw.worm.advance as usize;
+        let (head, prev) = if a == 0 {
+            (NodeId(rw.src), None)
+        } else {
+            let e = EdgeId(rw.path[a - 1]);
+            (g.dst(e), Some(g.src(e)))
+        };
+        let dst = NodeId(rw.dst);
+        debug_assert_ne!(head, dst, "pending worm already at its destination");
+        debug_assert_eq!(
+            ctx.node_region[head.idx()],
+            self.idx,
+            "pending worm resident outside its head's region"
+        );
+        let misroutes_ok = ctx.fully && rw.budget > 0;
+        cand.clear();
+        router.candidates(head, dst, misroutes_ok, &mut cand);
+        let best = |want_profitable: bool, skip: Option<NodeId>| {
+            cand.iter()
+                .filter(|&&(e, p)| p == want_profitable && self.free_vcs(ctx, e.idx()) > 0)
+                .filter(|&&(e, _)| skip != Some(g.dst(e)))
+                .map(|&(e, _)| (self.holders[e.idx()], e.0))
+                .min()
+        };
+        let sel = if let Some((_, edge)) = best(true, None) {
+            SelectedHop::Adaptive {
+                edge,
+                misroute: false,
+            }
+        } else if let Some((_, edge)) = misroutes_ok.then(|| best(false, prev)).flatten() {
+            SelectedHop::Adaptive {
+                edge,
+                misroute: true,
+            }
+        } else {
+            SelectedHop::Escape {
+                edge: router.escape_hop(head, dst).0,
+            }
+        };
+        self.cand = cand;
+        self.worms[i].selected = sel;
+        sel
+    }
+
+    /// [`Sim::extend_route`] for resident worm index `i` (no fault
+    /// branch — fault plans never reach this engine).
+    fn extend_route(&mut self, ctx: &Ctx, wi: usize) {
+        debug_assert_eq!(
+            self.worms[wi].path.len() as u32,
+            self.worms[wi].worm.advance
+        );
+        match self.worms[wi].selected {
+            SelectedHop::Adaptive { edge, misroute } => {
+                self.worms[wi].path.push(edge);
+                if misroute {
+                    self.misroute_hops += 1;
+                    self.worms[wi].budget -= 1;
+                }
+                let arrived = ctx.edge_dst[edge as usize] == self.worms[wi].dst;
+                self.worms[wi].worm.hops += 1;
+                if arrived {
+                    self.worms[wi].worm.pending_route = false;
+                }
+            }
+            SelectedHop::Escape { edge } => {
+                let router = ctx.router.expect("escape without a router");
+                let head = ctx.graph.src(EdgeId(edge));
+                let tail = router.escape_route(head, NodeId(self.worms[wi].dst));
+                debug_assert_eq!(tail.edges()[0], EdgeId(edge));
+                self.worms[wi].path.extend(tail.edges().iter().map(|e| e.0));
+                self.escape_fallbacks += 1;
+                self.worms[wi].worm.hops += tail.len() as u32;
+                self.worms[wi].worm.pending_route = false;
+            }
+            SelectedHop::None => unreachable!("pending worm advanced without a selection"),
+        }
+    }
+
+    /// One step over the resident worms: the classify → arbitrate →
+    /// apply phases of [`Sim::step_full_bandwidth`], ending with the
     /// retire/handoff sweep. Reads and writes only region-owned
     /// state; cross-region effects go to the outboxes.
     fn step(&mut self, ctx: &Ctx, t: u64) {
@@ -343,8 +891,20 @@ impl Region {
         self.blocked.clear();
         self.buckets.clear();
         // Phase 1: classify (drains and VC-free final hops move freely;
-        // everything else contends for its next edge).
+        // pending worms select their wanted hop; everything else
+        // contends for its next edge).
         for i in 0..self.worms.len() {
+            if self.worms[i].worm.pending_route {
+                let sel = self.select_pending(ctx, i);
+                let edge = sel.edge().expect("selection always yields a hop") as usize;
+                let lands_final = ctx.edge_dst[edge] == self.worms[i].dst;
+                if lands_final && ctx.config.final_edge == FinalEdgePolicy::Unlimited {
+                    self.movers.push(i as u32); // delivery absorbs VC-free
+                } else {
+                    self.buckets.push(edge, i as u32);
+                }
+                continue;
+            }
             let w = &self.worms[i].worm;
             if w.advance >= w.hops {
                 self.movers.push(i as u32);
@@ -371,9 +931,21 @@ impl Region {
             self.worms[m as usize].out.stalls += 1;
             if ctx.config.blocked == BlockedPolicy::Discard {
                 self.discard_worm(ctx, m, t);
+            } else if !self.worms[m as usize].worm.pending_route {
+                // Park a loser whose wanted edge is still full after
+                // every move and release of this step landed: it stays
+                // blocked — and stalls — until a release on its wait
+                // key, so the step loop can skip it entirely. Pending
+                // adaptive worms never park; they re-select each step.
+                let e = self.worms[m as usize].path[self.worms[m as usize].worm.advance as usize]
+                    as usize;
+                if self.free_vcs(ctx, e) == 0 {
+                    self.worms[m as usize].park = true;
+                }
             }
         }
-        self.sweep(ctx);
+        self.sweep(ctx, t);
+        self.wake_parked(ctx, t);
     }
 
     /// [`Sim::arbitrate`] over this region's contender buckets. The
@@ -448,9 +1020,14 @@ impl Region {
         self.touched_routers.clear();
     }
 
-    /// [`Sim::apply_advance`] for resident worm index `i`.
+    /// [`Sim::apply_advance`] for resident worm index `i` (pending
+    /// worms commit their selected hop first, exactly like the
+    /// sequential apply phase).
     fn advance_worm(&mut self, ctx: &Ctx, i: u32, t: u64) {
         let wi = i as usize;
+        if self.worms[wi].worm.pending_route {
+            self.extend_route(ctx, wi);
+        }
         let (hops, length, width) = {
             let w = &self.worms[wi].worm;
             (w.hops, w.length, w.crossing_width())
@@ -485,7 +1062,12 @@ impl Region {
             w.gone = true;
             self.retired.push(Retired {
                 id: w.id,
-                advance: w.worm.advance,
+                worm: Worm {
+                    advance: w.worm.advance,
+                    hops: w.worm.hops,
+                    length: w.worm.length,
+                    pending_route: w.worm.pending_route,
+                },
                 time: t + 1,
                 delivered: true,
                 out: w.out,
@@ -509,24 +1091,38 @@ impl Region {
         w.gone = true;
         self.retired.push(Retired {
             id: w.id,
-            advance: w.worm.advance,
+            worm: Worm {
+                advance: w.worm.advance,
+                hops: w.worm.hops,
+                length: w.worm.length,
+                pending_route: w.worm.pending_route,
+            },
             time: t,
             delivered: false,
             out: w.out,
         });
     }
 
-    /// End-of-step sweep: drop retired worms, keep residents, and
-    /// emigrate worms whose next wanted edge is owned elsewhere
-    /// (draining worms have no wanted edge and stay put).
-    fn sweep(&mut self, ctx: &Ctx) {
+    /// End-of-step sweep: drop retired worms, park this step's marked
+    /// losers, keep residents, and emigrate worms whose next wanted
+    /// edge is owned elsewhere. Draining worms have no wanted edge and
+    /// stay put; a pending worm's residency follows its head node.
+    /// A parked worm never migrates — it did not move, so its wanted
+    /// edge (and with it its residency) is unchanged.
+    fn sweep(&mut self, ctx: &Ctx, t: u64) {
         std::mem::swap(&mut self.worms, &mut self.scratch);
         let mut scratch = std::mem::take(&mut self.scratch);
         for w in scratch.drain(..) {
             if w.gone {
                 continue;
             }
-            let target = if w.worm.advance >= w.worm.hops {
+            if w.park {
+                self.park_worm(ctx, w, t);
+                continue;
+            }
+            let target = if w.worm.pending_route {
+                ctx.node_region[w.head_node(ctx)]
+            } else if w.worm.advance >= w.worm.hops {
                 self.idx
             } else {
                 ctx.edge_region[w.path[w.worm.advance as usize] as usize]
@@ -540,10 +1136,11 @@ impl Region {
         self.scratch = scratch;
     }
 
-    /// [`Sim::settle_max_vcs`] over this step's acquisitions. Called by
-    /// the coordinator *after* remote releases are applied, so the
-    /// sample is the end-of-step holder count — order-free and
-    /// engine-identical.
+    /// [`Sim::settle_max_vcs`] over this step's acquisitions, sampling
+    /// the end-of-step holder count — order-free and engine-identical.
+    /// Called in-region inside multi-step windows (interaction-free, so
+    /// the local count is the global one) and by the coordinator after
+    /// remote releases in one-step windows.
     fn settle_max(&mut self, ctx: &Ctx) {
         for i in 0..self.acquired.len() {
             let e = self.acquired[i] as usize;
@@ -557,23 +1154,25 @@ impl Region {
 
 /// Everything the worker threads can see: the regions (each behind its
 /// own mutex — workers step disjoint index sets, so locks are always
-/// uncontended), the superstep barriers, and the broadcast clock.
+/// uncontended), the window barriers, and the broadcast clock/grant.
 struct Shared<'a> {
     regions: Vec<Mutex<Region>>,
-    /// Opens a superstep (workers wait here between windows).
+    /// Opens a window (workers wait here between windows).
     start: Barrier,
-    /// Closes a superstep (the coordinator merges after this).
+    /// Closes a window (the coordinator merges after this).
     end: Barrier,
-    /// The window's flit step, broadcast before `start` opens.
+    /// The window's start step, broadcast before `start` opens.
     /// Relaxed ordering suffices — the barriers synchronize.
     t_now: AtomicU64,
+    /// The window's width in steps, broadcast alongside `t_now`.
+    w_now: AtomicU64,
     /// Set by the coordinator before the final `start` wave.
     stop: AtomicBool,
     ctx: Ctx<'a>,
 }
 
-/// Worker `w` of `nthreads`: step regions `w, w + nthreads, …` each
-/// window until the coordinator raises `stop`.
+/// Worker `w` of `nthreads`: run regions `w, w + nthreads, …` through
+/// each window until the coordinator raises `stop`.
 fn worker_loop(shared: &Shared<'_>, w: usize, nthreads: usize) {
     loop {
         shared.start.wait();
@@ -581,30 +1180,38 @@ fn worker_loop(shared: &Shared<'_>, w: usize, nthreads: usize) {
             return;
         }
         let t = shared.t_now.load(Ordering::Relaxed);
+        let win = shared.w_now.load(Ordering::Relaxed);
         let mut r = w;
         while r < shared.regions.len() {
-            shared.regions[r].lock().unwrap().step(&shared.ctx, t);
+            shared.regions[r]
+                .lock()
+                .unwrap()
+                .run_window(&shared.ctx, t, t + win);
             r += nthreads;
         }
         shared.end.wait();
     }
 }
 
-/// Advances every region through the window at step `t` — on the
+/// Advances every region through the window `[t, t + w)` — on the
 /// worker pool when there is one, inline otherwise.
-fn step_window(shared: &Shared<'_>, nthreads: usize, t: u64) {
+fn step_window(shared: &Shared<'_>, nthreads: usize, t: u64, w: u64) {
     if nthreads == 1 {
         for reg in &shared.regions {
-            reg.lock().unwrap().step(&shared.ctx, t);
+            reg.lock().unwrap().run_window(&shared.ctx, t, t + w);
         }
         return;
     }
     shared.t_now.store(t, Ordering::Relaxed);
+    shared.w_now.store(w, Ordering::Relaxed);
     shared.start.wait();
     // The coordinator doubles as worker 0.
     let mut r = 0;
     while r < shared.regions.len() {
-        shared.regions[r].lock().unwrap().step(&shared.ctx, t);
+        shared.regions[r]
+            .lock()
+            .unwrap()
+            .run_window(&shared.ctx, t, t + w);
         r += nthreads;
     }
     shared.end.wait();
@@ -615,31 +1222,69 @@ fn make_rworm(sim: &Sim<'_>, m: u32) -> RWorm {
     let mi = m as usize;
     let spec = &sim.specs[mi];
     let src = &sim.worms[mi];
+    let (path, wsrc, wdst, budget): (Vec<u32>, u32, u32, u32) = match sim.adaptive.as_ref() {
+        Some(ad) => (
+            ad.routes[mi].iter().map(|e| e.0).collect(),
+            ad.src[mi].0,
+            ad.dst[mi].0,
+            ad.budget[mi],
+        ),
+        None => (spec.path.edges().iter().map(|e| e.0).collect(), 0, 0, 0),
+    };
     RWorm {
         id: m,
         worm: Worm {
             advance: src.advance,
             hops: src.hops,
             length: src.length,
-            pending_route: false,
+            pending_route: src.pending_route,
         },
         release: spec.release,
         priority: spec.priority,
-        path: spec.path.edges().iter().map(|e| e.0).collect(),
+        path,
+        src: wsrc,
+        dst: wdst,
+        budget,
+        selected: SelectedHop::None,
         out: sim.outcomes[mi],
         gone: false,
+        park: false,
+        local_path: false,
     }
 }
 
-/// Copies every in-flight resident worm's kinematics and outcome back
-/// into the per-id tables (retired worms were written at retirement).
+/// The region a fresh or migrating worm belongs to: its head node's
+/// region while the route is pending, the owner of its next wanted
+/// edge otherwise.
+fn rworm_home(ctx: &Ctx, w: &RWorm) -> usize {
+    if w.worm.pending_route {
+        ctx.node_region[w.head_node(ctx)] as usize
+    } else {
+        ctx.edge_region[w.path[w.worm.advance as usize] as usize] as usize
+    }
+}
+
+/// Copies every in-flight resident worm's kinematics, outcome, and
+/// route state back into the per-id tables (retired worms were written
+/// at retirement). Parked worms are residents too; the run-end paths
+/// settle their stalls first, the mid-run invariant check reads them
+/// as-is (kinematics are exact while parked, only stalls are deferred).
 fn write_back(sim: &mut Sim<'_>, shared: &Shared<'_>) {
     for cell in &shared.regions {
         let reg = cell.lock().unwrap();
-        for w in &reg.worms {
+        let parked = reg.park_slab.iter().filter_map(|s| s.rw.as_ref());
+        for w in reg.worms.iter().chain(parked) {
             let mi = w.id as usize;
             sim.worms[mi].advance = w.worm.advance;
+            sim.worms[mi].hops = w.worm.hops;
+            sim.worms[mi].pending_route = w.worm.pending_route;
             sim.outcomes[mi] = w.out;
+            if let Some(ad) = sim.adaptive.as_mut() {
+                ad.routes[mi].clear();
+                ad.routes[mi].extend(w.path.iter().map(|&e| EdgeId(e)));
+                ad.budget[mi] = w.budget;
+                ad.selected[mi] = w.selected;
+            }
         }
     }
 }
@@ -674,12 +1319,16 @@ fn fold_stats(sim: &mut Sim<'_>, shared: &Shared<'_>) {
         sim.flit_hops += reg.flit_hops;
         sim.max_vcs = sim.max_vcs.max(reg.max_vcs);
         sim.max_pool = sim.max_pool.max(reg.max_pool);
+        if let Some(ad) = sim.adaptive.as_mut() {
+            ad.escape_fallbacks += reg.escape_fallbacks;
+            ad.misroute_hops += reg.misroute_hops;
+        }
     }
 }
 
 /// The coordinator: mirrors [`Sim::drive_legacy`]'s loop head (idle
-/// fast-forward, step-cap accounting, admissions) around the parallel
-/// superstep, then merges outboxes in region-index order.
+/// fast-forward, step-cap accounting, admissions) around the window
+/// grant, then merges outboxes in region-index order.
 fn run_loop(
     sim: &mut Sim<'_>,
     shared: &Shared<'_>,
@@ -715,27 +1364,71 @@ fn run_loop(
         for i in new {
             let m = sim.admitted_id(i);
             if sim.outcomes[m as usize].discarded.is_none() {
-                let w = make_rworm(sim, m);
-                let target = shared.ctx.edge_region[w.path[0] as usize] as usize;
-                shared.regions[target].lock().unwrap().worms.push(w);
+                let mut w = make_rworm(sim, m);
+                let target = rworm_home(&shared.ctx, &w);
+                let bound = worm_bound(&shared.ctx, &w, target as u32);
+                w.local_path = bound == u64::MAX && !w.worm.pending_route;
+                let mut reg = shared.regions[target].lock().unwrap();
+                reg.safe = reg.safe.min(bound);
+                reg.worms.push(w);
+                drop(reg);
                 n_active += 1;
             }
         }
 
-        // One conservative window: every region steps `t`.
-        step_window(shared, nthreads, t);
+        // The window grant: the minimum per-region `safe` bound over
+        // populated regions, capped at the next admission and the step
+        // cap. Reactive sources pin the window to one step (a delivery
+        // may spawn a release mid-window otherwise); so does any worm
+        // near a cut. `peek_next_release` is an idempotent peek for
+        // non-reactive sources, so consulting it every window leaves
+        // the admission sequence untouched.
+        let mut grant = u64::MAX;
+        for cell in &shared.regions {
+            let reg = cell.lock().unwrap();
+            if reg.has_residents() {
+                grant = grant.min(reg.safe);
+            }
+        }
+        let w = if sim.reactive || grant <= 1 {
+            1
+        } else {
+            let mut horizon = sim.config.max_steps.saturating_sub(t).max(1);
+            if let Some(r) = sim.peek_next_release(t) {
+                horizon = horizon.min(r.saturating_sub(t).max(1));
+            }
+            grant.min(horizon)
+        };
+
+        step_window(shared, nthreads, t, w);
 
         // Merge, in region-index order (the effects are commutative or
         // canonically re-sorted downstream; fixing the order makes the
         // run reproducible by inspection, not just by argument).
-        let mut moved = false;
+        let mut t_dead: u64 = 0;
+        let mut all_static = true;
+        let mut any_worms = false;
+        let mut any_frozen = false;
         for cell in &shared.regions {
             let mut reg = cell.lock().unwrap();
-            moved |= reg.moved;
+            t_dead = t_dead.max(reg.last_move_plus1);
+            if reg.has_residents() {
+                any_worms = true;
+                if reg.static_from == u64::MAX {
+                    all_static = false;
+                } else {
+                    t_dead = t_dead.max(reg.static_from);
+                }
+            }
+            any_frozen |= reg.static_from != u64::MAX;
             rel_buf.append(&mut reg.remote_releases);
             handoff_buf.append(&mut reg.handoffs);
             retired_buf.append(&mut reg.retired);
         }
+        debug_assert!(
+            w == 1 || rel_buf.is_empty(),
+            "remote release inside a multi-step window"
+        );
         // Cross-region releases land now — visible to step `t + 1`,
         // like any sequential mid-step release...
         for &e in &rel_buf {
@@ -748,13 +1441,44 @@ fn run_loop(
         }
         rel_buf.clear();
         // ...and *before* the occupancy maxima are sampled, so the
-        // sample is the end-of-step state, as in the sequential engines.
-        for cell in &shared.regions {
-            cell.lock().unwrap().settle_max(&shared.ctx);
+        // sample is the end-of-step state, as in the sequential
+        // engines. (Multi-step windows already settled in-region.)
+        // The wake pass runs here too: a remote release during step
+        // `t` unblocks its local waiters exactly like a local one —
+        // skipped stalls settle through `t`, re-contention at `t + 1`.
+        if w == 1 {
+            for cell in &shared.regions {
+                let mut reg = cell.lock().unwrap();
+                reg.wake_parked(&shared.ctx, t);
+                reg.settle_max(&shared.ctx);
+            }
+        }
+        // A frozen region repeats its freeze step verbatim until the
+        // window ends (or until the deadlock instant, below): top up
+        // the stall counts its skipped steps would have recorded. At
+        // the freeze step every resident was blocked — a mover would
+        // have unfrozen it — so the top-up is uniform.
+        let deadlocked =
+            sim.config.blocked == BlockedPolicy::Stall && any_worms && all_static && t_dead < t + w;
+        if any_frozen {
+            let end_count = if deadlocked { t_dead } else { t + w - 1 };
+            for cell in &shared.regions {
+                let mut reg = cell.lock().unwrap();
+                if reg.static_from != u64::MAX {
+                    let extra = end_count - reg.static_from;
+                    if extra > 0 {
+                        for wm in &mut reg.worms {
+                            wm.out.stalls += extra;
+                        }
+                    }
+                }
+            }
         }
         for rt in retired_buf.drain(..) {
             let mi = rt.id as usize;
-            sim.worms[mi].advance = rt.advance;
+            sim.worms[mi].advance = rt.worm.advance;
+            sim.worms[mi].hops = rt.worm.hops;
+            sim.worms[mi].pending_route = rt.worm.pending_route;
             sim.outcomes[mi] = rt.out;
             sim.record_done(rt.id, rt.time, rt.delivered);
             if rt.delivered {
@@ -763,17 +1487,23 @@ fn run_loop(
             sim.unfinished -= 1;
             n_active -= 1;
         }
-        for (target, w) in handoff_buf.drain(..) {
-            shared.regions[target as usize]
-                .lock()
-                .unwrap()
-                .worms
-                .push(w);
+        for (target, mut w) in handoff_buf.drain(..) {
+            let bound = worm_bound(&shared.ctx, &w, target);
+            w.local_path = bound == u64::MAX && !w.worm.pending_route;
+            let mut reg = shared.regions[target as usize].lock().unwrap();
+            reg.safe = reg.safe.min(bound);
+            reg.worms.push(w);
         }
 
-        if !moved && n_active > 0 && sim.config.blocked == BlockedPolicy::Stall {
-            // Static state, nothing can ever move again: deadlock, with
-            // the same report the sequential engines build.
+        if deadlocked {
+            // Static state, nothing can ever move again: deadlock at
+            // the first globally move-free step, with the same report
+            // the sequential engines build. Parked worms were blocked
+            // at every step up to the verdict — settle them first.
+            t = t_dead;
+            for cell in &shared.regions {
+                cell.lock().unwrap().settle_parked(t_dead);
+            }
             write_back(sim, shared);
             sim.rebuild_active();
             deadlock_report = Some(sim.build_deadlock_report());
@@ -785,8 +1515,17 @@ fn run_loop(
             sim.rebuild_active();
             sim.validate();
         }
-        t += 1;
+        t += w;
     };
+    if matches!(outcome, Outcome::MaxSteps) {
+        // The cap ended the run with worms possibly still parked; the
+        // sequential engines count their stalls through the last step
+        // that ran (`max_steps - 1`).
+        let last = sim.config.max_steps.saturating_sub(1);
+        for cell in &shared.regions {
+            cell.lock().unwrap().settle_parked(last);
+        }
+    }
     write_back(sim, shared);
     sync_counters(sim, shared);
     fold_stats(sim, shared);
@@ -833,6 +1572,7 @@ pub(crate) fn drive(sim: &mut Sim<'_>, threads: u32) -> (Outcome, u64, Option<De
         start: Barrier::new(nthreads),
         end: Barrier::new(nthreads),
         t_now: AtomicU64::new(0),
+        w_now: AtomicU64::new(1),
         stop: AtomicBool::new(false),
         ctx,
     };

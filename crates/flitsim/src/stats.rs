@@ -23,9 +23,6 @@ pub enum Outcome {
 /// accept it must say so here — never silently degrade.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineFallback {
-    /// Adaptive route selection: per-hop choices read global VC
-    /// occupancy, which a partitioned engine cannot see consistently.
-    AdaptiveRouting,
     /// A fault plan is installed: kills apply network-wide at the start
     /// of a step and discard worms in several regions at once.
     FaultInjection,
@@ -41,7 +38,6 @@ impl EngineFallback {
     /// Short lowercase name for tables.
     pub fn name(self) -> &'static str {
         match self {
-            EngineFallback::AdaptiveRouting => "adaptive",
             EngineFallback::FaultInjection => "faults",
             EngineFallback::RestrictedBandwidth => "restricted-bw",
             EngineFallback::Tracing => "tracing",

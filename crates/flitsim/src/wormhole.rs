@@ -486,7 +486,7 @@ pub(crate) enum SelectedHop {
 impl SelectedHop {
     /// The wanted edge id, if a selection was made.
     #[inline]
-    fn edge(self) -> Option<u32> {
+    pub(crate) fn edge(self) -> Option<u32> {
         match self {
             SelectedHop::None => None,
             SelectedHop::Adaptive { edge, .. } | SelectedHop::Escape { edge } => Some(edge),
@@ -498,25 +498,25 @@ impl SelectedHop {
 /// non-oblivious [`RouteSelection`]).
 pub(crate) struct AdaptiveState<'a> {
     /// Candidate enumeration and escape continuations.
-    router: &'a dyn AdaptiveRouter,
+    pub(crate) router: &'a dyn AdaptiveRouter,
     /// Incrementally built route per message: the adaptive prefix plus,
     /// after a fallback, the escape tail. Replaces `spec.path` as the
     /// source of truth for [`Sim::path_edge`].
-    routes: Vec<Vec<EdgeId>>,
+    pub(crate) routes: Vec<Vec<EdgeId>>,
     /// Injection node per message (head position at `advance == 0`).
-    src: Vec<NodeId>,
+    pub(crate) src: Vec<NodeId>,
     /// Destination node per message.
-    dst: Vec<NodeId>,
+    pub(crate) dst: Vec<NodeId>,
     /// Remaining misroute budget per message (`FullyAdaptive`).
-    budget: Vec<u32>,
+    pub(crate) budget: Vec<u32>,
     /// Wanted-hop selection per message (see [`SelectedHop`]).
-    selected: Vec<SelectedHop>,
+    pub(crate) selected: Vec<SelectedHop>,
     /// Candidate scratch for [`AdaptiveRouter::candidates`].
     cand: Vec<(EdgeId, bool)>,
     /// Worms that fell back onto the escape network.
-    escape_fallbacks: u64,
+    pub(crate) escape_fallbacks: u64,
     /// Non-minimal hops crossed.
-    misroute_hops: u64,
+    pub(crate) misroute_hops: u64,
 }
 
 pub(crate) struct Sim<'a> {
@@ -1381,9 +1381,11 @@ impl<'a> Sim<'a> {
         // back to a sequential engine with an explicit note in the
         // result (`SimResult::engine_fallback`) — never silently.
         let engine_fallback = if let Engine::Parallel { .. } = self.config.engine {
-            if self.adaptive.is_some() {
-                Some(EngineFallback::AdaptiveRouting)
-            } else if self.faulted() {
+            if self.faulted() {
+                // Adaptive routing runs natively in the parallel engine;
+                // fault plans are the one remaining routing fallback
+                // (kills apply globally at start-of-step, which the
+                // windowed scheme cannot yet reproduce).
                 Some(EngineFallback::FaultInjection)
             } else if self.config.bandwidth == BandwidthModel::OneFlitPerStep {
                 Some(EngineFallback::RestrictedBandwidth)

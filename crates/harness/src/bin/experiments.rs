@@ -22,28 +22,32 @@ use wormhole_harness::experiments::{
 /// baseline.
 fn bench_json(out_path: &str) {
     let engines = [(Engine::EventDriven, "event"), (Engine::Legacy, "legacy")];
-    let mut rows = Vec::new();
+    // (family, engine, wall_ms, speedup-vs-1-worker) — the speedup
+    // column only exists on parallel rows, so a 2t-slower-than-1t
+    // regression shows up as `"speedup": 0.xx` in the JSON diff
+    // instead of hiding in raw wall clocks.
+    let mut rows: Vec<(&str, &str, f64, Option<f64>)> = Vec::new();
     for (engine, ename) in engines {
         let t0 = Instant::now();
         let points = x2_open_loop::sweep_points_with(true, engine);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(!points.is_empty());
         eprintln!("[bench-json] x2 {ename}: {ms:.3} ms");
-        rows.push(("x2", ename, ms));
+        rows.push(("x2", ename, ms, None));
 
         let t0 = Instant::now();
         let tables = x7_dateline::run_with(true, engine);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(!tables.is_empty());
         eprintln!("[bench-json] x7 {ename}: {ms:.3} ms");
-        rows.push(("x7", ename, ms));
+        rows.push(("x7", ename, ms, None));
 
         let t0 = Instant::now();
         let points = x9_dynamic_vcs::sweep_points_with(true, engine);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(!points.is_empty());
         eprintln!("[bench-json] x9 {ename}: {ms:.3} ms");
-        rows.push(("x9", ename, ms));
+        rows.push(("x9", ename, ms, None));
 
         // x11 exercises the pull-based source path on both arms: replay
         // sources on the open sweep, reactive closed-loop sources (with
@@ -54,7 +58,7 @@ fn bench_json(out_path: &str) {
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(!points.is_empty());
         eprintln!("[bench-json] x11 {ename}: {ms:.3} ms");
-        rows.push(("x11", ename, ms));
+        rows.push(("x11", ename, ms, None));
 
         // x12 times the fault machinery: the kill phase, severed-worm
         // sweeps, and fault-filtered adaptive routing across the
@@ -64,7 +68,7 @@ fn bench_json(out_path: &str) {
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(!points.is_empty());
         eprintln!("[bench-json] x12 {ename}: {ms:.3} ms");
-        rows.push(("x12", ename, ms));
+        rows.push(("x12", ename, ms, None));
     }
 
     // x10 splits along a different axis than the simulator engines: the
@@ -75,36 +79,46 @@ fn bench_json(out_path: &str) {
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     assert!(!points.is_empty());
     eprintln!("[bench-json] x10 sim: {ms:.3} ms");
-    rows.push(("x10", "sim", ms));
+    rows.push(("x10", "sim", ms, None));
 
     let t0 = Instant::now();
     let points = x10_bounds::analytic_points(true);
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     assert!(!points.is_empty());
     eprintln!("[bench-json] x10 analytic: {ms:.3} ms");
-    rows.push(("x10", "analytic", ms));
+    rows.push(("x10", "analytic", ms, None));
 
     // x13 times the partitioned engine itself against its sequential
-    // baseline on the fast scaling sweep; the 2-worker row is the one
-    // CI smoke-runs.
-    for workers in [1u32, 2] {
+    // baseline on the fast scaling sweep (which now includes the
+    // large-torus strong-scaling arm); the 4-worker row is the one CI
+    // smoke-runs. Each parallel row carries its speedup vs the
+    // 1-worker row.
+    let mut one_worker_ms = None;
+    for workers in [1u32, 2, 4] {
         let t0 = Instant::now();
         let points = x13_parallel::sweep_points_with(true, &[workers]);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(!points.is_empty());
-        let ename: &'static str = if workers == 1 {
-            "parallel-1t"
-        } else {
-            "parallel-2t"
+        let ename: &'static str = match workers {
+            1 => "parallel-1t",
+            2 => "parallel-2t",
+            _ => "parallel-4t",
         };
+        if workers == 1 {
+            one_worker_ms = Some(ms);
+        }
+        let speedup = one_worker_ms.map(|t1| t1 / ms);
         eprintln!("[bench-json] x13 {ename}: {ms:.3} ms");
-        rows.push(("x13", ename, ms));
+        rows.push(("x13", ename, ms, speedup));
     }
     let mut json = String::from("{\n  \"benchmark\": \"experiments bench-json\",\n  \"mode\": \"fast\",\n  \"unit\": \"wall_ms\",\n  \"families\": [\n");
-    for (i, (family, engine, ms)) in rows.iter().enumerate() {
+    for (i, (family, engine, ms, speedup)) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
+        let speedup = speedup
+            .map(|s| format!(", \"speedup\": {s:.3}"))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{ \"family\": \"{family}\", \"engine\": \"{engine}\", \"wall_ms\": {ms:.3} }}{sep}\n"
+            "    {{ \"family\": \"{family}\", \"engine\": \"{engine}\", \"wall_ms\": {ms:.3}{speedup} }}{sep}\n"
         ));
     }
     json.push_str("  ]\n}\n");
@@ -128,7 +142,7 @@ fn main() {
     }
     let fast = args.iter().any(|a| a == "--fast");
     // `--threads N` narrows x13's worker ladder to a single entry (the
-    // CI smoke run uses `--threads 2`); other experiments ignore it.
+    // CI smoke run uses `--threads 4`); other experiments ignore it.
     let threads: Option<u32> = args
         .iter()
         .position(|a| a == "--threads")

@@ -72,7 +72,11 @@ use crate::path::Path;
 /// Under those three properties the wormhole simulator's adaptive mode
 /// is deadlock-free for any selection policy that falls back to the
 /// escape hop when every adaptive candidate is full.
-pub trait AdaptiveRouter {
+///
+/// `Sync` is a supertrait because the parallel engine's workers share
+/// one router across threads; every query takes `&self`, so routers are
+/// immutable lookup structures and the bound costs implementors nothing.
+pub trait AdaptiveRouter: Sync {
     /// The routing graph the simulator runs on.
     fn graph(&self) -> &Graph;
 

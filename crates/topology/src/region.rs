@@ -6,13 +6,17 @@
 //! router — are owned by exactly one region. The parallel engine
 //! (`flitsim`'s `Engine::Parallel`) advances each region on its own
 //! worker and synchronizes on conservative time windows bounded by the
-//! plan's [`RegionPlan::lookahead`]: the minimum number of flit steps
-//! before an event in one region can influence another. In this model a
-//! header crosses one edge per flit step, so any plan with at least one
-//! cross-region edge has a lookahead of exactly 1 — the engine's
-//! synchronization window collapses to lockstep supersteps, which is
-//! what makes bit-identity with the sequential engines provable rather
-//! than approximate.
+//! plan's lookahead: the minimum number of flit steps before an event
+//! in one region can influence another. A header crosses one edge per
+//! flit step in this model, so the global bound
+//! ([`RegionPlan::lookahead`]) is 1 whenever any edge crosses a cut —
+//! but the *plan-aware* bound is much better: a worm whose header sits
+//! `d` hops away from the nearest cross edge cannot touch the cut for
+//! `d` steps. [`RegionPlan::distance_to_cut`] computes that per-node
+//! distance matrix (and [`RegionPlan::region_lookahead`] its per-region
+//! minimum), which is what lets the parallel engine grant multi-step
+//! windows and fast-forward inside a region instead of running lockstep
+//! supersteps.
 //!
 //! Plans are built either directly ([`RegionPlan::contiguous`],
 //! [`RegionPlan::contiguous_aligned`], [`RegionPlan::from_node_regions`])
@@ -143,6 +147,84 @@ impl RegionPlan {
     pub fn matches(&self, graph: &Graph) -> bool {
         self.node_region.len() == graph.num_nodes()
     }
+
+    /// Per-node distance-to-cut: `d[v]` is the minimum number of flit
+    /// steps before a worm whose header sits at node `v` can traverse an
+    /// edge that leaves `v`'s region (`u64::MAX` if no cross edge is
+    /// reachable from `v` — the causally-independent case).
+    ///
+    /// This is a *lower bound on influence*, the quantity a conservative
+    /// parallel engine needs: until it crosses a cut edge a header only
+    /// ever contends for out-edges of nodes in its own region (edges
+    /// follow their source node), so for any window shorter than `d[v]`
+    /// a worm headed at `v` touches exclusively region-owned state. The
+    /// bound is exact, not just safe: a header adjacent to a cut edge
+    /// (`d = 1`) can cross it on the very next step.
+    ///
+    /// Computed as one multi-source BFS over the *reversed* intra-region
+    /// edges, seeded with `d = 1` at the source of every cross edge —
+    /// `O(V + E)` for all regions at once.
+    pub fn distance_to_cut(&self, graph: &Graph) -> Vec<u64> {
+        assert!(self.matches(graph), "plan does not match the graph");
+        let n = graph.num_nodes();
+        // Reverse adjacency (CSR) restricted to intra-region edges: the
+        // only edges a relaxation may walk backwards without crossing a
+        // cut itself.
+        let mut starts = vec![0u32; n + 1];
+        for e in graph.edges() {
+            let (s, d) = (graph.src(e).idx(), graph.dst(e).idx());
+            if self.node_region[s] == self.node_region[d] {
+                starts[d + 1] += 1;
+            }
+        }
+        for v in 0..n {
+            starts[v + 1] += starts[v];
+        }
+        let mut preds = vec![0u32; starts[n] as usize];
+        let mut fill = starts.clone();
+        for e in graph.edges() {
+            let (s, d) = (graph.src(e).idx(), graph.dst(e).idx());
+            if self.node_region[s] == self.node_region[d] {
+                preds[fill[d] as usize] = s as u32;
+                fill[d] += 1;
+            }
+        }
+        let mut dist = vec![u64::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for e in graph.edges() {
+            let (s, d) = (graph.src(e).idx(), graph.dst(e).idx());
+            if self.node_region[s] != self.node_region[d] && dist[s] == u64::MAX {
+                dist[s] = 1;
+                queue.push_back(s as u32);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize];
+            for i in starts[v as usize]..starts[v as usize + 1] {
+                let u = preds[i as usize] as usize;
+                if dist[u] == u64::MAX {
+                    dist[u] = dv + 1;
+                    queue.push_back(u as u32);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Per-region lookahead: the minimum [`RegionPlan::distance_to_cut`]
+    /// over each region's nodes — how many steps the region can run
+    /// before *any* locally-headed worm could first touch a cross edge.
+    /// `u64::MAX` marks a region from which no cut is reachable (it can
+    /// run to completion without synchronizing).
+    pub fn region_lookahead(&self, graph: &Graph) -> Vec<u64> {
+        let dist = self.distance_to_cut(graph);
+        let mut la = vec![u64::MAX; self.num_regions as usize];
+        for (v, &d) in dist.iter().enumerate() {
+            let r = self.node_region[v] as usize;
+            la[r] = la[r].min(d);
+        }
+        la
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +281,48 @@ mod tests {
         let p = RegionPlan::from_node_regions(&g, vec![0, 0, 1, 1]);
         assert_eq!(p.cross_edges(), 0);
         assert_eq!(p.lookahead(), u64::MAX);
+    }
+
+    #[test]
+    fn distance_to_cut_on_a_chain() {
+        let g = chain(10);
+        let p = RegionPlan::contiguous(&g, 3);
+        // Regions [0..4), [4..7), [7..10); cut edges 3->4 and 6->7.
+        let d = p.distance_to_cut(&g);
+        assert_eq!(d[..4], [4, 3, 2, 1]);
+        assert_eq!(d[4..7], [3, 2, 1]);
+        // The last region has no outgoing cut edge: its nodes can never
+        // influence another region.
+        assert_eq!(d[7..], [u64::MAX, u64::MAX, u64::MAX]);
+        assert_eq!(p.region_lookahead(&g), vec![1, 1, u64::MAX]);
+    }
+
+    #[test]
+    fn distance_to_cut_on_a_ring() {
+        // Bidirectional 8-ring, two halves: every node can reach a cut
+        // in both directions; interior nodes are 2 steps from one.
+        let n = 8u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for v in 0..n {
+            b.add_edge(NodeId(v), NodeId((v + 1) % n));
+            b.add_edge(NodeId((v + 1) % n), NodeId(v));
+        }
+        let g = b.build();
+        let p = RegionPlan::from_node_regions(&g, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let d = p.distance_to_cut(&g);
+        assert_eq!(d, vec![1, 2, 2, 1, 1, 2, 2, 1]);
+        assert_eq!(p.region_lookahead(&g), vec![1, 1]);
+    }
+
+    #[test]
+    fn distance_to_cut_independent_regions() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        let p = RegionPlan::from_node_regions(&g, vec![0, 0, 1, 1]);
+        assert_eq!(p.distance_to_cut(&g), vec![u64::MAX; 4]);
+        assert_eq!(p.region_lookahead(&g), vec![u64::MAX, u64::MAX]);
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! region inside a superstep, never *what* the superstep computes.
 //! These tests pin that down:
 //!
-//! * a proptest sweeping 1 / 2 / 8 workers over randomized chain and
-//!   torus workloads with varying region counts, asserting all three
-//!   runs (and the legacy oracle) are identical;
+//! * proptests sweeping 1 / 2 / 8 workers over randomized chain,
+//!   torus, and adaptive-escape workloads with varying region counts,
+//!   asserting all three runs (and the legacy oracle) are identical;
+//! * a window-boundary proptest: the same workload under region plans
+//!   with very different lookahead windows (one giant region vs many
+//!   small ones, plus a step cap landing mid-window) must be
+//!   unobservable in the result;
 //! * a unit fixture where a worm straddles a region boundary mid-flit,
 //!   so the tail release and the header acquisition happen in
 //!   different regions of the same superstep;
@@ -74,6 +78,34 @@ fn assert_worker_count_invariant(
         );
         // Belt and braces on the strongest field: the per-message
         // records must be byte-identical, not merely aggregate-equal.
+        assert_eq!(par.messages, lg.messages);
+    }
+    lg
+}
+
+/// [`assert_worker_count_invariant`] for adaptive route selection:
+/// same sweep, driven through [`wormhole::run_adaptive`].
+fn assert_adaptive_worker_count_invariant(
+    router: &dyn wormhole_topology::adaptive::AdaptiveRouter,
+    specs: &[MessageSpec],
+    config: &SimConfig,
+) -> SimResult {
+    let lg = wormhole::run_adaptive(router, specs, &config.clone().engine(Engine::Legacy));
+    for threads in [1u32, 2, 8] {
+        let par = wormhole::run_adaptive(
+            router,
+            specs,
+            &config.clone().engine(Engine::Parallel { threads }),
+        );
+        assert!(
+            par.engine_fallback.is_none(),
+            "adaptive config fell back at {threads} workers: {:?}",
+            par.engine_fallback
+        );
+        assert!(
+            par.same_execution(&lg),
+            "adaptive parallel({threads} workers) diverged from legacy:\nparallel: {par:?}\n  legacy: {lg:?}"
+        );
         assert_eq!(par.messages, lg.messages);
     }
     lg
@@ -262,5 +294,102 @@ proptest! {
             cfg = cfg.max_steps((l + radix) as u64);
         }
         assert_worker_count_invariant(substrate.graph(), &specs, &cfg);
+    }
+
+    /// Worker-count invariance with native adaptive routing: minimal
+    /// and fully adaptive selection with a misroute quota on
+    /// three-class escape tori, where route choice itself depends on
+    /// VC occupancy and escape tails are committed mid-window.
+    #[test]
+    fn adaptive_torus_is_worker_count_invariant(
+        radix in 3u32..7,
+        dims in 1u32..3,
+        b_idx in 0u32..3,
+        l in 1u32..8,
+        rate_pct in 5u32..40,
+        fully in proptest::bool::ANY,
+        quota in 0u32..5,
+        regions in 1u32..9,
+        arb in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        use wormhole_flitsim::config::RouteSelection;
+        let substrate = Substrate::torus_with(radix, dims, RoutingDiscipline::AdaptiveEscape);
+        let mesh = substrate.as_mesh().expect("torus is mesh-based");
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::UniformRandom,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(80);
+        let sel = if fully {
+            RouteSelection::FullyAdaptive
+        } else {
+            RouteSelection::MinimalAdaptive
+        };
+        let cfg = SimConfig::new(vcs(b_idx))
+            .arbitration(arbitration(arb))
+            .seed(seed)
+            .route_selection(sel)
+            .misroute_quota(quota)
+            .regions(RegionPlan::contiguous(substrate.graph(), regions))
+            .max_steps(2_000)
+            .check_invariants(true);
+        assert_adaptive_worker_count_invariant(mesh, &specs, &cfg);
+    }
+
+    /// Window boundaries must be unobservable: one giant region (whose
+    /// post-injection window can cover the whole drain) and many small
+    /// regions (lookahead forced down to 1 near every cut) must yield
+    /// the same execution as the per-step legacy oracle — including
+    /// when a step cap lands inside a granted window.
+    #[test]
+    fn window_boundaries_are_unobservable(
+        radix in 4u32..8,
+        dims in 1u32..3,
+        l in 2u32..8,
+        rate_pct in 5u32..40,
+        cap_small in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let substrate =
+            Substrate::torus_with(radix, dims, RoutingDiscipline::DatelineClasses);
+        let w = Workload::new(
+            substrate.clone(),
+            TrafficPattern::Tornado,
+            ArrivalProcess::bernoulli(rate_pct as f64 / 100.0),
+            l,
+            seed,
+        );
+        let specs = w.generate(80);
+        let mut cfg = SimConfig::new(2)
+            .arbitration(arbitration(seed as u32))
+            .seed(seed)
+            .max_steps(2_000)
+            .check_invariants(true);
+        if cap_small {
+            cfg = cfg.max_steps((l + radix + seed as u32 % 17) as u64);
+        }
+        let lg = wormhole::run(
+            substrate.graph(),
+            &specs,
+            &cfg.clone().engine(Engine::Legacy),
+        );
+        for regions in [1u32, 2, 5, 16] {
+            let par = wormhole::run(
+                substrate.graph(),
+                &specs,
+                &cfg.clone()
+                    .regions(RegionPlan::contiguous(substrate.graph(), regions))
+                    .engine(Engine::Parallel { threads: 2 }),
+            );
+            prop_assert!(par.engine_fallback.is_none());
+            prop_assert!(
+                par.same_execution(&lg),
+                "parallel({regions} regions) diverged from legacy:\nparallel: {par:?}\n  legacy: {lg:?}"
+            );
+        }
     }
 }

@@ -12,11 +12,12 @@
 //! selection on three-class escape tori (where route choice itself
 //! depends on VC occupancy).
 //!
-//! Configurations the parallel engine deliberately does not accept
-//! (adaptive routing, fault injection) must take the *documented*
-//! fallback: a sequential run flagged in `SimResult::engine_fallback`,
-//! still field-for-field identical to the sequential engines apart
-//! from that note.
+//! Adaptive routing runs natively in the parallel engine and is part
+//! of the three-way matrix. Configurations it deliberately does not
+//! accept (fault injection, restricted bandwidth, tracing) must take
+//! the *documented* fallback: a sequential run flagged in
+//! `SimResult::engine_fallback`, still field-for-field identical to
+//! the sequential engines apart from that note.
 
 use proptest::prelude::*;
 
@@ -281,14 +282,21 @@ proptest! {
             ev.same_execution(&lg),
             "adaptive ({sel:?}) diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
         );
-        // The parallel engine does not accept adaptive routing: the run
-        // must land on the documented explicit fallback, never silently.
+        // Adaptive routing runs natively in the parallel engine: the
+        // full three-way matrix must agree with no fallback note.
         let par = wormhole::run_adaptive(
             mesh,
             &specs,
             &cfg.clone().engine(Engine::Parallel { threads: 2 }),
         );
-        assert_fallback(&par, &ev, EngineFallback::AdaptiveRouting);
+        prop_assert!(
+            par.engine_fallback.is_none(),
+            "adaptive config unexpectedly fell back: {:?}", par.engine_fallback
+        );
+        prop_assert!(
+            par.same_execution(&ev),
+            "adaptive ({sel:?}) parallel diverged:\nparallel: {:?}\n   event: {:?}", par, ev
+        );
         // Adaptive-escape runs can stall but never wedge.
         prop_assert!(!matches!(ev.outcome, Outcome::Deadlock(_)));
     }
@@ -449,7 +457,15 @@ proptest! {
             &specs,
             &cfg.clone().engine(Engine::Parallel { threads: 2 }),
         );
-        assert_fallback(&par, &ev, EngineFallback::AdaptiveRouting);
+        prop_assert!(
+            par.engine_fallback.is_none(),
+            "pooled adaptive config unexpectedly fell back: {:?}", par.engine_fallback
+        );
+        prop_assert!(
+            par.same_execution(&ev),
+            "pooled adaptive ({sel:?}, {policy:?}) parallel diverged:\nparallel: {:?}\n   event: {:?}",
+            par, ev
+        );
         // Escape floors ≥ 1 keep pooled adaptive runs wedge-free.
         prop_assert!(!matches!(ev.outcome, Outcome::Deadlock(_)));
     }
@@ -706,6 +722,7 @@ proptest! {
         );
         let specs = w.generate(100);
         let plan = FaultPlan::bernoulli_channels(mesh, fault_pct as f64 / 100.0, 80, seed ^ 0xfa17);
+        let plan_empty = plan.is_empty();
         let fm = FaultedMesh::new(mesh, &plan).expect("generator emits valid plans");
         let sel = if fully {
             RouteSelection::FullyAdaptive
@@ -726,14 +743,24 @@ proptest! {
             ev.same_execution(&lg),
             "faulted adaptive ({sel:?}) diverged:\n event: {:?}\nlegacy: {:?}", ev, lg
         );
-        // Adaptive routing is checked before faults in the fallback
-        // precedence, so the note names the routing policy here.
+        // Adaptive routing now runs natively in the parallel engine, so
+        // the fault plan is what triggers the documented fallback here.
+        // An empty Bernoulli draw is a supported (purely adaptive)
+        // config and must run natively instead.
         let par = wormhole::run_adaptive(
             &fm,
             &specs,
             &cfg.clone().engine(Engine::Parallel { threads: 2 }),
         );
-        assert_fallback(&par, &ev, EngineFallback::AdaptiveRouting);
+        if plan_empty {
+            prop_assert!(par.engine_fallback.is_none());
+            prop_assert!(
+                par.same_execution(&ev),
+                "fault-free adaptive parallel diverged:\nparallel: {:?}\n   event: {:?}", par, ev
+            );
+        } else {
+            assert_fallback(&par, &ev, EngineFallback::FaultInjection);
+        }
         // The faulted escape subnetwork is still acyclic, so adaptive
         // traffic on the broken torus must never wedge.
         prop_assert!(
